@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Table 1 of the paper: corruption counts per fault type
+ * for the disk-based write-through system, Rio without protection,
+ * and Rio with protection.
+ *
+ * Scale knobs (environment):
+ *   RIO_T1_CRASHES   crashes per cell (paper: 50)
+ *   RIO_T1_WINDOW_S  observation window in simulated seconds
+ *   RIO_SEED         campaign seed
+ */
+
+#include <cstdio>
+
+#include "harness/crashcampaign.hh"
+
+int
+main()
+{
+    using namespace rio;
+
+    harness::CampaignConfig config;
+    harness::CrashCampaign campaign(config);
+
+    std::printf("Table 1: Comparing Disk and Memory Reliability\n");
+    std::printf("(corruptions per %u crashes per cell; blank = none)\n\n",
+                config.crashesPerCell);
+
+    const harness::CampaignResult result = campaign.runAll();
+    std::fputs(
+        harness::CrashCampaign::renderTable1(result, config).c_str(),
+        stdout);
+
+    std::printf("\ncrash causes observed:\n");
+    static const char *kCauseNames[] = {
+        "machine check", "protection fault", "kernel panic",
+        "consistency check", "watchdog timeout", "deadlock"};
+    for (int cause = 0; cause < 6; ++cause) {
+        std::printf("  %-18s %llu\n", kCauseNames[cause],
+                    static_cast<unsigned long long>(
+                        result.crashCauseCounts[cause]));
+    }
+
+    std::printf(
+        "\nPaper reference: disk 7 of 650 (1.1%%); Rio w/o protection "
+        "10 of 650 (1.5%%);\nRio w/ protection 4 of 650 (0.6%%); 8 "
+        "protection-mechanism saves.\n");
+    return 0;
+}

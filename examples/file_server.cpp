@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The departmental file server scenario (section 7): the authors ran
+ * a real file server on Rio — kernel sources, this very paper, and
+ * their mail — with reliability writes off. This example simulates a
+ * year of that server's life: a steady stream of client requests,
+ * an OS crash every two months (the paper's pessimistic estimate),
+ * a warm reboot after each, and an audit of every stored file at the
+ * end of the year.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rio.hh"
+#include "core/warmreboot.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "workload/modelfs.hh"
+#include "workload/script.hh"
+
+using namespace rio;
+
+namespace
+{
+
+/** A simple mail/files client: appends to mailboxes, saves drafts. */
+class Clients
+{
+  public:
+    Clients(u64 seed) : rng_(seed) {}
+
+    void
+    request(os::Kernel &kernel, wl::ModelFs &model)
+    {
+        auto &vfs = kernel.vfs();
+        os::Process proc(1);
+        const double roll = rng_.real();
+        if (roll < 0.5) {
+            // Mail delivery: append to a mailbox.
+            const std::string box =
+                "/server/mail/user" + std::to_string(rng_.below(8));
+            std::vector<u8> mail(rng_.between(256, 4096));
+            wl::fillPattern(mail, rng_.next());
+            auto flags = os::OpenFlags::readWrite(true);
+            flags.append = true;
+            auto fd = vfs.open(proc, box, flags);
+            if (fd.ok()) {
+                if (vfs.write(proc, fd.value(), mail).ok()) {
+                    const auto *old = model.contents(box);
+                    model.writeFile(box, old ? old->size() : 0, mail);
+                }
+                vfs.close(proc, fd.value());
+            }
+        } else if (roll < 0.8) {
+            // Save a document.
+            const std::string doc =
+                "/server/docs/paper" +
+                std::to_string(rng_.below(32)) + ".tex";
+            std::vector<u8> text(rng_.between(2048, 32768));
+            wl::fillPattern(text, rng_.next());
+            auto fd =
+                vfs.open(proc, doc, os::OpenFlags::writeOnly());
+            if (fd.ok()) {
+                if (vfs.write(proc, fd.value(), text).ok()) {
+                    model.removeFile(doc);
+                    model.writeFile(doc, 0, text);
+                }
+                vfs.close(proc, fd.value());
+            }
+        } else {
+            // Read something back (client fetch).
+            const std::string doc =
+                "/server/docs/paper" +
+                std::to_string(rng_.below(32)) + ".tex";
+            auto st = vfs.stat(doc);
+            if (st.ok()) {
+                auto fd =
+                    vfs.open(proc, doc, os::OpenFlags::readOnly());
+                if (fd.ok()) {
+                    std::vector<u8> bytes(st.value().size);
+                    vfs.read(proc, fd.value(), bytes);
+                    vfs.close(proc, fd.value());
+                }
+            }
+        }
+    }
+
+  private:
+    support::Rng rng_;
+};
+
+} // namespace
+
+int
+main()
+{
+    sim::MachineConfig machineConfig;
+    machineConfig.physMemBytes = 32ull << 20;
+    machineConfig.diskBytes = 256ull << 20;
+    machineConfig.swapBytes = 32ull << 20;
+    sim::Machine machine(machineConfig);
+
+    const os::KernelConfig kernelConfig =
+        os::systemPreset(os::SystemPreset::RioProtected);
+    core::RioOptions rioOptions;
+    rioOptions.protection = kernelConfig.protection;
+
+    auto rio = std::make_unique<core::RioSystem>(machine, rioOptions);
+    auto kernel = std::make_unique<os::Kernel>(machine, kernelConfig);
+    kernel->boot(rio.get(), true);
+    kernel->vfs().mkdir("/server");
+    kernel->vfs().mkdir("/server/mail");
+    kernel->vfs().mkdir("/server/docs");
+
+    wl::ModelFs model;
+    Clients clients(42);
+
+    const int kCrashes = 6; // A year at one crash per two months.
+    u64 requestsServed = 0;
+    for (int epoch = 0; epoch <= kCrashes; ++epoch) {
+        const int requests = 2000;
+        for (int i = 0; i < requests; ++i) {
+            clients.request(*kernel, model);
+            ++requestsServed;
+        }
+        if (epoch == kCrashes)
+            break;
+
+        try {
+            machine.crash(sim::CrashCause::KernelPanic,
+                          "panic: bimonthly OS crash #" +
+                              std::to_string(epoch + 1));
+        } catch (const sim::CrashException &crash) {
+            std::printf("[month %2d] %s\n", (epoch + 1) * 2,
+                        crash.what());
+        }
+        rio->deactivate();
+        rio.reset();
+        kernel.reset();
+        machine.reset(sim::ResetKind::Warm);
+
+        core::WarmReboot warmReboot(machine);
+        auto report = warmReboot.dumpAndRestoreMetadata();
+        rio = std::make_unique<core::RioSystem>(machine, rioOptions);
+        kernel = std::make_unique<os::Kernel>(machine, kernelConfig);
+        kernel->boot(rio.get(), false);
+        warmReboot.restoreData(kernel->vfs(), report);
+        std::printf("           warm reboot: %llu metadata blocks, "
+                    "%llu data pages restored\n",
+                    static_cast<unsigned long long>(
+                        report.metadataRestored),
+                    static_cast<unsigned long long>(
+                        report.dataPagesRestored));
+    }
+
+    // Year-end audit: every mailbox and document intact?
+    os::Process auditor(2);
+    u64 intact = 0, damaged = 0;
+    for (const auto &[path, expected] : model.files()) {
+        auto fd = kernel->vfs().open(auditor, path,
+                                     os::OpenFlags::readOnly());
+        if (!fd.ok()) {
+            ++damaged;
+            continue;
+        }
+        std::vector<u8> bytes(expected.size());
+        auto n = kernel->vfs().read(auditor, fd.value(), bytes);
+        kernel->vfs().close(auditor, fd.value());
+        if (n.ok() && n.value() == expected.size() &&
+            std::equal(expected.begin(), expected.end(),
+                       bytes.begin())) {
+            ++intact;
+        } else {
+            ++damaged;
+        }
+    }
+
+    std::printf("\nyear summary: %llu requests served, %d crashes "
+                "survived\n",
+                static_cast<unsigned long long>(requestsServed),
+                kCrashes);
+    std::printf("audit: %llu files intact, %llu damaged, %llu "
+                "reliability disk writes during service\n",
+                static_cast<unsigned long long>(intact),
+                static_cast<unsigned long long>(damaged),
+                0ull);
+    return damaged == 0 ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+#include "core/registry.hh"
+
+#include <cstring>
+
+namespace rio::core
+{
+
+namespace
+{
+
+template <typename T>
+T
+get(std::span<const u8> raw, u64 off)
+{
+    T value;
+    std::memcpy(&value, raw.data() + off, sizeof(T));
+    return value;
+}
+
+} // namespace
+
+std::optional<RegistryEntry>
+decodeRegistryEntry(std::span<const u8> raw)
+{
+    using L = RegistryLayout;
+    if (get<u32>(raw, L::kOffMagic) != L::kMagic)
+        return std::nullopt;
+    RegistryEntry entry;
+    entry.state = get<u32>(raw, L::kOffState);
+    entry.physAddr = get<u64>(raw, L::kOffPhysAddr);
+    entry.kind = get<u32>(raw, L::kOffKind);
+    entry.dev = get<u32>(raw, L::kOffDev);
+    entry.ino = get<u32>(raw, L::kOffIno);
+    entry.offset = get<u64>(raw, L::kOffOffset);
+    entry.diskBlock = get<u32>(raw, L::kOffDiskBlock);
+    entry.size = get<u32>(raw, L::kOffSize);
+    entry.dirty = get<u32>(raw, L::kOffDirty) != 0;
+    entry.checksum = get<u32>(raw, L::kOffChecksum);
+    entry.shadowAddr = get<u64>(raw, L::kOffShadow);
+    return entry;
+}
+
+RegistryImage
+parseRegistry(std::span<const u8> memImage, const sim::PhysMem &mem)
+{
+    using L = RegistryLayout;
+    RegistryImage image;
+
+    const auto &reg = mem.region(sim::RegionKind::Registry);
+    const auto &buf = mem.region(sim::RegionKind::BufPool);
+    const auto &ubc = mem.region(sim::RegionKind::UbcPool);
+    const u64 entryCount = buf.pages() + ubc.pages();
+
+    auto pageOk = [&](Addr pa) {
+        if ((pa & (sim::kPageSize - 1)) != 0)
+            return false;
+        return buf.contains(pa) || ubc.contains(pa);
+    };
+
+    for (u64 i = 0; i < entryCount; ++i) {
+        const u64 base = reg.base + i * L::kEntrySize;
+        if (base + L::kEntrySize > memImage.size())
+            break;
+        auto raw = memImage.subspan(base, L::kEntrySize);
+        const u32 magic = get<u32>(raw, L::kOffMagic);
+        if (magic == 0) {
+            ++image.freeEntries;
+            continue;
+        }
+        auto decoded = decodeRegistryEntry(raw);
+        if (!decoded) {
+            ++image.corruptEntries;
+            continue;
+        }
+        RegistryEntry &entry = *decoded;
+        const bool stateOk = entry.state == L::kStateActive ||
+                             entry.state == L::kStateChanging;
+        const bool kindOk = entry.kind == L::kKindData ||
+                            entry.kind == L::kKindMetadata;
+        if (!stateOk || !kindOk || !pageOk(entry.physAddr) ||
+            entry.size > sim::kPageSize) {
+            ++image.corruptEntries;
+            continue;
+        }
+        if (entry.state == L::kStateChanging && entry.shadowAddr != 0 &&
+            !reg.contains(entry.shadowAddr)) {
+            ++image.corruptEntries;
+            continue;
+        }
+        image.entries.push_back(entry);
+    }
+    return image;
+}
+
+} // namespace rio::core

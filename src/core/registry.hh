@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The Rio registry: the metadata that makes the warm reboot possible
+ * (paper section 2.2). One 64-byte entry per file-cache page (the
+ * paper quotes 40 bytes per 8 KB page; we round up for alignment),
+ * living in the protected Registry region of physical memory, holding
+ * everything needed to find, identify and restore the page after a
+ * crash: physical address, file identity (device + inode + offset)
+ * or disk block (metadata), valid size, dirty bit, the detection
+ * checksum, and the shadow pointer used for atomic metadata updates.
+ */
+
+#ifndef RIO_CORE_REGISTRY_HH
+#define RIO_CORE_REGISTRY_HH
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/physmem.hh"
+#include "support/types.hh"
+
+namespace rio::core
+{
+
+struct RegistryLayout
+{
+    static constexpr u32 kMagic = 0x4E910757;
+    static constexpr u64 kEntrySize = 64;
+
+    /** @{ Field offsets within an entry. */
+    static constexpr u64 kOffMagic = 0;
+    static constexpr u64 kOffState = 4;
+    static constexpr u64 kOffPhysAddr = 8;
+    static constexpr u64 kOffKind = 16;
+    static constexpr u64 kOffDev = 20;
+    static constexpr u64 kOffIno = 24;
+    static constexpr u64 kOffOffset = 32;
+    static constexpr u64 kOffDiskBlock = 40;
+    static constexpr u64 kOffSize = 44;
+    static constexpr u64 kOffDirty = 48;
+    static constexpr u64 kOffChecksum = 52;
+    static constexpr u64 kOffShadow = 56;
+    /** @} */
+
+    /** @{ States. */
+    static constexpr u32 kStateFree = 0;
+    static constexpr u32 kStateActive = 1;
+    static constexpr u32 kStateChanging = 2;
+    /** @} */
+
+    /** @{ Kinds. */
+    static constexpr u32 kKindData = 0;
+    static constexpr u32 kKindMetadata = 1;
+    /** @} */
+
+    /** Shadow slots reserved at the end of the registry region. */
+    static constexpr u64 kShadowPages = 4;
+};
+
+/** A decoded registry entry (host-side view). */
+struct RegistryEntry
+{
+    u32 state = RegistryLayout::kStateFree;
+    Addr physAddr = 0;
+    u32 kind = RegistryLayout::kKindData;
+    DevNo dev = 0;
+    InodeNo ino = 0;
+    u64 offset = 0;
+    BlockNo diskBlock = 0;
+    u32 size = 0;
+    bool dirty = false;
+    u32 checksum = 0;
+    Addr shadowAddr = 0;
+};
+
+/**
+ * Decode one entry from raw bytes (from a memory dump). Returns
+ * nullopt for free slots and entries whose magic is corrupted.
+ */
+std::optional<RegistryEntry>
+decodeRegistryEntry(std::span<const u8> raw);
+
+/**
+ * Parse the registry out of a full physical-memory image, validating
+ * each entry against the machine's region map.
+ */
+struct RegistryImage
+{
+    std::vector<RegistryEntry> entries;
+    u64 corruptEntries = 0; ///< Bad magic/state/address: skipped.
+    u64 freeEntries = 0;
+};
+
+RegistryImage parseRegistry(std::span<const u8> memImage,
+                            const sim::PhysMem &mem);
+
+} // namespace rio::core
+
+#endif // RIO_CORE_REGISTRY_HH

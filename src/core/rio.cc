@@ -1,0 +1,433 @@
+#include "core/rio.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "support/checksum.hh"
+
+namespace rio::core
+{
+
+using L = RegistryLayout;
+
+RioSystem::RioSystem(sim::Machine &machine, const RioOptions &options)
+    : machine_(machine), options_(options)
+{
+    const auto &mem = machine_.mem();
+    const auto &reg = mem.region(sim::RegionKind::Registry);
+    const auto &buf = mem.region(sim::RegionKind::BufPool);
+    const auto &ubc = mem.region(sim::RegionKind::UbcPool);
+    regBase_ = reg.base;
+    regPages_ = reg.pages();
+    bufBase_ = buf.base;
+    bufPages_ = buf.pages();
+    ubcBase_ = ubc.base;
+    ubcPages_ = ubc.pages();
+    shadowBase_ = reg.end() - L::kShadowPages * sim::kPageSize;
+    shadowInUse_.assign(L::kShadowPages, false);
+    assert((bufPages_ + ubcPages_) * L::kEntrySize <=
+           reg.size - L::kShadowPages * sim::kPageSize);
+}
+
+RioSystem::~RioSystem()
+{
+    deactivate();
+}
+
+bool
+RioSystem::isFileCachePage(Addr pa) const
+{
+    return (pa >= bufBase_ && pa < bufBase_ + bufPages_ * sim::kPageSize) ||
+           (pa >= ubcBase_ && pa < ubcBase_ + ubcPages_ * sim::kPageSize);
+}
+
+u64
+RioSystem::entryIndexFor(Addr page) const
+{
+    if (page >= bufBase_ &&
+        page < bufBase_ + bufPages_ * sim::kPageSize) {
+        return (page - bufBase_) >> sim::kPageShift;
+    }
+    if (page >= ubcBase_ &&
+        page < ubcBase_ + ubcPages_ * sim::kPageSize) {
+        return bufPages_ + ((page - ubcBase_) >> sim::kPageShift);
+    }
+    machine_.crash(sim::CrashCause::ConsistencyCheck,
+                   "rio: registry lookup for non-file-cache address");
+}
+
+Addr
+RioSystem::entryAddr(u64 index) const
+{
+    return regBase_ + index * L::kEntrySize;
+}
+
+Addr
+RioSystem::registryPageOf(u64 index) const
+{
+    return entryAddr(index) & ~(sim::kPageSize - 1);
+}
+
+void
+RioSystem::openPage(Addr page)
+{
+    ++stats_.pageOpens;
+    switch (options_.protection) {
+      case os::ProtectionMode::Off:
+        return; // No mechanism, no cost.
+      case os::ProtectionMode::VmTlb: {
+        machine_.clock().advance(
+            machine_.config().costs.protToggleNs / 2);
+        const u64 vpn = page >> sim::kPageShift;
+        machine_.pageTable().setWritable(vpn, true);
+        machine_.tlb().invalidatePage(vpn);
+        return;
+      }
+      case os::ProtectionMode::CodePatch:
+        machine_.clock().advance(
+            machine_.config().costs.protToggleNs / 4);
+        openPages_.insert(page);
+        return;
+    }
+}
+
+void
+RioSystem::closePage(Addr page)
+{
+    switch (options_.protection) {
+      case os::ProtectionMode::Off:
+        return;
+      case os::ProtectionMode::VmTlb: {
+        machine_.clock().advance(
+            machine_.config().costs.protToggleNs / 2);
+        const u64 vpn = page >> sim::kPageShift;
+        machine_.pageTable().setWritable(vpn, false);
+        machine_.tlb().invalidatePage(vpn);
+        return;
+      }
+      case os::ProtectionMode::CodePatch:
+        machine_.clock().advance(
+            machine_.config().costs.protToggleNs / 4);
+        openPages_.erase(page);
+        return;
+    }
+}
+
+u32
+RioSystem::readEntryField32(u64 index, u64 off) const
+{
+    u32 value;
+    std::memcpy(&value, machine_.mem().raw() + entryAddr(index) + off,
+                4);
+    return value;
+}
+
+u64
+RioSystem::readEntryField64(u64 index, u64 off) const
+{
+    u64 value;
+    std::memcpy(&value, machine_.mem().raw() + entryAddr(index) + off,
+                8);
+    return value;
+}
+
+void
+RioSystem::writeEntryField32(u64 index, u64 off, u32 value)
+{
+    machine_.bus().store32(entryAddr(index) + off, value);
+}
+
+void
+RioSystem::writeEntryField64(u64 index, u64 off, u64 value)
+{
+    machine_.bus().store64(entryAddr(index) + off, value);
+}
+
+void
+RioSystem::activate()
+{
+    auto &bus = machine_.bus();
+    auto &pt = machine_.pageTable();
+
+    // Fresh registry. (A warm reboot scans the old registry out of
+    // the memory dump before this runs.)
+    const auto &reg = machine_.mem().region(sim::RegionKind::Registry);
+    bus.set(reg.base, 0, reg.size);
+
+    switch (options_.protection) {
+      case os::ProtectionMode::Off:
+        break;
+      case os::ProtectionMode::VmTlb: {
+        // Force every address — including KSEG physical addresses,
+        // which the UBC is accessed through — to translate via the
+        // TLB (the ABOX control-register bit, section 2.1), then
+        // write-protect the registry and both file-cache pools.
+        machine_.cpu().setMapKsegThroughTlb(true);
+        auto protect = [&](Addr base, u64 pages) {
+            for (u64 i = 0; i < pages; ++i) {
+                const u64 vpn = (base >> sim::kPageShift) + i;
+                pt.setWritable(vpn, false);
+                machine_.tlb().invalidatePage(vpn);
+            }
+        };
+        protect(regBase_, regPages_);
+        protect(bufBase_, bufPages_);
+        protect(ubcBase_, ubcPages_);
+        break;
+      }
+      case os::ProtectionMode::CodePatch:
+        bus.setCodePatching(true);
+        break;
+    }
+    bus.setPolicy(this);
+    openPages_.clear();
+    shadowInUse_.assign(L::kShadowPages, false);
+    active_ = true;
+}
+
+void
+RioSystem::deactivate()
+{
+    if (!active_)
+        return;
+    auto &bus = machine_.bus();
+    bus.setPolicy(nullptr);
+    bus.setCodePatching(false);
+    machine_.cpu().setMapKsegThroughTlb(false);
+    if (options_.protection == os::ProtectionMode::VmTlb) {
+        auto unprotect = [&](Addr base, u64 pages) {
+            for (u64 i = 0; i < pages; ++i) {
+                const u64 vpn = (base >> sim::kPageShift) + i;
+                machine_.pageTable().setWritable(vpn, true);
+                machine_.tlb().invalidatePage(vpn);
+            }
+        };
+        unprotect(regBase_, regPages_);
+        unprotect(bufBase_, bufPages_);
+        unprotect(ubcBase_, ubcPages_);
+    }
+    active_ = false;
+}
+
+Addr
+RioSystem::allocShadow()
+{
+    for (u64 i = 0; i < shadowInUse_.size(); ++i) {
+        if (!shadowInUse_[i]) {
+            shadowInUse_[i] = true;
+            return shadowBase_ + i * sim::kPageSize;
+        }
+    }
+    machine_.crash(sim::CrashCause::KernelPanic,
+                   "panic: rio: out of shadow pages");
+}
+
+void
+RioSystem::freeShadow(Addr shadow)
+{
+    const u64 slot = (shadow - shadowBase_) >> sim::kPageShift;
+    assert(slot < shadowInUse_.size());
+    shadowInUse_[slot] = false;
+}
+
+void
+RioSystem::install(Addr page, const os::CacheTag &tag)
+{
+    const u64 index = entryIndexFor(page);
+
+    // Re-installing the same identity (e.g. a write window opening on
+    // an already-registered buffer) must not reset the entry — the
+    // dirty bit in particular is what the warm reboot keys off.
+    const u32 wantKind = tag.kind == os::CacheKind::Metadata
+                             ? L::kKindMetadata
+                             : L::kKindData;
+    if (readEntryField32(index, L::kOffMagic) == L::kMagic &&
+        readEntryField64(index, L::kOffPhysAddr) == page &&
+        readEntryField32(index, L::kOffKind) == wantKind &&
+        readEntryField32(index, L::kOffDev) == tag.dev &&
+        readEntryField32(index, L::kOffIno) == tag.ino &&
+        readEntryField64(index, L::kOffOffset) == tag.offset &&
+        readEntryField32(index, L::kOffDiskBlock) == tag.diskBlock) {
+        return;
+    }
+
+    ++stats_.registryInstalls;
+    const Addr regPage = registryPageOf(index);
+    openPage(regPage);
+    writeEntryField32(index, L::kOffMagic, L::kMagic);
+    writeEntryField32(index, L::kOffState, L::kStateActive);
+    writeEntryField64(index, L::kOffPhysAddr, page);
+    writeEntryField32(index, L::kOffKind,
+                      tag.kind == os::CacheKind::Metadata
+                          ? L::kKindMetadata
+                          : L::kKindData);
+    writeEntryField32(index, L::kOffDev, tag.dev);
+    writeEntryField32(index, L::kOffIno, tag.ino);
+    writeEntryField64(index, L::kOffOffset, tag.offset);
+    writeEntryField32(index, L::kOffDiskBlock, tag.diskBlock);
+    writeEntryField32(index, L::kOffSize, tag.size);
+    writeEntryField32(index, L::kOffDirty, 0);
+    writeEntryField32(index, L::kOffChecksum, 0);
+    writeEntryField64(index, L::kOffShadow, 0);
+    closePage(regPage);
+}
+
+void
+RioSystem::setDirty(Addr page, bool dirty)
+{
+    const u64 index = entryIndexFor(page);
+    // Skip the protected write when the bit already has this value
+    // (buffers are re-dirtied constantly).
+    if ((readEntryField32(index, L::kOffDirty) != 0) == dirty)
+        return;
+    ++stats_.registryUpdates;
+    const Addr regPage = registryPageOf(index);
+    openPage(regPage);
+    writeEntryField32(index, L::kOffDirty, dirty ? 1 : 0);
+    closePage(regPage);
+}
+
+void
+RioSystem::invalidate(Addr page)
+{
+    ++stats_.registryUpdates;
+    const u64 index = entryIndexFor(page);
+    const Addr regPage = registryPageOf(index);
+    openPage(regPage);
+    writeEntryField32(index, L::kOffMagic, 0);
+    writeEntryField32(index, L::kOffState, L::kStateFree);
+    closePage(regPage);
+}
+
+void
+RioSystem::setDiskBlock(Addr page, BlockNo block)
+{
+    ++stats_.registryUpdates;
+    const u64 index = entryIndexFor(page);
+    const Addr regPage = registryPageOf(index);
+    openPage(regPage);
+    writeEntryField32(index, L::kOffDiskBlock, block);
+    closePage(regPage);
+}
+
+void
+RioSystem::beginWrite(Addr page)
+{
+    ++stats_.registryUpdates;
+    const u64 index = entryIndexFor(page);
+    const u32 kind = readEntryField32(index, L::kOffKind);
+
+    Addr shadow = 0;
+    // Shadow only *dirty* metadata: for a clean buffer the disk
+    // still holds a consistent copy, and the warm reboot only
+    // restores dirty entries anyway — a torn clean buffer is simply
+    // not restored, leaving the intact on-disk version.
+    if (options_.shadowMetadata && kind == L::kKindMetadata &&
+        readEntryField32(index, L::kOffMagic) == L::kMagic &&
+        readEntryField32(index, L::kOffDirty) != 0) {
+        // Copy the consistent contents aside and divert the registry
+        // to the shadow before the original is modified.
+        ++stats_.shadowCopies;
+        shadow = allocShadow();
+        openPage(shadow);
+        machine_.bus().copy(shadow, page, sim::kPageSize);
+        closePage(shadow);
+    }
+
+    const Addr regPage = registryPageOf(index);
+    openPage(regPage);
+    writeEntryField64(index, L::kOffShadow, shadow);
+    writeEntryField32(index, L::kOffState, L::kStateChanging);
+    closePage(regPage);
+
+    openPage(page);
+}
+
+void
+RioSystem::endWrite(Addr page, u32 validBytes)
+{
+    ++stats_.registryUpdates;
+    const u64 index = entryIndexFor(page);
+
+    closePage(page);
+
+    u32 checksum = 0;
+    if (options_.maintainChecksums) {
+        const u64 n = std::min<u64>(validBytes, sim::kPageSize);
+        checksum = support::checksum32(
+            std::span<const u8>(machine_.mem().raw() + page, n));
+    }
+
+    const Addr shadow = readEntryField64(index, L::kOffShadow);
+    const Addr regPage = registryPageOf(index);
+    openPage(regPage);
+    writeEntryField32(index, L::kOffSize, validBytes);
+    writeEntryField32(index, L::kOffChecksum, checksum);
+    writeEntryField64(index, L::kOffShadow, 0);
+    // The atomic commit: the entry points back at the original.
+    writeEntryField32(index, L::kOffState, L::kStateActive);
+    closePage(regPage);
+    if (shadow != 0)
+        freeShadow(shadow);
+}
+
+bool
+RioSystem::patchCheckBlocksStore(Addr pa) const
+{
+    if (!active_)
+        return false;
+    const Addr page = pa & ~(sim::kPageSize - 1);
+    const bool protectedRange =
+        isFileCachePage(page) ||
+        (page >= regBase_ &&
+         page < regBase_ + regPages_ * sim::kPageSize);
+    if (!protectedRange)
+        return false;
+    return openPages_.find(page) == openPages_.end();
+}
+
+void
+RioSystem::onProtectionStop(Addr pa)
+{
+    (void)pa;
+    ++stats_.protectionSaves;
+}
+
+std::optional<RegistryEntry>
+RioSystem::entryFor(Addr page) const
+{
+    const u64 index = entryIndexFor(page);
+    const u8 *raw = machine_.mem().raw() + entryAddr(index);
+    return decodeRegistryEntry(
+        std::span<const u8>(raw, L::kEntrySize));
+}
+
+RioSystem::ChecksumSweep
+RioSystem::verifyChecksums() const
+{
+    ChecksumSweep sweep;
+    const u64 entries = bufPages_ + ubcPages_;
+    for (u64 index = 0; index < entries; ++index) {
+        const u8 *raw = machine_.mem().raw() + entryAddr(index);
+        auto entry = decodeRegistryEntry(
+            std::span<const u8>(raw, L::kEntrySize));
+        if (!entry || entry->checksum == 0)
+            continue;
+        if (entry->state == L::kStateChanging) {
+            ++sweep.changingSkipped;
+            continue;
+        }
+        ++sweep.checked;
+        const u64 n = std::min<u64>(entry->size, sim::kPageSize);
+        const u32 actual = support::checksum32(std::span<const u8>(
+            machine_.mem().raw() + entry->physAddr, n));
+        if (actual != entry->checksum) {
+            ++sweep.mismatches;
+            sweep.badPages.push_back(entry->physAddr);
+        }
+    }
+    return sweep;
+}
+
+} // namespace rio::core

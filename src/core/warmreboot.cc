@@ -1,0 +1,122 @@
+#include "core/warmreboot.hh"
+
+#include <algorithm>
+
+#include "support/checksum.hh"
+
+namespace rio::core
+{
+
+using L = RegistryLayout;
+
+WarmReboot::WarmReboot(sim::Machine &machine) : machine_(machine) {}
+
+WarmRebootReport
+WarmReboot::dumpAndRestoreMetadata()
+{
+    WarmRebootReport report;
+    report.memoryPreserved = machine_.config().memorySurvivesReset;
+
+    auto &mem = machine_.mem();
+    auto &swap = machine_.swap();
+    auto &clock = machine_.clock();
+
+    // --- Dump all of physical memory to the swap partition. -------
+    // Performed by the (healthy) booting kernel, so it always works.
+    const auto image = mem.image();
+    report.dumpBytes = image.size();
+    swap.write(0, image.size() / sim::kSectorSize, image, clock);
+    dump_.assign(image.begin(), image.end());
+
+    // --- Scan the registry out of the dump. -----------------------
+    image_ = parseRegistry(dump_, mem);
+    report.entriesSeen = image_.entries.size();
+    report.corruptEntries = image_.corruptEntries;
+
+    // --- Restore dirty metadata to its disk address. ---------------
+    auto &disk = machine_.disk();
+    const u64 diskBlocks = disk.numSectors() / sim::kSectorsPerBlock;
+    for (const RegistryEntry &entry : image_.entries) {
+        if (entry.kind != L::kKindMetadata || !entry.dirty)
+            continue;
+        if (entry.diskBlock >= diskBlocks)
+            continue; // Unrestorable: block address is insane.
+
+        Addr source = entry.physAddr;
+        if (entry.state == L::kStateChanging) {
+            // The crash hit mid-update: the shadow holds the last
+            // consistent contents.
+            if (entry.shadowAddr == 0 ||
+                entry.shadowAddr + sim::kPageSize > dump_.size()) {
+                continue;
+            }
+            source = entry.shadowAddr;
+            ++report.metadataFromShadow;
+        } else if (entry.checksum != 0) {
+            const u64 n = std::min<u64>(entry.size, sim::kPageSize);
+            const u32 actual = support::checksum32(
+                std::span<const u8>(dump_.data() + source, n));
+            if (actual != entry.checksum)
+                ++report.metadataChecksumBad;
+        }
+        disk.write(static_cast<SectorNo>(entry.diskBlock) *
+                       sim::kSectorsPerBlock,
+                   sim::kSectorsPerBlock,
+                   std::span<const u8>(dump_.data() + source,
+                                       sim::kPageSize),
+                   clock);
+        ++report.metadataRestored;
+    }
+    return report;
+}
+
+void
+WarmReboot::restoreData(os::Vfs &vfs, WarmRebootReport &report)
+{
+    auto &swap = machine_.swap();
+    auto &clock = machine_.clock();
+
+    // Sort by (inode, offset) so files are rebuilt front to back.
+    std::vector<const RegistryEntry *> dataEntries;
+    for (const RegistryEntry &entry : image_.entries) {
+        if (entry.kind == L::kKindData && entry.dirty &&
+            entry.size > 0) {
+            dataEntries.push_back(&entry);
+        }
+    }
+    std::sort(dataEntries.begin(), dataEntries.end(),
+              [](const RegistryEntry *a, const RegistryEntry *b) {
+                  if (a->ino != b->ino)
+                      return a->ino < b->ino;
+                  return a->offset < b->offset;
+              });
+
+    std::vector<u8> page(sim::kPageSize, 0);
+    for (const RegistryEntry *entry : dataEntries) {
+        // The user-level process reads the page out of the dump on
+        // the swap partition...
+        swap.read(entry->physAddr / sim::kSectorSize,
+                  sim::kPageSize / sim::kSectorSize, page, clock);
+        if (entry->state == L::kStateChanging) {
+            ++report.dataChanging;
+        } else if (entry->checksum != 0) {
+            const u64 n = std::min<u64>(entry->size, sim::kPageSize);
+            const u32 actual = support::checksum32(
+                std::span<const u8>(page.data(), n));
+            if (actual != entry->checksum)
+                ++report.dataChecksumBad;
+        }
+        // ...and writes it back through ordinary system calls.
+        auto written = vfs.restoreDataByIno(
+            entry->ino, entry->offset,
+            std::span<const u8>(page.data(), entry->size));
+        if (!written.ok()) {
+            ++report.staleInodes;
+            continue;
+        }
+        ++report.dataPagesRestored;
+        report.dataBytesRestored += entry->size;
+    }
+}
+
+} // namespace rio::core

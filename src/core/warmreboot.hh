@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Warm reboot (paper section 2.2), in the paper's two steps:
+ *
+ *  1. Before the VM and file system initialize, the booting kernel
+ *     dumps all of physical memory to the swap partition — unlike a
+ *     crash dump, this runs on a *healthy* system and always works —
+ *     and restores dirty metadata to its disk address straight from
+ *     the registry, so the file system is intact before fsck runs.
+ *  2. After the system is fully booted, a user-level process analyzes
+ *     the dump and restores file data through ordinary system calls.
+ *
+ * The caller sequence is:
+ *     machine.reset(Warm);
+ *     WarmReboot wr(machine);
+ *     auto report = wr.dumpAndRestoreMetadata();
+ *     rio.activate();               // fresh registry + protection
+ *     kernel.boot(&rio, false);     // journal/fsck/mount
+ *     wr.restoreData(kernel.vfs(), report);
+ */
+
+#ifndef RIO_CORE_WARMREBOOT_HH
+#define RIO_CORE_WARMREBOOT_HH
+
+#include <vector>
+
+#include "core/registry.hh"
+#include "os/vfs.hh"
+#include "sim/machine.hh"
+
+namespace rio::core
+{
+
+struct WarmRebootReport
+{
+    bool memoryPreserved = false;
+    u64 dumpBytes = 0;
+    u64 entriesSeen = 0;
+    u64 corruptEntries = 0;
+    u64 metadataRestored = 0;
+    u64 metadataFromShadow = 0; ///< Crash mid-update: shadow used.
+    u64 metadataChecksumBad = 0;
+    u64 dataPagesRestored = 0;
+    u64 dataBytesRestored = 0;
+    u64 dataChanging = 0; ///< Page was mid-write at the crash.
+    u64 dataChecksumBad = 0;
+    u64 staleInodes = 0; ///< Data pages whose inode did not survive.
+};
+
+class WarmReboot
+{
+  public:
+    explicit WarmReboot(sim::Machine &machine);
+
+    /**
+     * Step 1: dump memory to swap and push dirty metadata back to
+     * its disk blocks. Call after Machine::reset(ResetKind::Warm)
+     * and before the kernel boots.
+     */
+    WarmRebootReport dumpAndRestoreMetadata();
+
+    /**
+     * Step 2: the user-level restore. Replays every dirty data page
+     * from the dump into the freshly mounted file system via normal
+     * write calls.
+     */
+    void restoreData(os::Vfs &vfs, WarmRebootReport &report);
+
+    /** The memory image captured by the dump (for inspection). */
+    std::span<const u8> dumpImage() const { return dump_; }
+
+  private:
+    sim::Machine &machine_;
+    std::vector<u8> dump_;
+    RegistryImage image_;
+};
+
+} // namespace rio::core
+
+#endif // RIO_CORE_WARMREBOOT_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The fault injector: applies one fault instance of a given type to
+ * a running kernel. The experiment harness injects 20 faults per run
+ * (paper section 3.1), spread over the first seconds of the
+ * workload, then lets the system run until it crashes or the
+ * ten-minute observation window expires (such runs are discarded).
+ */
+
+#ifndef RIO_FAULT_INJECTOR_HH
+#define RIO_FAULT_INJECTOR_HH
+
+#include "fault/models.hh"
+#include "os/kernel.hh"
+#include "support/rng.hh"
+
+namespace rio::fault
+{
+
+struct InjectorStats
+{
+    u64 injected = 0;
+    u64 textBitsFlipped = 0;
+    u64 heapBitsFlipped = 0;
+    u64 stackBitsFlipped = 0;
+    u64 manifestationsArmed = 0;
+    u64 headersCorrupted = 0;
+};
+
+class FaultInjector
+{
+  public:
+    FaultInjector(os::Kernel &kernel, support::Rng rng);
+
+    /** Inject one fault instance of @p type right now. */
+    void inject(FaultType type);
+
+    const InjectorStats &stats() const { return stats_; }
+
+  private:
+    void flipBitIn(sim::RegionKind region);
+    void armOnRandomProc(FaultType type);
+    void corruptPointer();
+
+    os::Kernel &kernel_;
+    support::Rng rng_;
+    InjectorStats stats_;
+    bool overrunArmed_ = false;
+    bool offByOneArmed_ = false;
+    bool syncArmed_ = false;
+    bool allocArmed_ = false;
+};
+
+} // namespace rio::fault
+
+#endif // RIO_FAULT_INJECTOR_HH

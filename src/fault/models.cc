@@ -1,0 +1,96 @@
+#include "fault/models.hh"
+
+#include <array>
+#include <cassert>
+
+namespace rio::fault
+{
+
+const char *
+faultTypeName(FaultType type)
+{
+    switch (type) {
+      case FaultType::BitFlipText: return "kernel text";
+      case FaultType::BitFlipHeap: return "kernel heap";
+      case FaultType::BitFlipStack: return "kernel stack";
+      case FaultType::DestReg: return "destination reg.";
+      case FaultType::SrcReg: return "source reg.";
+      case FaultType::DeleteBranch: return "delete branch";
+      case FaultType::DeleteRandomInst: return "delete random inst.";
+      case FaultType::Initialization: return "initialization";
+      case FaultType::PointerCorruption: return "pointer";
+      case FaultType::AllocationMgmt: return "allocation";
+      case FaultType::CopyOverrun: return "copy overrun";
+      case FaultType::OffByOne: return "off-by-one";
+      case FaultType::Synchronization: return "synchronization";
+      case FaultType::NumTypes: break;
+    }
+    return "?";
+}
+
+const ManifestationWeights &
+manifestationWeights(FaultType type)
+{
+    // Most injected faults are benign (they land on cold paths or
+    // dead bits); harmful ones usually raise an illegal address or a
+    // consistency panic quickly. The harmful mass per fault is a few
+    // percent so that, with 20 faults per run, roughly half the runs
+    // crash within the observation window — the paper's discard rate.
+    //                              none  wild  garb  skip  hang panic stack
+    static const ManifestationWeights kText{
+        0.955, 0.012, 0.006, 0.008, 0.004, 0.012, 0.003};
+    static const ManifestationWeights kStack{
+        0.960, 0.010, 0.004, 0.008, 0.004, 0.010, 0.004};
+    static const ManifestationWeights kDestReg{
+        0.940, 0.025, 0.015, 0.006, 0.002, 0.010, 0.002};
+    static const ManifestationWeights kSrcReg{
+        0.945, 0.010, 0.025, 0.008, 0.002, 0.008, 0.002};
+    static const ManifestationWeights kDeleteBranch{
+        0.945, 0.008, 0.006, 0.022, 0.008, 0.010, 0.001};
+    static const ManifestationWeights kDeleteInst{
+        0.945, 0.012, 0.010, 0.015, 0.006, 0.010, 0.002};
+    static const ManifestationWeights kPointer{
+        0.900, 0.060, 0.020, 0.005, 0.002, 0.011, 0.002};
+
+    switch (type) {
+      case FaultType::BitFlipText: return kText;
+      case FaultType::BitFlipStack: return kStack;
+      case FaultType::DestReg: return kDestReg;
+      case FaultType::SrcReg: return kSrcReg;
+      case FaultType::DeleteBranch: return kDeleteBranch;
+      case FaultType::DeleteRandomInst: return kDeleteInst;
+      case FaultType::PointerCorruption: return kPointer;
+      default:
+        assert(false && "type has a causal injection, not weights");
+        return kText;
+    }
+}
+
+os::Manifestation
+drawManifestation(const ManifestationWeights &weights,
+                  support::Rng &rng)
+{
+    const std::array<double, 7> table{
+        weights.none,     weights.wildStore, weights.garbageStore,
+        weights.skipWork, weights.hang,      weights.panicNow,
+        weights.corruptStack};
+    const std::size_t pick = rng.weighted(table);
+
+    os::Manifestation m;
+    using Kind = os::Manifestation::Kind;
+    switch (pick) {
+      case 0: m.kind = Kind::None; break;
+      case 1:
+        m.kind = Kind::WildStore;
+        m.count = static_cast<u8>(rng.between(1, 3));
+        break;
+      case 2: m.kind = Kind::GarbageStore; break;
+      case 3: m.kind = Kind::SkipWork; break;
+      case 4: m.kind = Kind::Hang; break;
+      case 5: m.kind = Kind::PanicNow; break;
+      case 6: m.kind = Kind::CorruptStack; break;
+    }
+    return m;
+}
+
+} // namespace rio::fault

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's 13 fault categories (section 3.1) and how each maps
+ * onto the simulation.
+ *
+ * Directly causal injections (real bytes / real behaviour change):
+ *   - kernel heap & stack bit flips (random bits in those regions)
+ *   - initialization (a fresh heap object keeps a garbage field)
+ *   - pointer corruption (a live buffer header's pointer field is
+ *     clobbered, so the kernel's next use of it goes wild)
+ *   - allocation management (malloc prematurely frees a live block
+ *     0-256 ms later, every ~1000-4000 calls)
+ *   - copy overrun (bcopy writes past the destination: 50% 1 byte,
+ *     44% 2-1024 bytes, 6% 2-4 KB, every ~1000-4000 calls)
+ *   - off-by-one (copy loops run one element long)
+ *   - synchronization (lock acquires/releases are skipped; missed
+ *     releases deadlock, missed acquires race)
+ *
+ * Instruction-level faults (text bit flips, changed source or
+ * destination registers, deleted branches, deleted instructions)
+ * cannot be injected into natively compiled C++, so they flip bits in
+ * the synthetic kernel text and arm a *manifestation* on the owning
+ * procedure, drawn from the per-type distributions in models.cc
+ * (wild store / garbage store into kernel data / skipped work / hang
+ * / immediate consistency panic / corrupted stack frame). The
+ * distributions are biased so that most injected faults are benign —
+ * the paper discards roughly half its runs because no crash occurs
+ * within ten minutes — and harmful ones usually stop the system
+ * quickly via an illegal address or a consistency check, matching
+ * the paper's observations ([Kao93], [Lee93], section 3.3).
+ */
+
+#ifndef RIO_FAULT_MODELS_HH
+#define RIO_FAULT_MODELS_HH
+
+#include "os/kproc.hh"
+#include "support/types.hh"
+
+namespace rio::fault
+{
+
+enum class FaultType : u8
+{
+    BitFlipText,      ///< Flip bits in kernel text.
+    BitFlipHeap,      ///< Flip bits in the kernel heap.
+    BitFlipStack,     ///< Flip bits in the kernel stack.
+    DestReg,          ///< Assignment writes to the wrong register.
+    SrcReg,           ///< Assignment reads the wrong register.
+    DeleteBranch,     ///< A conditional branch is deleted.
+    DeleteRandomInst, ///< A random instruction is deleted.
+    Initialization,   ///< A variable is not initialized.
+    PointerCorruption,///< A base-register computation is lost.
+    AllocationMgmt,   ///< A live block is prematurely freed.
+    CopyOverrun,      ///< bcopy copies too many bytes.
+    OffByOne,         ///< An off-by-one loop condition.
+    Synchronization,  ///< Missing lock acquire/release.
+    NumTypes,
+};
+
+constexpr std::size_t kNumFaultTypes =
+    static_cast<std::size_t>(FaultType::NumTypes);
+
+/** Paper's row label for the type. */
+const char *faultTypeName(FaultType type);
+
+/**
+ * Manifestation distribution for an instruction-level fault type:
+ * weights over {None, WildStore, GarbageStore, SkipWork, Hang,
+ * PanicNow, CorruptStack}, in that order.
+ */
+struct ManifestationWeights
+{
+    double none;
+    double wildStore;
+    double garbageStore;
+    double skipWork;
+    double hang;
+    double panicNow;
+    double corruptStack;
+};
+
+/** The distribution used for @p type (instruction-level types). */
+const ManifestationWeights &manifestationWeights(FaultType type);
+
+/** Draw a manifestation from @p weights. */
+os::Manifestation drawManifestation(const ManifestationWeights &weights,
+                                    support::Rng &rng);
+
+} // namespace rio::fault
+
+#endif // RIO_FAULT_MODELS_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Table 1 experiment: for each of the paper's three systems
+ * (disk-based write-through, Rio without protection, Rio with
+ * protection) and each of the 13 fault types, crash the machine
+ * under fault injection, reboot (warm reboot for the Rio systems),
+ * and measure how often file data was corrupted.
+ *
+ * Methodology follows section 3: 20 faults per run injected into a
+ * running system (memTest plus four looping copies of Andrew);
+ * runs that do not crash within the observation window are
+ * discarded and retried; corruption is detected by the registry
+ * checksums (direct corruption) and by memTest's replay comparison
+ * (direct and indirect corruption).
+ */
+
+#ifndef RIO_HARNESS_CRASHCAMPAIGN_HH
+#define RIO_HARNESS_CRASHCAMPAIGN_HH
+
+#include <array>
+#include <set>
+#include <string>
+
+#include "core/warmreboot.hh"
+#include "fault/injector.hh"
+#include "harness/hconfig.hh"
+#include "workload/memtest.hh"
+
+namespace rio::harness
+{
+
+/** The three systems compared in Table 1. */
+enum class SystemKind : u8
+{
+    DiskWriteThrough, ///< Default kernel; memTest fsyncs every write.
+    RioNoProtection,
+    RioWithProtection,
+};
+
+const char *systemKindName(SystemKind kind);
+
+struct CrashRunResult
+{
+    bool crashed = false;
+    bool discarded = false; ///< No crash in the observation window.
+    sim::CrashCause cause = sim::CrashCause::KernelPanic;
+    std::string message;
+    SimNs crashAfterNs = 0; ///< Time from first injection to crash.
+
+    bool corrupt = false;
+    bool checksumDetected = false; ///< Direct corruption (registry).
+    bool memtestDetected = false;  ///< Replay comparison failed.
+    u64 corruptFiles = 0;
+    u64 protectionSaves = 0;
+
+    core::WarmRebootReport warm;
+    wl::MemTest::VerifyResult verify;
+};
+
+struct CampaignCell
+{
+    u64 crashes = 0;
+    u64 corruptions = 0;
+    u64 discards = 0;
+    u64 attempts = 0;
+    u64 savesRuns = 0; ///< Runs where protection stopped a store.
+};
+
+struct CampaignConfig
+{
+    u64 seed = envU64("RIO_SEED", 1);
+    u32 crashesPerCell =
+        static_cast<u32>(envU64("RIO_T1_CRASHES", 50));
+    u32 faultsPerRun = 20;
+    /** Faults are injected this far apart, starting immediately. */
+    SimNs injectSpacingNs = 100'000'000;
+    /** Observation window; no crash by then discards the run. */
+    SimNs observationNs =
+        envU64("RIO_T1_WINDOW_S", 10) * sim::kNsPerSec;
+    /** Attempt budget per crash (discarded runs are retried). */
+    u32 maxAttemptsPerCrash = 25;
+    bool backgroundAndrew = true;
+    u32 andrewCopies = 4;
+    bool verbose = envBool("RIO_VERBOSE", false);
+};
+
+struct CampaignResult
+{
+    std::array<std::array<CampaignCell, fault::kNumFaultTypes>, 3>
+        cells{};
+    std::set<std::string> uniqueErrorMessages;
+    std::array<u64, 6> crashCauseCounts{}; ///< By sim::CrashCause.
+
+    u64 totalCrashes(SystemKind kind) const;
+    u64 totalCorruptions(SystemKind kind) const;
+    u64 totalSaves(SystemKind kind) const;
+};
+
+class CrashCampaign
+{
+  public:
+    explicit CrashCampaign(const CampaignConfig &config);
+
+    /** One fault-injection run (one attempt; may be discarded). */
+    CrashRunResult runOne(SystemKind kind, fault::FaultType type,
+                          u64 seed);
+
+    /** Collect crashesPerCell crashes for one (system, fault) cell. */
+    CampaignCell runCell(SystemKind kind, fault::FaultType type,
+                         CampaignResult &result);
+
+    /** The full 3 x 13 campaign. */
+    CampaignResult runAll();
+
+    /** Render the result in the paper's Table 1 shape. */
+    static std::string renderTable1(const CampaignResult &result,
+                                    const CampaignConfig &config);
+
+  private:
+    CampaignConfig config_;
+};
+
+} // namespace rio::harness
+
+#endif // RIO_HARNESS_CRASHCAMPAIGN_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Harness configuration: experiment scales and environment-variable
+ * overrides, so the same binaries run at CI speed by default and at
+ * paper scale on demand.
+ *
+ *   RIO_SEED         campaign seed                (default 1)
+ *   RIO_T1_CRASHES   crashes per Table 1 cell     (default 50)
+ *   RIO_T1_WINDOW_S  crash observation window     (default 10 s)
+ *   RIO_PERF_MB      cp+rm source tree megabytes  (default 40)
+ *   RIO_VERBOSE      print per-run details        (default 0)
+ */
+
+#ifndef RIO_HARNESS_HCONFIG_HH
+#define RIO_HARNESS_HCONFIG_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/config.hh"
+#include "support/types.hh"
+
+namespace rio::harness
+{
+
+inline u64
+envU64(const char *name, u64 fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+inline bool
+envBool(const char *name, bool fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::string(value) != "0";
+}
+
+/** Machine used for crash testing (paper: DEC 3000/600, 128 MB). */
+inline sim::MachineConfig
+crashMachineConfig(u64 seed)
+{
+    sim::MachineConfig config;
+    config.physMemBytes = 32ull << 20;
+    config.diskBytes = 48ull << 20;
+    config.swapBytes = 32ull << 20;
+    config.seed = seed;
+    return config;
+}
+
+/** Machine used for the performance experiments. */
+inline sim::MachineConfig
+perfMachineConfig(u64 seed)
+{
+    sim::MachineConfig config;
+    config.physMemBytes = 128ull << 20;
+    config.diskBytes = 256ull << 20;
+    config.swapBytes = 128ull << 20;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace rio::harness
+
+#endif // RIO_HARNESS_HCONFIG_HH

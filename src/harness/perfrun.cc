@@ -1,0 +1,147 @@
+#include "harness/perfrun.hh"
+
+#include <memory>
+
+#include "core/rio.hh"
+#include "harness/report.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+#include "support/log.hh"
+#include "workload/andrew.hh"
+#include "workload/cprm.hh"
+#include "workload/sdet.hh"
+
+namespace rio::harness
+{
+
+namespace
+{
+
+/** Everything needed for one measured run. */
+struct Bench
+{
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<core::RioSystem> rio;
+    std::unique_ptr<os::Kernel> kernel;
+};
+
+Bench
+bootPreset(os::SystemPreset preset, u64 seed, u64 cprmBytes)
+{
+    Bench bench;
+    sim::MachineConfig machineConfig = perfMachineConfig(seed);
+    // Scale the machine with the workload: the UBC must hold the
+    // source tree plus the dirty copy, and the disk both trees.
+    machineConfig.physMemBytes = support::roundUp(
+        std::max<u64>(48ull << 20, cprmBytes * 5 / 2 + (32ull << 20)),
+        sim::kPageSize);
+    machineConfig.diskBytes =
+        std::max<u64>(96ull << 20, cprmBytes * 4);
+    machineConfig.swapBytes = machineConfig.physMemBytes;
+    bench.machine = std::make_unique<sim::Machine>(machineConfig);
+    const os::KernelConfig config = os::systemPreset(preset);
+    if (config.rio) {
+        core::RioOptions options;
+        options.protection = config.protection;
+        options.maintainChecksums = false; // As in the paper's runs.
+        bench.rio = std::make_unique<core::RioSystem>(*bench.machine,
+                                                      options);
+    }
+    bench.kernel =
+        std::make_unique<os::Kernel>(*bench.machine, config);
+    bench.kernel->boot(bench.rio.get(), true);
+    return bench;
+}
+
+} // namespace
+
+PerfRun::PerfRun(const PerfConfig &config) : config_(config) {}
+
+PerfRow
+PerfRun::runPreset(os::SystemPreset preset)
+{
+    PerfRow row;
+    row.preset = preset;
+
+    // --- cp+rm ------------------------------------------------------
+    {
+        Bench bench = bootPreset(preset, config_.seed * 11 + 1, config_.cprmBytes);
+        wl::CpRmConfig cprm;
+        cprm.totalBytes = config_.cprmBytes;
+        cprm.seed = config_.seed;
+        wl::CpRm workload(*bench.kernel, cprm);
+        workload.buildSourceTree();
+        const wl::CpRmResult result = workload.run();
+        row.cprmCopySeconds = result.copySeconds;
+        row.cprmRmSeconds = result.rmSeconds;
+    }
+
+    // --- Sdet ---------------------------------------------------------
+    {
+        Bench bench = bootPreset(preset, config_.seed * 11 + 2, config_.cprmBytes);
+        wl::SdetConfig sdet;
+        sdet.seed = config_.seed;
+        sdet.scripts = config_.sdetScripts;
+        row.sdetSeconds = wl::runSdet(*bench.kernel, sdet);
+    }
+
+    // --- Andrew -------------------------------------------------------
+    {
+        Bench bench = bootPreset(preset, config_.seed * 11 + 3, config_.cprmBytes);
+        wl::AndrewConfig andrew;
+        andrew.seed = config_.seed;
+        andrew.files = config_.andrewFiles;
+        wl::Andrew workload(*bench.kernel, andrew);
+        const double start = bench.machine->clock().seconds();
+        while (workload.step()) {
+        }
+        row.andrewSeconds =
+            bench.machine->clock().seconds() - start;
+    }
+
+    if (config_.verbose) {
+        RIO_LOG_INFO << os::systemPresetName(preset) << ": cp+rm "
+                     << row.cprmTotal() << "s, sdet "
+                     << row.sdetSeconds << "s, andrew "
+                     << row.andrewSeconds << "s";
+    }
+    return row;
+}
+
+std::vector<PerfRow>
+PerfRun::runAll()
+{
+    static const os::SystemPreset kOrder[] = {
+        os::SystemPreset::MemoryFs,
+        os::SystemPreset::UfsDelayAll,
+        os::SystemPreset::AdvFsJournal,
+        os::SystemPreset::UfsDefault,
+        os::SystemPreset::UfsWriteThroughClose,
+        os::SystemPreset::UfsWriteThroughWrite,
+        os::SystemPreset::RioNoProtection,
+        os::SystemPreset::RioProtected,
+    };
+    std::vector<PerfRow> rows;
+    for (const auto preset : kOrder)
+        rows.push_back(runPreset(preset));
+    return rows;
+}
+
+std::string
+PerfRun::renderTable2(const std::vector<PerfRow> &rows)
+{
+    Table table({"System", "Data Permanent", "cp+rm (s)",
+                 "Sdet (5 scripts) (s)", "Andrew (s)"});
+    for (const PerfRow &row : rows) {
+        table.addRow(
+            {os::systemPresetName(row.preset),
+             os::systemPresetPermanence(row.preset),
+             fmt(row.cprmTotal(), 1) + " (" +
+                 fmt(row.cprmCopySeconds, 1) + "+" +
+                 fmt(row.cprmRmSeconds, 1) + ")",
+             fmt(row.sdetSeconds, 1), fmt(row.andrewSeconds, 1)});
+    }
+    return table.render();
+}
+
+} // namespace rio::harness

@@ -1,0 +1,76 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rio::harness
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out << '+' << std::string(widths[c] + 2, '-');
+        }
+        out << "+\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            out << "| " << cell
+                << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            line(row);
+    }
+    rule();
+    return out.str();
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+    return buffer;
+}
+
+} // namespace rio::harness

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * ASCII table formatting for the experiment reports, so the bench
+ * binaries print rows directly comparable to the paper's tables.
+ */
+
+#ifndef RIO_HARNESS_REPORT_HH
+#define RIO_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace rio::harness
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void addSeparator();
+
+    /** Render with padded columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; ///< Empty = separator.
+};
+
+/** Format a double with @p decimals digits. */
+std::string fmt(double value, int decimals = 1);
+
+} // namespace rio::harness
+
+#endif // RIO_HARNESS_REPORT_HH

@@ -1,0 +1,482 @@
+#include "os/fsck.hh"
+
+#include <cstring>
+#include <deque>
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "os/ufs.hh"
+
+namespace rio::os
+{
+
+namespace
+{
+
+constexpr u64 kBlock = Ufs::kBlockSize;
+
+/** A block-granular view of the disk with dirty write-back. */
+class BlockIo
+{
+  public:
+    BlockIo(sim::Disk &disk, sim::SimClock &clock)
+        : disk_(disk), clock_(clock)
+    {}
+
+    std::vector<u8> &
+    get(BlockNo block)
+    {
+        auto it = cache_.find(block);
+        if (it != cache_.end())
+            return it->second;
+        std::vector<u8> data(kBlock, 0);
+        disk_.read(static_cast<SectorNo>(block) * sim::kSectorsPerBlock,
+                   sim::kSectorsPerBlock, data, clock_);
+        return cache_.emplace(block, std::move(data)).first->second;
+    }
+
+    void markDirty(BlockNo block) { dirty_.insert(block); }
+
+    void
+    writeBack()
+    {
+        for (const BlockNo block : dirty_) {
+            disk_.write(static_cast<SectorNo>(block) *
+                            sim::kSectorsPerBlock,
+                        sim::kSectorsPerBlock, cache_.at(block),
+                        clock_);
+        }
+        dirty_.clear();
+    }
+
+  private:
+    sim::Disk &disk_;
+    sim::SimClock &clock_;
+    std::unordered_map<BlockNo, std::vector<u8>> cache_;
+    std::unordered_set<BlockNo> dirty_;
+};
+
+u16
+getU16(const std::vector<u8> &block, u64 off)
+{
+    u16 value;
+    std::memcpy(&value, block.data() + off, 2);
+    return value;
+}
+
+u32
+getU32(const std::vector<u8> &block, u64 off)
+{
+    u32 value;
+    std::memcpy(&value, block.data() + off, 4);
+    return value;
+}
+
+u64
+getU64(const std::vector<u8> &block, u64 off)
+{
+    u64 value;
+    std::memcpy(&value, block.data() + off, 8);
+    return value;
+}
+
+void
+putU16(std::vector<u8> &block, u64 off, u16 value)
+{
+    std::memcpy(block.data() + off, &value, 2);
+}
+
+void
+putU32(std::vector<u8> &block, u64 off, u32 value)
+{
+    std::memcpy(block.data() + off, &value, 4);
+}
+
+void
+putU64(std::vector<u8> &block, u64 off, u64 value)
+{
+    std::memcpy(block.data() + off, &value, 8);
+}
+
+struct InodeLoc
+{
+    BlockNo block;
+    u64 off;
+};
+
+} // namespace
+
+FsckReport
+runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair)
+{
+    FsckReport report;
+    BlockIo io(disk, clock);
+
+    // --- Phase 0: superblock sanity. ------------------------------
+    auto &sb = io.get(0);
+    if (getU32(sb, Ufs::kSbMagic) != Ufs::kSuperMagic) {
+        report.messages.push_back("fsck: bad superblock magic");
+        return report;
+    }
+    UfsGeometry geo;
+    geo.totalBlocks = getU32(sb, Ufs::kSbTotalBlocks);
+    geo.inodeCount = getU32(sb, Ufs::kSbInodeCount);
+    geo.ibmStart = getU32(sb, Ufs::kSbIbmStart);
+    geo.dbmStart = getU32(sb, Ufs::kSbDbmStart);
+    geo.dbmBlocks = getU32(sb, Ufs::kSbDbmBlocks);
+    geo.itStart = getU32(sb, Ufs::kSbItStart);
+    geo.itBlocks = getU32(sb, Ufs::kSbItBlocks);
+    geo.dataStart = getU32(sb, Ufs::kSbDataStart);
+    geo.logStart = getU32(sb, Ufs::kSbLogStart);
+    geo.logBlocks = getU32(sb, Ufs::kSbLogBlocks);
+    const u64 diskBlocks = disk.numSectors() / sim::kSectorsPerBlock;
+    if (geo.totalBlocks == 0 || geo.totalBlocks > diskBlocks ||
+        geo.dataStart >= geo.logStart ||
+        geo.logStart > geo.totalBlocks || geo.inodeCount < 2) {
+        report.messages.push_back("fsck: superblock geometry insane");
+        return report;
+    }
+    report.superblockOk = true;
+    report.wasClean = getU32(sb, Ufs::kSbClean) == 1;
+
+    auto inodeLoc = [&](InodeNo ino) -> InodeLoc {
+        return {static_cast<BlockNo>(geo.itStart +
+                                     ino / Ufs::kInodesPerBlock),
+                (ino % Ufs::kInodesPerBlock) * Ufs::kInodeSize};
+    };
+    auto blockInRange = [&](u32 block) {
+        return block >= geo.dataStart && block < geo.logStart;
+    };
+
+    // --- Phase 1: walk the directory tree from the root. ----------
+    std::unordered_map<u32, InodeNo> blockOwner; // first claimant
+    std::unordered_map<InodeNo, u64> linkCount;
+    std::unordered_set<InodeNo> reachable;
+
+    // Validate one inode's block pointers; returns the mapped blocks
+    // of the direct + single-indirect range in file order (enough
+    // for directory walking), clears bad/duplicate pointers, and
+    // reports the end of the mapped range (double-indirect
+    // included) via @p mappedEnd when non-null.
+    auto auditInode = [&](InodeNo ino,
+                          u64 *mappedEnd = nullptr) -> std::vector<u32> {
+        const InodeLoc loc = inodeLoc(ino);
+        auto &itb = io.get(loc.block);
+        std::vector<u32> blocks;
+        for (u64 i = 0; i < Ufs::kDirectBlocks; ++i) {
+            const u64 off = loc.off + 24 + i * 4;
+            u32 block = getU32(itb, off);
+            if (block == 0) {
+                blocks.push_back(0);
+                continue;
+            }
+            if (!blockInRange(block)) {
+                ++report.badBlockPtrs;
+                if (repair) {
+                    putU32(itb, off, 0);
+                    io.markDirty(loc.block);
+                }
+                blocks.push_back(0);
+                continue;
+            }
+            if (blockOwner.count(block)) {
+                ++report.dupBlocks;
+                if (repair) {
+                    putU32(itb, off, 0);
+                    io.markDirty(loc.block);
+                }
+                blocks.push_back(0);
+                continue;
+            }
+            blockOwner[block] = ino;
+            blocks.push_back(block);
+        }
+        u32 indirect = getU32(itb, loc.off + 72);
+        if (indirect != 0 &&
+            (!blockInRange(indirect) || blockOwner.count(indirect))) {
+            ++report.badBlockPtrs;
+            if (repair) {
+                putU32(itb, loc.off + 72, 0);
+                io.markDirty(loc.block);
+            }
+            indirect = 0;
+        }
+        if (indirect != 0) {
+            blockOwner[indirect] = ino;
+            auto &ib = io.get(indirect);
+            for (u64 slot = 0; slot < Ufs::kIndirectEntries; ++slot) {
+                u32 block = getU32(ib, slot * 4);
+                if (block == 0) {
+                    blocks.push_back(0);
+                    continue;
+                }
+                if (!blockInRange(block) || blockOwner.count(block)) {
+                    ++report.badBlockPtrs;
+                    if (repair) {
+                        putU32(ib, slot * 4, 0);
+                        io.markDirty(indirect);
+                    }
+                    blocks.push_back(0);
+                    continue;
+                }
+                blockOwner[block] = ino;
+                blocks.push_back(block);
+            }
+        }
+
+        u64 mapped = 0;
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            if (blocks[i] != 0)
+                mapped = i + 1;
+        }
+
+        // Double-indirect tree: validate and claim; track the end of
+        // the mapped range without materializing the sparse vector.
+        u32 dind = getU32(itb, loc.off + 76);
+        if (dind != 0 &&
+            (!blockInRange(dind) || blockOwner.count(dind))) {
+            ++report.badBlockPtrs;
+            if (repair) {
+                putU32(itb, loc.off + 76, 0);
+                io.markDirty(loc.block);
+            }
+            dind = 0;
+        }
+        if (dind != 0) {
+            blockOwner[dind] = ino;
+            auto &db = io.get(dind);
+            for (u64 outer = 0; outer < Ufs::kIndirectEntries;
+                 ++outer) {
+                u32 inner = getU32(db, outer * 4);
+                if (inner == 0)
+                    continue;
+                if (!blockInRange(inner) || blockOwner.count(inner)) {
+                    ++report.badBlockPtrs;
+                    if (repair) {
+                        putU32(db, outer * 4, 0);
+                        io.markDirty(dind);
+                    }
+                    continue;
+                }
+                blockOwner[inner] = ino;
+                auto &ib2 = io.get(inner);
+                for (u64 slot = 0; slot < Ufs::kIndirectEntries;
+                     ++slot) {
+                    u32 block = getU32(ib2, slot * 4);
+                    if (block == 0)
+                        continue;
+                    if (!blockInRange(block) ||
+                        blockOwner.count(block)) {
+                        ++report.badBlockPtrs;
+                        if (repair) {
+                            putU32(ib2, slot * 4, 0);
+                            io.markDirty(inner);
+                        }
+                        continue;
+                    }
+                    blockOwner[block] = ino;
+                    mapped = std::max(
+                        mapped, Ufs::kDirectBlocks +
+                                    Ufs::kIndirectEntries +
+                                    outer * Ufs::kIndirectEntries +
+                                    slot + 1);
+                }
+            }
+        }
+        if (mappedEnd != nullptr)
+            *mappedEnd = mapped;
+        return blocks;
+    };
+
+    std::deque<InodeNo> work;
+    reachable.insert(Ufs::kRootIno);
+    linkCount[Ufs::kRootIno] = 1;
+    work.push_back(Ufs::kRootIno);
+
+    while (!work.empty()) {
+        const InodeNo dir = work.front();
+        work.pop_front();
+        ++report.dirsChecked;
+        const InodeLoc dloc = inodeLoc(dir);
+        auto &itb = io.get(dloc.block);
+        u64 dirSize = getU64(itb, dloc.off + 8);
+        const u64 maxDirSize = Ufs::kMaxFileBytes;
+        if (dirSize > maxDirSize) {
+            ++report.sizesFixed;
+            dirSize = 0;
+            if (repair) {
+                putU64(itb, dloc.off + 8, 0);
+                io.markDirty(dloc.block);
+            }
+        }
+        const std::vector<u32> blocks = auditInode(dir);
+        const u64 nblocks = (dirSize + kBlock - 1) / kBlock;
+        for (u64 fb = 0; fb < nblocks && fb < blocks.size(); ++fb) {
+            const u32 block = blocks[fb];
+            if (block == 0)
+                continue;
+            auto &db = io.get(block);
+            const u64 bytes = std::min(kBlock, dirSize - fb * kBlock);
+            for (u64 off = 0; off + Ufs::kDirentSize <= bytes;
+                 off += Ufs::kDirentSize) {
+                const u32 ino = getU32(db, off);
+                if (ino == 0)
+                    continue;
+                bool drop = false;
+                u16 childType = 0;
+                if (ino >= geo.inodeCount) {
+                    drop = true;
+                } else {
+                    const InodeLoc cloc = inodeLoc(ino);
+                    auto &ctb = io.get(cloc.block);
+                    childType = getU16(ctb, cloc.off);
+                    if (childType == 0 || childType > 3)
+                        drop = true;
+                }
+                // A directory reached twice is a cycle/extra link.
+                if (!drop && childType == 2 && reachable.count(ino))
+                    drop = true;
+                if (drop) {
+                    ++report.badDirents;
+                    if (repair) {
+                        std::memset(db.data() + off, 0,
+                                    Ufs::kDirentSize);
+                        io.markDirty(block);
+                    }
+                    continue;
+                }
+                ++linkCount[ino];
+                if (reachable.insert(ino).second && childType == 2)
+                    work.push_back(ino);
+            }
+        }
+    }
+
+    // --- Phase 2: audit reachable non-directories; find orphans. --
+    for (InodeNo ino = 1; ino < geo.inodeCount; ++ino) {
+        const InodeLoc loc = inodeLoc(ino);
+        auto &itb = io.get(loc.block);
+        const u16 type = getU16(itb, loc.off);
+        if (type == 0)
+            continue;
+        if (!reachable.count(ino)) {
+            ++report.orphanInodes;
+            if (repair) {
+                // Free the inode; its blocks stay unclaimed and the
+                // bitmap rebuild below reclaims them.
+                std::memset(itb.data() + loc.off, 0, Ufs::kInodeSize);
+                io.markDirty(loc.block);
+            }
+            continue;
+        }
+        if (type != 2) {
+            ++report.filesChecked;
+            u64 mappedBlocks = 0;
+            auditInode(ino, &mappedBlocks);
+            // Clamp size to what the block pointers can hold.
+            const u64 size = getU64(itb, loc.off + 8);
+            if (size > Ufs::kMaxFileBytes) {
+                ++report.sizesFixed;
+                if (repair) {
+                    putU64(itb, loc.off + 8, mappedBlocks * kBlock);
+                    io.markDirty(loc.block);
+                }
+            }
+        }
+        const u64 expectLinks = linkCount[ino];
+        const u16 nlink = getU16(itb, loc.off + 2);
+        if (nlink != expectLinks) {
+            ++report.nlinkFixed;
+            if (repair) {
+                putU16(itb, loc.off + 2,
+                       static_cast<u16>(expectLinks));
+                io.markDirty(loc.block);
+            }
+        }
+    }
+
+    // --- Phase 3: rebuild bitmaps and summary counters. ------------
+    if (repair) {
+        const u64 bitsPerBlock = kBlock * 8;
+        // Inode bitmap.
+        u64 usedInodes = 0;
+        {
+            const u32 ibmBlocks =
+                static_cast<u32>((geo.inodeCount + bitsPerBlock - 1) /
+                                 bitsPerBlock);
+            for (u32 bb = 0; bb < ibmBlocks; ++bb) {
+                auto &bm = io.get(geo.ibmStart + bb);
+                std::vector<u8> fresh(kBlock, 0);
+                for (u64 bit = 0; bit < bitsPerBlock; ++bit) {
+                    const u64 ino = bb * bitsPerBlock + bit;
+                    if (ino >= geo.inodeCount)
+                        break;
+                    bool used = ino == 0;
+                    if (ino != 0 && reachable.count(
+                                        static_cast<InodeNo>(ino))) {
+                        const InodeLoc loc =
+                            inodeLoc(static_cast<InodeNo>(ino));
+                        used = getU16(io.get(loc.block), loc.off) != 0;
+                    }
+                    if (used) {
+                        fresh[bit / 8] |=
+                            static_cast<u8>(1u << (bit % 8));
+                        if (ino != 0)
+                            ++usedInodes;
+                    }
+                }
+                if (fresh != bm) {
+                    for (u64 i = 0; i < kBlock; ++i) {
+                        if (fresh[i] != bm[i])
+                            ++report.bitmapFixed;
+                    }
+                    bm = fresh;
+                    io.markDirty(geo.ibmStart + bb);
+                }
+            }
+        }
+        // Data bitmap.
+        u64 usedData = 0;
+        for (u32 bb = 0; bb < geo.dbmBlocks; ++bb) {
+            auto &bm = io.get(geo.dbmStart + bb);
+            std::vector<u8> fresh(kBlock, 0);
+            for (u64 bit = 0; bit < bitsPerBlock; ++bit) {
+                const u64 block = bb * bitsPerBlock + bit;
+                if (block >= geo.totalBlocks)
+                    break;
+                const bool meta =
+                    block < geo.dataStart || block >= geo.logStart;
+                const bool claimed =
+                    blockOwner.count(static_cast<u32>(block)) > 0;
+                if (meta || claimed) {
+                    fresh[bit / 8] |= static_cast<u8>(1u << (bit % 8));
+                    if (!meta)
+                        ++usedData;
+                }
+            }
+            if (fresh != bm) {
+                for (u64 i = 0; i < kBlock; ++i) {
+                    if (fresh[i] != bm[i])
+                        ++report.bitmapFixed;
+                }
+                bm = fresh;
+                io.markDirty(geo.dbmStart + bb);
+            }
+        }
+        // Summary counters + clean flag.
+        putU32(sb, Ufs::kSbFreeBlocks,
+               geo.logStart - geo.dataStart -
+                   static_cast<u32>(usedData));
+        putU32(sb, Ufs::kSbFreeInodes,
+               geo.inodeCount - 1 - static_cast<u32>(usedInodes));
+        putU32(sb, Ufs::kSbClean, 1);
+        io.markDirty(0);
+        io.writeBack();
+        report.repaired = true;
+    }
+
+    return report;
+}
+
+} // namespace rio::os

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * fsck: file-system consistency check and repair, run at boot before
+ * mounting a file system that was not cleanly unmounted. In the Rio
+ * warm reboot it runs *after* the registry's dirty metadata has been
+ * restored to disk (paper section 2.2), so it sees an intact file
+ * system; after a non-Rio crash it repairs whatever the asynchronous
+ * write policies left behind.
+ *
+ * fsck runs on the healthy booting kernel, so it accesses the disk
+ * directly (device-level reads, charged to the simulated clock) and
+ * is not subject to fault injection.
+ */
+
+#ifndef RIO_OS_FSCK_HH
+#define RIO_OS_FSCK_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/disk.hh"
+#include "support/types.hh"
+
+namespace rio::os
+{
+
+struct FsckReport
+{
+    bool superblockOk = false;
+    bool wasClean = false;
+    bool repaired = false;
+    u64 filesChecked = 0;
+    u64 dirsChecked = 0;
+    u64 badDirents = 0;   ///< Entries removed (bad/free inode, cycle).
+    u64 badBlockPtrs = 0; ///< Out-of-range block pointers cleared.
+    u64 dupBlocks = 0;    ///< Multiply-claimed blocks detached.
+    u64 orphanInodes = 0; ///< Allocated but unreachable inodes freed.
+    u64 nlinkFixed = 0;
+    u64 bitmapFixed = 0;  ///< Bitmap bits corrected.
+    u64 sizesFixed = 0;   ///< File sizes clamped to mapped blocks.
+    std::vector<std::string> messages;
+
+    /** Total inconsistencies repaired. */
+    u64
+    errorsFixed() const
+    {
+        return badDirents + badBlockPtrs + dupBlocks + orphanInodes +
+               nlinkFixed + bitmapFixed + sizesFixed;
+    }
+};
+
+/**
+ * Check (and if @p repair, fix) the file system on @p disk.
+ * Marks the superblock clean when done repairing.
+ */
+FsckReport runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair);
+
+} // namespace rio::os
+
+#endif // RIO_OS_FSCK_HH

@@ -1,0 +1,167 @@
+#include "os/journal.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "os/dma.hh"
+#include "os/ufs.hh"
+#include "support/checksum.hh"
+
+namespace rio::os
+{
+
+Journal::Journal(sim::Machine &machine, KProcTable &procs,
+                 BufferCache &buf)
+    : machine_(machine), procs_(procs), buf_(buf)
+{
+    staging_.assign(2 * Ufs::kBlockSize, 0);
+}
+
+void
+Journal::attach(u32 logStart, u32 logBlocks, sim::Disk &disk)
+{
+    disk_ = &disk;
+    logStart_ = logStart;
+    capacity_ = logBlocks / 2;
+    seq_ = 0;
+    buffered_ = 0;
+    groupFirstSeq_ = 0;
+    groupBuffer_.assign(kGroupRecords * 2 * Ufs::kBlockSize, 0);
+}
+
+void
+Journal::flushLogBuffer()
+{
+    if (buffered_ == 0 || disk_ == nullptr)
+        return;
+    // One sequential write per group (group commit); split only when
+    // the run wraps around the end of the circular log.
+    groupUpdates_ = 0;
+    u32 written = 0;
+    while (written < buffered_) {
+        const u32 slot = static_cast<u32>(
+            (groupFirstSeq_ - 1 + written) % capacity_);
+        const u32 run =
+            std::min(buffered_ - written, capacity_ - slot);
+        const SectorNo sector =
+            static_cast<SectorNo>(logStart_ + slot * 2) *
+            sim::kSectorsPerBlock;
+        disk_->queueWrite(
+            sector, run * 2 * sim::kSectorsPerBlock,
+            std::span<const u8>(groupBuffer_.data() +
+                                    written * 2 * Ufs::kBlockSize,
+                                run * 2 * Ufs::kBlockSize),
+            machine_.clock());
+        written += run;
+    }
+    buffered_ = 0;
+}
+
+void
+Journal::appendMetadata(DevNo dev, BlockNo block, Addr pageAddr)
+{
+    if (disk_ == nullptr || capacity_ == 0)
+        return;
+    procs_.enter(ProcId::JournalAppend);
+    if (++groupUpdates_ >= kGroupUpdateBudget)
+        flushLogBuffer();
+
+    if (seq_ != 0 && seq_ % capacity_ == 0) {
+        // Log wrap: checkpoint so the records we overwrite are no
+        // longer needed.
+        flushLogBuffer();
+        buf_.flushDelwri(false);
+    }
+
+    // Write absorption: a block updated again before the group
+    // commits just refreshes its image in the buffered record.
+    for (u32 i = 0; i < buffered_; ++i) {
+        u8 *existing = groupBuffer_.data() + i * 2 * Ufs::kBlockSize;
+        u32 rdev, rblk;
+        std::memcpy(&rdev, existing + 12, 4);
+        std::memcpy(&rblk, existing + 16, 4);
+        if (rdev == dev && rblk == block) {
+            dmaRead(machine_.mem(), pageAddr,
+                    std::span<u8>(existing + Ufs::kBlockSize,
+                                  Ufs::kBlockSize));
+            const u32 newSum = support::checksum32(
+                std::span<const u8>(existing + Ufs::kBlockSize,
+                                    Ufs::kBlockSize));
+            std::memcpy(existing + 20, &newSum, 4);
+            return;
+        }
+    }
+
+    const u64 seq = ++seq_;
+    if (buffered_ == 0)
+        groupFirstSeq_ = seq;
+    u8 *record =
+        groupBuffer_.data() + buffered_ * 2 * Ufs::kBlockSize;
+    std::memset(record, 0, Ufs::kBlockSize);
+    std::memcpy(record + 0, &kRecordMagic, 4);
+    std::memcpy(record + 4, &seq, 8);
+    std::memcpy(record + 12, &dev, 4);
+    std::memcpy(record + 16, &block, 4);
+    dmaRead(machine_.mem(), pageAddr,
+            std::span<u8>(record + Ufs::kBlockSize, Ufs::kBlockSize));
+    const u32 checksum = support::checksum32(std::span<const u8>(
+        record + Ufs::kBlockSize, Ufs::kBlockSize));
+    std::memcpy(record + 20, &checksum, 4);
+
+    if (++buffered_ >= kGroupRecords)
+        flushLogBuffer();
+}
+
+u64
+Journal::replay(sim::Disk &disk, sim::SimClock &clock)
+{
+    // Read the superblock to find the log area.
+    std::vector<u8> sb(Ufs::kBlockSize, 0);
+    disk.read(0, sim::kSectorsPerBlock, sb, clock);
+    u32 magic;
+    std::memcpy(&magic, sb.data() + Ufs::kSbMagic, 4);
+    if (magic != Ufs::kSuperMagic)
+        return 0;
+    u32 logStart, logBlocks;
+    std::memcpy(&logStart, sb.data() + Ufs::kSbLogStart, 4);
+    std::memcpy(&logBlocks, sb.data() + Ufs::kSbLogBlocks, 4);
+    const u32 capacity = logBlocks / 2;
+
+    // Collect valid records ordered by sequence number.
+    std::map<u64, std::pair<BlockNo, std::vector<u8>>> records;
+    std::vector<u8> rec(2 * Ufs::kBlockSize, 0);
+    for (u32 slot = 0; slot < capacity; ++slot) {
+        const SectorNo sector =
+            static_cast<SectorNo>(logStart + slot * 2) *
+            sim::kSectorsPerBlock;
+        disk.read(sector, 2 * sim::kSectorsPerBlock, rec, clock);
+        u32 recMagic, blkno, checksum;
+        u64 seq;
+        std::memcpy(&recMagic, rec.data() + 0, 4);
+        std::memcpy(&seq, rec.data() + 4, 8);
+        std::memcpy(&blkno, rec.data() + 16, 4);
+        std::memcpy(&checksum, rec.data() + 20, 4);
+        if (recMagic != kRecordMagic)
+            continue;
+        const u32 actual = support::checksum32(
+            std::span<const u8>(rec.data() + Ufs::kBlockSize,
+                                Ufs::kBlockSize));
+        if (actual != checksum)
+            continue; // Torn record (crash mid-append).
+        records[seq] = {blkno,
+                        std::vector<u8>(rec.begin() + Ufs::kBlockSize,
+                                        rec.end())};
+    }
+
+    u64 applied = 0;
+    for (auto &[seq, entry] : records) {
+        disk.write(static_cast<SectorNo>(entry.first) *
+                       sim::kSectorsPerBlock,
+                   sim::kSectorsPerBlock, entry.second, clock);
+        ++applied;
+    }
+    return applied;
+}
+
+} // namespace rio::os

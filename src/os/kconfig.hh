@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Kernel configuration: which file system flavour is mounted, when
+ * data and metadata are made permanent, and which Rio features are
+ * active. The eight rows of the paper's Table 2 are presets over
+ * these knobs (see systemPreset()).
+ */
+
+#ifndef RIO_OS_KCONFIG_HH
+#define RIO_OS_KCONFIG_HH
+
+#include <string>
+
+#include "sim/clock.hh"
+#include "support/types.hh"
+
+namespace rio::os
+{
+
+/** When metadata buffer-cache blocks reach the disk. */
+enum class MetadataPolicy : u8
+{
+    Sync,    ///< Written synchronously (default UFS, enforces order).
+    Delayed, ///< Held until the update daemon runs (no-order UFS).
+    Logged,  ///< Appended to a sequential journal (AdvFS-style).
+    Never,   ///< Rio: only written when the cache overflows.
+};
+
+/** When UBC file-data pages reach the disk. */
+enum class DataPolicy : u8
+{
+    SyncOnWrite, ///< Every write syscall is synchronous ("sync" mount).
+    Async64K,    ///< Async after 64 KB, non-seq writes, or the daemon.
+    Delayed,     ///< Held until the update daemon runs.
+    Never,       ///< Rio: only written when the cache overflows.
+};
+
+/** How the file cache is protected from wild kernel stores. */
+enum class ProtectionMode : u8
+{
+    Off,       ///< No protection (Rio "without protection").
+    VmTlb,     ///< Page protection + ABOX map-all-through-TLB.
+    CodePatch, ///< Inserted checks before kernel stores (slow CPUs).
+};
+
+/** Which file system implementation is mounted. */
+enum class FsKind : u8
+{
+    Ufs,     ///< UFS on the simulated disk.
+    Mfs,     ///< Memory file system (zero-latency RAM disk).
+    Journal, ///< UFS with an AdvFS-style metadata journal.
+};
+
+struct KernelConfig
+{
+    FsKind fs = FsKind::Ufs;
+    MetadataPolicy metadata = MetadataPolicy::Sync;
+    DataPolicy data = DataPolicy::Async64K;
+
+    /** Call fsync on every close (UFS write-through-on-close). */
+    bool fsyncOnClose = false;
+
+    /**
+     * Rio: maintain the registry, treat memory as permanent, make
+     * sync/fsync return immediately, skip the panic-time flush.
+     */
+    bool rio = false;
+
+    ProtectionMode protection = ProtectionMode::Off;
+
+    /**
+     * Administrative override (footnote 1 of the paper): force
+     * reliability disk writes back on even when rio is set, for
+     * machine maintenance or extended power outages.
+     */
+    bool adminForceSync = false;
+
+    /**
+     * The paper's stated future work (section 2.3): "less extreme
+     * approaches such as writing to disk during idle periods may
+     * improve system responsiveness". When set with rio, the update
+     * daemon trickles dirty blocks out asynchronously. This has no
+     * reliability role — memory is already permanent — but it
+     * shrinks the warm reboot's restore work and the eviction cost
+     * when the cache fills.
+     */
+    bool rioIdleFlush = false;
+
+    /** Update daemon period (classic 30 seconds). */
+    SimNs updateIntervalNs = 30ull * sim::kNsPerSec;
+
+    /** Async data flush threshold for DataPolicy::Async64K. */
+    u64 asyncFlushBytes = 64 * 1024;
+
+    /** Maximum open files per process. */
+    u32 maxOpenFiles = 64;
+};
+
+/** The eight system configurations evaluated in Table 2. */
+enum class SystemPreset : u8
+{
+    MemoryFs,            ///< Memory File System: data permanent never.
+    UfsDelayAll,         ///< Delayed data + metadata (no-order UFS).
+    AdvFsJournal,        ///< Log metadata updates.
+    UfsDefault,          ///< Async data, synchronous metadata.
+    UfsWriteThroughClose,///< fsync on every close.
+    UfsWriteThroughWrite,///< sync mount + fsync on close.
+    RioNoProtection,     ///< Rio, warm reboot only.
+    RioProtected,        ///< Rio with VM/TLB protection.
+};
+
+/** Build a KernelConfig for one Table 2 row. */
+KernelConfig systemPreset(SystemPreset preset);
+
+/** Row label used in reports (matches the paper's wording). */
+const char *systemPresetName(SystemPreset preset);
+
+/** "Data Permanent" column text for the preset. */
+const char *systemPresetPermanence(SystemPreset preset);
+
+} // namespace rio::os
+
+#endif // RIO_OS_KCONFIG_HH

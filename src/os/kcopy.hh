@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Kernel copy routines (bcopy/bzero equivalents) plus copyin/copyout
+ * between "user space" (host-side buffers — user memory is not
+ * mapped into the simulated kernel address space, exactly as the
+ * paper notes for user mmaps) and simulated kernel memory.
+ *
+ * These are the injection points for the paper's copy-overrun and
+ * off-by-one faults: an armed overrun makes the routine write beyond
+ * the destination, with the paper's length distribution (50% one
+ * byte, 44% 2-1024 bytes, 6% 2-4 KB), roughly every 1000-4000 calls.
+ */
+
+#ifndef RIO_OS_KCOPY_HH
+#define RIO_OS_KCOPY_HH
+
+#include <span>
+
+#include "os/kheap.hh"
+#include "os/kproc.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace rio::os
+{
+
+class KCopy
+{
+  public:
+    KCopy(sim::Machine &machine, KProcTable &procs);
+
+    /** Let internal-loop overruns target the live heap span. */
+    void setHeapHint(KernelHeap *heap) { heap_ = heap; }
+
+    /** Copy user bytes into kernel memory at @p dst. */
+    void copyIn(Addr dst, std::span<const u8> src);
+
+    /** Copy kernel memory at @p src out to a user buffer. */
+    void copyOut(std::span<u8> dst, Addr src);
+
+    /** Kernel-to-kernel copy (bcopy). */
+    void copy(Addr dst, Addr src, u64 n);
+
+    /** Zero @p n bytes at @p dst (bzero). */
+    void zero(Addr dst, u64 n);
+
+    /** @{ Fault hooks. */
+    void armOverrun(support::Rng &rng);
+    void armOffByOne(support::Rng &rng);
+    /** @} */
+
+    u64 calls() const { return calls_; }
+    u64 overrunsInjected() const { return overruns_; }
+
+  private:
+    /** Extra destination bytes to clobber this call (usually 0). */
+    u64 overrunLength();
+    u64 offByOneExtra();
+
+    sim::Machine &machine_;
+    KProcTable &procs_;
+    KernelHeap *heap_ = nullptr;
+    u64 calls_ = 0;
+    u64 overruns_ = 0;
+
+    bool overrunArmed_ = false;
+    u64 overrunCountdown_ = 0;
+    bool offByOneArmed_ = false;
+    u64 offByOneCountdown_ = 0;
+    support::Rng faultRng_{0};
+};
+
+} // namespace rio::os
+
+#endif // RIO_OS_KCOPY_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The simulated kernel: owns every OS subsystem, boots the file
+ * system, runs the update daemon, and exposes the syscall layer.
+ *
+ * One Kernel instance corresponds to one boot. After a crash the
+ * harness destroys the Kernel, resets the Machine, performs the warm
+ * reboot (if Rio) and constructs a fresh Kernel on top — mirroring
+ * how a real reboot rebuilds all kernel state while physical memory
+ * (and the registry inside it) survives.
+ */
+
+#ifndef RIO_OS_KERNEL_HH
+#define RIO_OS_KERNEL_HH
+
+#include <memory>
+#include <optional>
+
+#include "os/buf.hh"
+#include "os/cacheguard.hh"
+#include "os/fsck.hh"
+#include "os/journal.hh"
+#include "os/kconfig.hh"
+#include "os/kcopy.hh"
+#include "os/kheap.hh"
+#include "os/kproc.hh"
+#include "os/locks.hh"
+#include "os/ubc.hh"
+#include "os/ufs.hh"
+#include "os/vfs.hh"
+#include "sim/machine.hh"
+
+namespace rio::os
+{
+
+class Kernel
+{
+  public:
+    Kernel(sim::Machine &machine, const KernelConfig &config);
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /**
+     * Boot: initialize MMU and kernel structures, (optionally)
+     * format the file system, replay the journal and run fsck when
+     * the fs is dirty, then mount.
+     *
+     * @param guard Rio's cache guard, or nullptr for the null guard.
+     * @param format Run mkfs before mounting.
+     */
+    void boot(CacheGuard *guard, bool format);
+
+    /** Clean shutdown: flush everything and mark the fs clean. */
+    void shutdown();
+
+    /** Called at syscall entry: update daemon + disk housekeeping. */
+    void tick();
+
+    const KernelConfig &config() const { return config_; }
+    sim::Machine &machine() { return machine_; }
+    Vfs &vfs() { return vfs_; }
+    Ufs &ufs() { return ufs_; }
+    BufferCache &bufferCache() { return buf_; }
+    Ubc &ubc() { return ubc_; }
+    KProcTable &procs() { return procs_; }
+    KernelHeap &heap() { return heap_; }
+    KCopy &kcopy() { return kcopy_; }
+    LockTable &locks() { return locks_; }
+    Journal &journal() { return journal_; }
+
+    /** The disk the file system lives on (RAM disk for MFS). */
+    sim::Disk &fsDisk();
+
+    /** fsck results from the last boot, if fsck ran. */
+    const std::optional<FsckReport> &lastFsck() const { return fsck_; }
+
+    /** Journal records replayed during the last boot. */
+    u64 journalReplayed() const { return journalReplayed_; }
+
+  private:
+    sim::Machine &machine_;
+    KernelConfig config_;
+    NullCacheGuard nullGuard_;
+
+    /** Zero-latency cost model backing the MFS RAM disk. */
+    sim::CostModel ramCosts_;
+    std::unique_ptr<sim::Disk> ramDisk_;
+
+    KProcTable procs_;
+    KernelHeap heap_;
+    KCopy kcopy_;
+    LockTable locks_;
+    BufferCache buf_;
+    Ubc ubc_;
+    Ufs ufs_;
+    Journal journal_;
+    Vfs vfs_;
+
+    SimNs nextUpdate_ = 0;
+    std::optional<FsckReport> fsck_;
+    u64 journalReplayed_ = 0;
+};
+
+} // namespace rio::os
+
+#endif // RIO_OS_KERNEL_HH

@@ -1,0 +1,215 @@
+#include "os/kheap.hh"
+
+#include <string>
+
+#include "support/types.hh"
+
+namespace rio::os
+{
+
+KernelHeap::KernelHeap(sim::Machine &machine, KProcTable &procs)
+    : machine_(machine), procs_(procs)
+{
+    const auto &heap = machine_.mem().region(sim::RegionKind::KernelHeap);
+    base_ = heap.base;
+    size_ = heap.size;
+}
+
+void
+KernelHeap::init()
+{
+    writeHeader(base_, kFreeMagic,
+                static_cast<u32>(size_ - kHeaderSize));
+    allocatedBytes_ = 0;
+    allocCount_ = 0;
+    recent_.clear();
+    prematureArmed_ = false;
+    prematureVictim_ = 0;
+}
+
+KernelHeap::Header
+KernelHeap::readHeader(Addr headerAddr)
+{
+    auto &bus = machine_.bus();
+    Header header;
+    header.magic = bus.load32(headerAddr);
+    header.size = bus.load32(headerAddr + 4);
+    if (header.magic != kAllocMagic && header.magic != kFreeMagic) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "malloc: arena corrupted (bad block magic)");
+    }
+    if (headerAddr + kHeaderSize + header.size > base_ + size_) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "malloc: arena corrupted (block size insane)");
+    }
+    return header;
+}
+
+void
+KernelHeap::writeHeader(Addr headerAddr, u32 magic, u32 size)
+{
+    auto &bus = machine_.bus();
+    bus.store32(headerAddr, magic);
+    bus.store32(headerAddr + 4, size);
+    bus.store64(headerAddr + 8, 0);
+}
+
+Addr
+KernelHeap::nextHeader(Addr headerAddr, u32 size) const
+{
+    return headerAddr + kHeaderSize + size;
+}
+
+Addr
+KernelHeap::alloc(u64 size)
+{
+    const auto entry = procs_.enter(ProcId::KMalloc);
+    servicePrematureFrees();
+
+    size = support::roundUp(size == 0 ? 1 : size, 16);
+    if (size > size_ - kHeaderSize) {
+        machine_.crash(sim::CrashCause::KernelPanic,
+                       "panic: malloc: request exceeds arena");
+    }
+
+    Addr cursor = base_;
+    const Addr end = base_ + size_;
+    while (cursor < end) {
+        Header header = readHeader(cursor);
+        if (header.magic == kFreeMagic) {
+            // Coalesce following free blocks.
+            Addr next = nextHeader(cursor, header.size);
+            while (next < end) {
+                Header nh = readHeader(next);
+                if (nh.magic != kFreeMagic)
+                    break;
+                header.size += kHeaderSize + nh.size;
+                next = nextHeader(cursor, header.size);
+            }
+            if (header.size >= size) {
+                const u64 leftover = header.size - size;
+                if (leftover > kHeaderSize + 16) {
+                    // Split.
+                    writeHeader(cursor, kAllocMagic,
+                                static_cast<u32>(size));
+                    writeHeader(nextHeader(cursor,
+                                           static_cast<u32>(size)),
+                                kFreeMagic,
+                                static_cast<u32>(leftover -
+                                                 kHeaderSize));
+                } else {
+                    writeHeader(cursor, kAllocMagic, header.size);
+                }
+                const Addr payload = cursor + kHeaderSize;
+                const u32 final_size =
+                    machine_.bus().load32(cursor + 4);
+                if (!entry.skipBody)
+                    machine_.bus().set(payload, 0, final_size);
+                allocatedBytes_ += final_size;
+                ++allocCount_;
+                recent_.push_back(payload);
+                if (recent_.size() > 32)
+                    recent_.pop_front();
+                if (prematureArmed_ && prematureVictim_ == 0 &&
+                    prematureCountdown_-- == 0) {
+                    prematureVictim_ = payload;
+                    prematureAt_ = machine_.clock().now() +
+                                   faultRng_.below(256'000'000);
+                    prematureCountdown_ =
+                        faultRng_.between(100, 400);
+                }
+                return payload;
+            }
+            // Record the coalesced size so the next walk is cheaper.
+            writeHeader(cursor, kFreeMagic, header.size);
+        }
+        cursor = nextHeader(cursor, header.size);
+    }
+    machine_.crash(sim::CrashCause::KernelPanic,
+                   "panic: malloc: out of kernel memory");
+}
+
+void
+KernelHeap::free(Addr payload)
+{
+    procs_.enter(ProcId::KFree);
+    servicePrematureFrees();
+
+    const Addr headerAddr = payload - kHeaderSize;
+    if (headerAddr < base_ || payload >= base_ + size_) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "free: address outside kernel arena");
+    }
+    Header header = readHeader(headerAddr);
+    if (header.magic != kAllocMagic) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "free: freeing free memory or bad pointer");
+    }
+    writeHeader(headerAddr, kFreeMagic, header.size);
+    allocatedBytes_ -= header.size;
+    if (prematureVictim_ == payload)
+        prematureVictim_ = 0;
+}
+
+void
+KernelHeap::checkArena()
+{
+    Addr cursor = base_;
+    const Addr end = base_ + size_;
+    while (cursor < end) {
+        const Header header = readHeader(cursor);
+        cursor = nextHeader(cursor, header.size);
+    }
+    if (cursor != end) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "malloc: arena walk did not end at arena end");
+    }
+}
+
+void
+KernelHeap::armPrematureFree(support::Rng &rng)
+{
+    prematureArmed_ = true;
+    faultRng_ = rng.fork();
+    prematureCountdown_ = faultRng_.between(4, 64);
+}
+
+void
+KernelHeap::servicePrematureFrees()
+{
+    if (prematureVictim_ == 0 ||
+        machine_.clock().now() < prematureAt_) {
+        return;
+    }
+    // The sleeping thread wakes up and frees the still-in-use block.
+    const Addr victim = prematureVictim_;
+    prematureVictim_ = 0;
+    const Addr headerAddr = victim - kHeaderSize;
+    auto &bus = machine_.bus();
+    const u32 magic = bus.load32(headerAddr);
+    if (magic == kAllocMagic) {
+        const u32 size = bus.load32(headerAddr + 4);
+        bus.store32(headerAddr, kFreeMagic);
+        allocatedBytes_ -= size;
+    }
+}
+
+bool
+KernelHeap::corruptRecentAllocation(support::Rng &rng)
+{
+    if (recent_.empty())
+        return false;
+    const Addr payload = recent_[rng.below(recent_.size())];
+    const Addr headerAddr = payload - kHeaderSize;
+    auto &bus = machine_.bus();
+    if (bus.load32(headerAddr) != kAllocMagic)
+        return false;
+    const u32 size = bus.load32(headerAddr + 4);
+    const u64 fields = size / 8;
+    if (fields == 0)
+        return false;
+    bus.store64(payload + rng.below(fields) * 8, rng.next());
+    return true;
+}
+
+} // namespace rio::os

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The kernel heap: a first-fit allocator whose arena, headers and
+ * free state live in simulated physical memory. Buffer headers, UBC
+ * page headers, vnodes, open-file structures and transient kernel
+ * buffers are allocated here, which is what makes heap bit-flips and
+ * allocation-management faults *causal*: a flipped header magic is
+ * caught by the allocator's consistency walk (panic), and a
+ * prematurely freed block gets reused while its old owner still
+ * writes through it — the classic corruption chains of
+ * [Sullivan91b].
+ */
+
+#ifndef RIO_OS_KHEAP_HH
+#define RIO_OS_KHEAP_HH
+
+#include <deque>
+
+#include "os/kproc.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace rio::os
+{
+
+class KernelHeap
+{
+  public:
+    static constexpr u32 kAllocMagic = 0xA110CA7E;
+    static constexpr u32 kFreeMagic = 0xF4EEB10C;
+    static constexpr u64 kHeaderSize = 16;
+
+    KernelHeap(sim::Machine &machine, KProcTable &procs);
+
+    /** Format the arena as one big free block. */
+    void init();
+
+    /**
+     * Allocate @p size bytes; payload is zero-filled.
+     * @return Payload address; panics the kernel on arena corruption,
+     *         crashes with a panic on exhaustion (kernels do).
+     */
+    Addr alloc(u64 size);
+
+    /** Free a payload returned by alloc(). */
+    void free(Addr payload);
+
+    /** Bytes currently allocated (payload only). */
+    u64 allocatedBytes() const { return allocatedBytes_; }
+    u64 allocCount() const { return allocCount_; }
+
+    /** Walk the arena and panic on any inconsistency. */
+    void checkArena();
+
+    /**
+     * @{ Fault-injection hooks (see fault/models.cc).
+     *
+     * armPrematureFree: from now on, roughly every [1000,4000]th
+     * allocation is freed again 0-256 ms later while still in use.
+     *
+     * corruptRecentAllocation: overwrite one 8-byte field of a
+     * recently allocated block with garbage (an initialization
+     * fault's effect).
+     */
+    void armPrematureFree(support::Rng &rng);
+    bool corruptRecentAllocation(support::Rng &rng);
+    /** @} */
+
+  private:
+    struct Header
+    {
+        u32 magic;
+        u32 size;
+    };
+
+    Header readHeader(Addr headerAddr);
+    void writeHeader(Addr headerAddr, u32 magic, u32 size);
+    Addr nextHeader(Addr headerAddr, u32 size) const;
+    void servicePrematureFrees();
+
+    sim::Machine &machine_;
+    KProcTable &procs_;
+    Addr base_ = 0;
+    u64 size_ = 0;
+    u64 allocatedBytes_ = 0;
+    u64 allocCount_ = 0;
+
+    /** Recent runtime allocations (payload addresses). */
+    std::deque<Addr> recent_;
+
+    // Premature-free fault state.
+    bool prematureArmed_ = false;
+    u64 prematureCountdown_ = 0;
+    Addr prematureVictim_ = 0;
+    SimNs prematureAt_ = 0;
+    support::Rng faultRng_{0};
+};
+
+} // namespace rio::os
+
+#endif // RIO_OS_KHEAP_HH

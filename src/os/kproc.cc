@@ -1,0 +1,180 @@
+#include "os/kproc.hh"
+
+#include <cassert>
+#include <string>
+
+namespace rio::os
+{
+
+namespace
+{
+
+const char *kProcNames[kNumProcs] = {
+    "bcopy", "bzero", "malloc", "free",
+    "getblk", "bread", "brelse", "buf_flush",
+    "ubc_lookup", "ubc_fill", "ubc_spill",
+    "iget", "iupdate", "bmap", "balloc", "ialloc",
+    "dir_lookup", "dir_enter", "dir_remove",
+    "ufs_create", "ufs_remove", "ufs_mkdir", "ufs_rmdir", "ufs_rename",
+    "ufs_truncate", "ufs_read", "ufs_write", "ufs_symlink",
+    "vfs_open", "vfs_close", "vfs_read", "vfs_write", "vfs_fsync",
+    "vfs_sync", "vfs_stat", "vfs_readdir", "vfs_lseek",
+    "lock_acquire", "lock_release",
+    "update_daemon", "disk_strategy", "fsck", "journal_append",
+};
+
+/** Simulated watchdog: a hung kernel is reset after this long. */
+constexpr SimNs kWatchdogNs = 60ull * sim::kNsPerSec;
+
+} // namespace
+
+const char *
+procName(ProcId proc)
+{
+    const auto index = static_cast<std::size_t>(proc);
+    assert(index < kNumProcs);
+    return kProcNames[index];
+}
+
+KProcTable::KProcTable(sim::Machine &machine, support::Rng rng)
+    : machine_(machine), rng_(rng), armed_(kNumProcs)
+{
+    const auto &text = machine_.mem().region(sim::RegionKind::KernelText);
+    textBase_ = text.base;
+    textPerProc_ = text.size / kNumProcs;
+}
+
+ProcId
+KProcTable::procForTextAddr(Addr textAddr) const
+{
+    assert(textAddr >= textBase_);
+    u64 index = (textAddr - textBase_) / textPerProc_;
+    if (index >= kNumProcs)
+        index = kNumProcs - 1;
+    return static_cast<ProcId>(index);
+}
+
+std::pair<Addr, u64>
+KProcTable::textRange(ProcId proc) const
+{
+    const auto index = static_cast<u64>(proc);
+    return {textBase_ + index * textPerProc_, textPerProc_};
+}
+
+ProcId
+KProcTable::randomProc(support::Rng &rng) const
+{
+    return static_cast<ProcId>(rng.below(kNumProcs));
+}
+
+Addr
+KProcTable::wildStoreAddr(support::Rng &rng) const
+{
+    const double roll = rng.real();
+    if (roll < 0.85) {
+        // A truly wild 64-bit pointer: almost certainly illegal —
+        // the paper notes that on a 64-bit machine most errors are
+        // first detected by an illegal address.
+        return rng.next() & ~0x7ull;
+    }
+    if (roll < 0.93) {
+        // Somewhere inside physical memory (stale/offset pointer).
+        return rng.below(machine_.mem().size()) & ~0x7ull;
+    }
+    if (roll < 0.95) {
+        // Inside the file-cache pools: the dangerous case Rio guards.
+        const auto &buf = machine_.mem().region(sim::RegionKind::BufPool);
+        const auto &ubc = machine_.mem().region(sim::RegionKind::UbcPool);
+        const u64 total = buf.size + ubc.size;
+        const u64 offset = rng.below(total) & ~0x7ull;
+        return offset < buf.size ? buf.base + offset
+                                 : ubc.base + (offset - buf.size);
+    }
+    // A physical (KSEG) pointer: bypasses the TLB unless mapped.
+    return sim::physToKseg(rng.below(machine_.mem().size()) & ~0x7ull);
+}
+
+void
+KProcTable::arm(ProcId proc, const Manifestation &manifestation)
+{
+    armed_[static_cast<std::size_t>(proc)].push_back(manifestation);
+}
+
+std::vector<TraceEntry>
+KProcTable::recentTrace() const
+{
+    std::vector<TraceEntry> out;
+    out.reserve(kTraceSize);
+    for (std::size_t i = 0; i < kTraceSize; ++i) {
+        const TraceEntry &entry =
+            trace_[(enters_ + i) % kTraceSize];
+        if (entry.proc != ProcId::NumProcs)
+            out.push_back(entry);
+    }
+    return out;
+}
+
+EnterResult
+KProcTable::enter(ProcId proc)
+{
+    trace_[enters_ % kTraceSize] = {machine_.clock().now(), proc};
+    ++enters_;
+    auto &queue = armed_[static_cast<std::size_t>(proc)];
+    EnterResult result;
+    while (!queue.empty()) {
+        const Manifestation m = queue.front();
+        queue.pop_front();
+        ++executed_;
+        if (m.kind == Manifestation::Kind::SkipWork) {
+            result.skipBody = true;
+            continue;
+        }
+        executeManifestation(proc, m);
+    }
+    return result;
+}
+
+void
+KProcTable::executeManifestation(ProcId proc, const Manifestation &m)
+{
+    auto &bus = machine_.bus();
+    switch (m.kind) {
+      case Manifestation::Kind::None:
+      case Manifestation::Kind::SkipWork:
+        return;
+      case Manifestation::Kind::WildStore:
+        for (u8 i = 0; i < m.count; ++i)
+            bus.store64(wildStoreAddr(rng_), rng_.next());
+        return;
+      case Manifestation::Kind::GarbageStore: {
+        const auto &heap =
+            machine_.mem().region(sim::RegionKind::KernelHeap);
+        const Addr target =
+            heap.base + (rng_.below(heap.size) & ~0x7ull);
+        bus.store64(target, rng_.next());
+        return;
+      }
+      case Manifestation::Kind::Hang:
+        machine_.clock().advance(kWatchdogNs);
+        machine_.crash(sim::CrashCause::Watchdog,
+                       std::string("system hung in ") + procName(proc));
+        return;
+      case Manifestation::Kind::PanicNow:
+        machine_.crash(sim::CrashCause::KernelPanic,
+                       std::string("panic: ") + procName(proc) +
+                           ": inconsistent state");
+        return;
+      case Manifestation::Kind::CorruptStack: {
+        const auto &stack =
+            machine_.mem().region(sim::RegionKind::KernelStack);
+        const u64 n = rng_.between(1, 16);
+        for (u64 i = 0; i < n; ++i) {
+            const Addr target = stack.base + rng_.below(stack.size);
+            bus.store8(target, static_cast<u8>(rng_.next()));
+        }
+        return;
+      }
+    }
+}
+
+} // namespace rio::os

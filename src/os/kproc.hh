@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The kernel procedure table: the bridge between the fault-injection
+ * framework and the simulated kernel.
+ *
+ * Real text-level faults (bit flips in instructions, changed
+ * registers, deleted branches) cannot be injected into C++ we execute
+ * natively, so each kernel procedure registers here with a synthetic
+ * text range in the KernelText region, and instruments its entry
+ * point with enter(). A text-level fault arms a *manifestation* on
+ * the owning procedure — a wild store, a garbage store into kernel
+ * data, skipped work, an early return, a hang, or an immediate
+ * consistency panic — drawn from per-fault-type distributions in
+ * fault/models.cc. The manifestation executes the next time the
+ * procedure runs, through the same MemBus the real kernel uses, so
+ * its consequences (machine checks, protection stops, file-cache
+ * corruption) are causal. See DESIGN.md, "Substitutions".
+ */
+
+#ifndef RIO_OS_KPROC_HH
+#define RIO_OS_KPROC_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace rio::os
+{
+
+/** Every instrumented kernel procedure. */
+enum class ProcId : u16
+{
+    KBcopy, KBzero, KMalloc, KFree,
+    BufGetblk, BufBread, BufRelease, BufFlush,
+    UbcLookup, UbcFill, UbcSpill,
+    UfsIget, UfsIupdate, UfsBmap, UfsBalloc, UfsIalloc,
+    UfsDirLookup, UfsDirEnter, UfsDirRemove,
+    UfsCreate, UfsRemove, UfsMkdir, UfsRmdir, UfsRename,
+    UfsTruncate, UfsReadFile, UfsWriteFile, UfsSymlink,
+    VfsOpen, VfsClose, VfsRead, VfsWrite, VfsFsync, VfsSync,
+    VfsStat, VfsReaddir, VfsLseek,
+    LockAcquire, LockRelease,
+    UpdateDaemon, DiskStrategy, FsckMain, JournalAppend,
+    NumProcs,
+};
+
+constexpr std::size_t kNumProcs =
+    static_cast<std::size_t>(ProcId::NumProcs);
+
+/** Procedure name, for crash messages. */
+const char *procName(ProcId proc);
+
+/** What an armed text-level fault does when its procedure runs. */
+struct Manifestation
+{
+    enum class Kind : u8
+    {
+        None,         ///< Benign (fault not on an executed path).
+        WildStore,    ///< Store a garbage value to a garbage address.
+        GarbageStore, ///< Store garbage into kernel heap data.
+        SkipWork,     ///< The procedure body is skipped (lost update).
+        Hang,         ///< Infinite loop; the watchdog fires.
+        PanicNow,     ///< A kernel sanity check trips immediately.
+        CorruptStack, ///< Clobber bytes in the kernel stack region.
+    };
+
+    Kind kind = Kind::None;
+    /** For WildStore: how many stores to issue (1-3). */
+    u8 count = 1;
+};
+
+/** One entry in the kernel's recent-procedure trace ring. */
+struct TraceEntry
+{
+    SimNs when = 0;
+    ProcId proc = ProcId::NumProcs;
+};
+
+/** Result of enter(): tells the procedure how to proceed. */
+struct EnterResult
+{
+    bool skipBody = false;
+};
+
+class KProcTable
+{
+  public:
+    KProcTable(sim::Machine &machine, support::Rng rng);
+
+    /**
+     * Instrumentation hook at the top of every registered procedure;
+     * executes any armed manifestation.
+     * @throws sim::CrashException for manifestations that crash.
+     */
+    EnterResult enter(ProcId proc);
+
+    /** Arm a manifestation for the next execution of @p proc. */
+    void arm(ProcId proc, const Manifestation &manifestation);
+
+    /**
+     * The procedure owning the synthetic text at @p textAddr (which
+     * must lie inside the KernelText region).
+     */
+    ProcId procForTextAddr(Addr textAddr) const;
+
+    /** Synthetic text range (base, size) for @p proc. */
+    std::pair<Addr, u64> textRange(ProcId proc) const;
+
+    /** Pick a procedure at random (for register/branch faults). */
+    ProcId randomProc(support::Rng &rng) const;
+
+    /**
+     * A wild-store address with the distribution documented in
+     * DESIGN.md: mostly random 64-bit (illegal), sometimes inside
+     * physical memory, occasionally inside the file-cache pools, and
+     * occasionally in KSEG form (the protection-bypass path).
+     */
+    Addr wildStoreAddr(support::Rng &rng) const;
+
+    u64 manifestationsExecuted() const { return executed_; }
+    u64 entersTotal() const { return enters_; }
+
+    /**
+     * The most recent kernel procedure entries, oldest first — the
+     * forensic trail an engineer reads after a crash ("what was the
+     * kernel doing?").
+     */
+    std::vector<TraceEntry> recentTrace() const;
+
+  private:
+    void executeManifestation(ProcId proc, const Manifestation &m);
+
+    sim::Machine &machine_;
+    support::Rng rng_;
+    std::vector<std::deque<Manifestation>> armed_;
+    Addr textBase_;
+    u64 textPerProc_;
+    u64 executed_ = 0;
+    u64 enters_ = 0;
+
+    static constexpr std::size_t kTraceSize = 64;
+    std::array<TraceEntry, kTraceSize> trace_{};
+};
+
+} // namespace rio::os
+
+#endif // RIO_OS_KPROC_HH

@@ -1,0 +1,91 @@
+#include "os/locks.hh"
+
+namespace rio::os
+{
+
+LockTable::LockTable(sim::Machine &machine, KProcTable &procs)
+    : machine_(machine), procs_(procs)
+{}
+
+LockId
+LockTable::add(std::string name, Addr guardBase, u64 guardSize)
+{
+    locks_.push_back({std::move(name), false, guardBase, guardSize});
+    return static_cast<LockId>(locks_.size() - 1);
+}
+
+void
+LockTable::setGuard(LockId lock, Addr guardBase, u64 guardSize)
+{
+    locks_.at(lock).guardBase = guardBase;
+    locks_.at(lock).guardSize = guardSize;
+}
+
+bool
+LockTable::faultFires()
+{
+    if (!faultArmed_)
+        return false;
+    if (faultCountdown_-- != 0)
+        return false;
+    faultCountdown_ = faultRng_.between(100, 400);
+    return true;
+}
+
+void
+LockTable::armSyncFault(support::Rng &rng)
+{
+    faultArmed_ = true;
+    faultRng_ = rng.fork();
+    faultCountdown_ = faultRng_.between(2, 64);
+}
+
+void
+LockTable::acquire(LockId lockId)
+{
+    ++acquires_;
+    procs_.enter(ProcId::LockAcquire);
+    Lock &lock = locks_.at(lockId);
+    if (faultFires()) {
+        // Missed acquire: the critical section runs unlocked. Model a
+        // race by occasionally clobbering guarded bytes.
+        ++races_;
+        if (lock.guardSize > 0 && faultRng_.chance(0.30)) {
+            const u64 n = faultRng_.between(1, 8);
+            auto &bus = machine_.bus();
+            for (u64 i = 0; i < n; ++i) {
+                bus.store8(lock.guardBase +
+                               faultRng_.below(lock.guardSize),
+                           static_cast<u8>(faultRng_.next()));
+            }
+        }
+        return; // Caller believes it holds the lock.
+    }
+    if (lock.held) {
+        // Single CPU, non-recursive locks: this never resolves.
+        machine_.crash(sim::CrashCause::Deadlock,
+                       "deadlock on kernel lock " + lock.name);
+    }
+    lock.held = true;
+}
+
+void
+LockTable::releaseQuiet(LockId lockId)
+{
+    locks_.at(lockId).held = false;
+}
+
+void
+LockTable::release(LockId lockId)
+{
+    procs_.enter(ProcId::LockRelease);
+    Lock &lock = locks_.at(lockId);
+    if (faultFires()) {
+        return; // Missed release: lock stays held forever.
+    }
+    // Releasing a lock we do not hold can happen after a missed
+    // acquire; real kernels assert on it.
+    lock.held = false;
+}
+
+} // namespace rio::os

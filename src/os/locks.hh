@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Kernel lock table. The simulation is single-threaded, so locks are
+ * normally uncontended bookkeeping — their purpose is to give the
+ * paper's *synchronization faults* something causal to break:
+ *
+ *  - a missed release leaves the lock held, and the next acquire
+ *    deadlocks (the watchdog reboots the machine);
+ *  - a missed acquire models a race: with some probability the
+ *    unprotected critical section interleaves with "another thread"
+ *    and scribbles a few bytes of the data the lock guards.
+ */
+
+#ifndef RIO_OS_LOCKS_HH
+#define RIO_OS_LOCKS_HH
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "os/kproc.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace rio::os
+{
+
+using LockId = u32;
+
+class LockTable
+{
+  public:
+    LockTable(sim::Machine &machine, KProcTable &procs);
+
+    /**
+     * Register a lock.
+     * @param name Diagnostic name.
+     * @param guardBase Base of the data this lock guards (0 = none).
+     * @param guardSize Size of the guarded range.
+     */
+    LockId add(std::string name, Addr guardBase = 0, u64 guardSize = 0);
+
+    /** Late-bind the guarded range (arenas allocated after boot). */
+    void setGuard(LockId lock, Addr guardBase, u64 guardSize);
+
+    void acquire(LockId lock);
+    void release(LockId lock);
+
+    /**
+     * Release without instrumentation or fault hooks. Used while a
+     * crash exception unwinds: the machine is going down, and a
+     * fault hook firing in a destructor would terminate the *host*.
+     */
+    void releaseQuiet(LockId lock);
+
+    /** RAII helper. */
+    class Guard
+    {
+      public:
+        Guard(LockTable &table, LockId lock) : table_(table), lock_(lock)
+        {
+            table_.acquire(lock_);
+        }
+
+        /**
+         * noexcept(false): release() runs fault-injection hooks and
+         * may crash the simulated machine; the CrashException must
+         * propagate to the harness instead of terminating the host.
+         */
+        ~Guard() noexcept(false)
+        {
+            if (std::uncaught_exceptions() > 0)
+                table_.releaseQuiet(lock_);
+            else
+                table_.release(lock_);
+        }
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+      private:
+        LockTable &table_;
+        LockId lock_;
+    };
+
+    /** Fault hook: start missing acquires/releases occasionally. */
+    void armSyncFault(support::Rng &rng);
+
+    u64 acquires() const { return acquires_; }
+    u64 racesInjected() const { return races_; }
+
+  private:
+    struct Lock
+    {
+        std::string name;
+        bool held = false;
+        Addr guardBase = 0;
+        u64 guardSize = 0;
+    };
+
+    sim::Machine &machine_;
+    KProcTable &procs_;
+    std::vector<Lock> locks_;
+    u64 acquires_ = 0;
+    u64 races_ = 0;
+
+    bool faultArmed_ = false;
+    u64 faultCountdown_ = 0;
+    support::Rng faultRng_{0};
+
+    bool faultFires();
+};
+
+} // namespace rio::os
+
+#endif // RIO_OS_LOCKS_HH

@@ -1,0 +1,753 @@
+#include "os/ufs.hh"
+
+#include <cassert>
+#include <cstring>
+
+#include "os/dma.hh"
+
+namespace rio::os
+{
+
+Ufs::Ufs(sim::Machine &machine, KProcTable &procs, KCopy &kcopy,
+         LockTable &locks, const KernelConfig &config, BufferCache &buf,
+         Ubc &ubc)
+    : machine_(machine), procs_(procs), kcopy_(kcopy), locks_(locks),
+      config_(config), buf_(buf), ubc_(ubc)
+{
+    fsLock_ = locks_.add("filesystem");
+    scratch_.assign(kBlockSize, 0);
+}
+
+namespace
+{
+
+/** Compute the geometry mkfs will use for a disk of @p totalBlocks. */
+UfsGeometry
+computeGeometry(u32 totalBlocks)
+{
+    UfsGeometry geo;
+    geo.totalBlocks = totalBlocks;
+    geo.inodeCount = std::min<u32>(
+        65536, std::max<u32>(256, totalBlocks / 4));
+    const u32 bitsPerBlock = static_cast<u32>(Ufs::kBlockSize * 8);
+    const u32 ibmBlocks = (geo.inodeCount + bitsPerBlock - 1) /
+                          bitsPerBlock;
+    geo.ibmStart = 1;
+    geo.dbmStart = geo.ibmStart + ibmBlocks;
+    geo.dbmBlocks = (totalBlocks + bitsPerBlock - 1) / bitsPerBlock;
+    geo.itStart = geo.dbmStart + geo.dbmBlocks;
+    geo.itBlocks = static_cast<u32>(
+        (geo.inodeCount + Ufs::kInodesPerBlock - 1) /
+        Ufs::kInodesPerBlock);
+    geo.dataStart = geo.itStart + geo.itBlocks;
+    geo.logBlocks = Ufs::kDefaultLogBlocks;
+    geo.logStart = totalBlocks - geo.logBlocks;
+    return geo;
+}
+
+void
+putU32(std::vector<u8> &block, u64 off, u32 value)
+{
+    std::memcpy(block.data() + off, &value, 4);
+}
+
+void
+setBit(std::vector<u8> &block, u64 bit)
+{
+    block[bit / 8] |= static_cast<u8>(1u << (bit % 8));
+}
+
+} // namespace
+
+void
+Ufs::mkfs(sim::Disk &disk, sim::SimClock &clock)
+{
+    const u32 totalBlocks =
+        static_cast<u32>(disk.numSectors() / sim::kSectorsPerBlock);
+    const UfsGeometry geo = computeGeometry(totalBlocks);
+    assert(geo.dataStart < geo.logStart);
+
+    std::vector<u8> block(kBlockSize, 0);
+    auto writeBlock = [&](BlockNo blkno) {
+        disk.write(static_cast<SectorNo>(blkno) * sim::kSectorsPerBlock,
+                   sim::kSectorsPerBlock, block, clock);
+        std::fill(block.begin(), block.end(), 0);
+    };
+
+    // Superblock.
+    putU32(block, kSbMagic, kSuperMagic);
+    putU32(block, kSbTotalBlocks, geo.totalBlocks);
+    putU32(block, kSbInodeCount, geo.inodeCount);
+    putU32(block, kSbIbmStart, geo.ibmStart);
+    putU32(block, kSbDbmStart, geo.dbmStart);
+    putU32(block, kSbDbmBlocks, geo.dbmBlocks);
+    putU32(block, kSbItStart, geo.itStart);
+    putU32(block, kSbItBlocks, geo.itBlocks);
+    putU32(block, kSbDataStart, geo.dataStart);
+    putU32(block, kSbLogStart, geo.logStart);
+    putU32(block, kSbLogBlocks, geo.logBlocks);
+    putU32(block, kSbFreeBlocks, geo.logStart - geo.dataStart);
+    putU32(block, kSbFreeInodes, geo.inodeCount - 2);
+    putU32(block, kSbRootIno, kRootIno);
+    putU32(block, kSbClean, 1);
+    putU32(block, kSbMountCount, 0);
+    writeBlock(0);
+
+    // Inode bitmap: inode 0 (reserved) and 1 (root) in use.
+    setBit(block, 0);
+    setBit(block, kRootIno);
+    writeBlock(geo.ibmStart);
+
+    // Data bitmap: metadata blocks and the log area are in use.
+    for (u32 bb = 0; bb < geo.dbmBlocks; ++bb) {
+        const u64 firstBit = bb * kBlockSize * 8;
+        for (u64 bit = 0; bit < kBlockSize * 8; ++bit) {
+            const u64 blk = firstBit + bit;
+            if (blk >= geo.totalBlocks)
+                break;
+            if (blk < geo.dataStart || blk >= geo.logStart)
+                setBit(block, bit);
+        }
+        writeBlock(geo.dbmStart + bb);
+    }
+
+    // Inode table: all zero except the root directory inode.
+    for (u32 tb = 0; tb < geo.itBlocks; ++tb) {
+        if (tb == 0) {
+            const u64 off = kRootIno * kInodeSize;
+            const u16 type = static_cast<u16>(FileType::Dir);
+            const u16 nlink = 1;
+            std::memcpy(block.data() + off + 0, &type, 2);
+            std::memcpy(block.data() + off + 2, &nlink, 2);
+        }
+        writeBlock(geo.itStart + tb);
+    }
+}
+
+u32
+Ufs::superRead(u64 off)
+{
+    const auto ref = buf_.bread(dev_, 0);
+    const u32 value = buf_.read32(ref, off);
+    buf_.brelse(ref);
+    return value;
+}
+
+void
+Ufs::superWrite(u64 off, u32 value)
+{
+    const auto ref = buf_.bread(dev_, 0);
+    {
+        BufferCache::WriteWindow window(buf_, ref);
+        window.store32(off, value);
+    }
+    // Superblock summary counters are always delayed, as in real UFS
+    // (fsck recomputes them); only mount/unmount writes synchronously.
+    buf_.bdwrite(ref);
+}
+
+void
+Ufs::checkGeometry()
+{
+    const bool sane =
+        geo_.totalBlocks > 0 &&
+        geo_.ibmStart >= 1 &&
+        geo_.dbmStart > geo_.ibmStart &&
+        geo_.itStart > geo_.dbmStart &&
+        geo_.dataStart > geo_.itStart &&
+        geo_.logStart > geo_.dataStart &&
+        geo_.logStart + geo_.logBlocks == geo_.totalBlocks &&
+        geo_.inodeCount >= 2;
+    if (!sane) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "mount: superblock geometry insane");
+    }
+}
+
+Result<void>
+Ufs::mount(DevNo dev, sim::Disk &disk)
+{
+    dev_ = dev;
+    disk_ = &disk;
+    const auto ref = buf_.bread(dev_, 0);
+    if (buf_.read32(ref, kSbMagic) != kSuperMagic) {
+        buf_.brelse(ref);
+        return OsStatus::Io;
+    }
+    geo_.totalBlocks = buf_.read32(ref, kSbTotalBlocks);
+    geo_.inodeCount = buf_.read32(ref, kSbInodeCount);
+    geo_.ibmStart = buf_.read32(ref, kSbIbmStart);
+    geo_.dbmStart = buf_.read32(ref, kSbDbmStart);
+    geo_.dbmBlocks = buf_.read32(ref, kSbDbmBlocks);
+    geo_.itStart = buf_.read32(ref, kSbItStart);
+    geo_.itBlocks = buf_.read32(ref, kSbItBlocks);
+    geo_.dataStart = buf_.read32(ref, kSbDataStart);
+    geo_.logStart = buf_.read32(ref, kSbLogStart);
+    geo_.logBlocks = buf_.read32(ref, kSbLogBlocks);
+    checkGeometry();
+    {
+        BufferCache::WriteWindow window(buf_, ref);
+        window.store32(kSbClean, 0);
+        window.store32(kSbMountCount,
+                       buf_.read32(ref, kSbMountCount) + 1);
+    }
+    buf_.bwrite(ref); // Mount marker is always synchronous.
+    freeBlocksCache_ = superRead(kSbFreeBlocks);
+    freeInodesCache_ = superRead(kSbFreeInodes);
+    sbCountersDirty_ = false;
+    allocRotor_ = geo_.dataStart;
+    mounted_ = true;
+    return {};
+}
+
+void
+Ufs::unmount()
+{
+    if (!mounted_)
+        return;
+    syncAll(true);
+    const auto ref = buf_.bread(dev_, 0);
+    {
+        BufferCache::WriteWindow window(buf_, ref);
+        window.store32(kSbClean, 1);
+    }
+    buf_.bwrite(ref);
+    disk_->drain(machine_.clock());
+    mounted_ = false;
+}
+
+u32
+Ufs::freeBlocks()
+{
+    return freeBlocksCache_;
+}
+
+u32
+Ufs::freeInodes()
+{
+    return freeInodesCache_;
+}
+
+// Summary counters live in the in-core superblock, as in real UFS;
+// they are pushed to the cached superblock block at sync time and
+// recomputed by fsck after a crash.
+void
+Ufs::adjustFreeBlocks(i64 delta)
+{
+    freeBlocksCache_ =
+        static_cast<u32>(static_cast<i64>(freeBlocksCache_) + delta);
+    sbCountersDirty_ = true;
+}
+
+void
+Ufs::adjustFreeInodes(i64 delta)
+{
+    freeInodesCache_ =
+        static_cast<u32>(static_cast<i64>(freeInodesCache_) + delta);
+    sbCountersDirty_ = true;
+}
+
+void
+Ufs::pushSuperCounters()
+{
+    if (!sbCountersDirty_)
+        return;
+    sbCountersDirty_ = false;
+    superWrite(kSbFreeBlocks, freeBlocksCache_);
+    superWrite(kSbFreeInodes, freeInodesCache_);
+}
+
+BlockNo
+Ufs::inodeBlock(InodeNo ino) const
+{
+    return geo_.itStart + static_cast<BlockNo>(ino / kInodesPerBlock);
+}
+
+Addr
+Ufs::inodeOffsetInBlock(InodeNo ino) const
+{
+    return (ino % kInodesPerBlock) * kInodeSize;
+}
+
+Result<InodeData>
+Ufs::iget(InodeNo ino)
+{
+    procs_.enter(ProcId::UfsIget);
+    if (ino == 0 || ino >= geo_.inodeCount) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "iget: inode number out of range");
+    }
+    const auto ref = buf_.bread(dev_, inodeBlock(ino));
+    const u64 base = inodeOffsetInBlock(ino);
+    InodeData inode;
+    const u16 rawType = buf_.read16(ref, base + 0);
+    if (rawType > static_cast<u16>(FileType::Symlink)) {
+        buf_.brelse(ref);
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "iget: inode has impossible type");
+    }
+    inode.type = static_cast<FileType>(rawType);
+    inode.nlink = buf_.read16(ref, base + 2);
+    inode.gen = buf_.read32(ref, base + 4);
+    inode.size = buf_.read64(ref, base + 8);
+    if (inode.size > kMaxFileBytes) {
+        buf_.brelse(ref);
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "iget: inode size exceeds maximum file size");
+    }
+    inode.mtime = buf_.read64(ref, base + 16);
+    for (u64 i = 0; i < kDirectBlocks; ++i)
+        inode.direct[i] = buf_.read32(ref, base + 24 + i * 4);
+    inode.indirect = buf_.read32(ref, base + 72);
+    inode.doubleIndirect = buf_.read32(ref, base + 76);
+    buf_.brelse(ref);
+    if (inode.type == FileType::Free)
+        return OsStatus::Stale;
+    return inode;
+}
+
+void
+Ufs::iupdate(InodeNo ino, const InodeData &inode)
+{
+    procs_.enter(ProcId::UfsIupdate);
+    if (ino == 0 || ino >= geo_.inodeCount) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "iupdate: inode number out of range");
+    }
+    const auto ref = buf_.bread(dev_, inodeBlock(ino));
+    const u64 base = inodeOffsetInBlock(ino);
+    {
+        BufferCache::WriteWindow window(buf_, ref);
+        window.store16(base + 0, static_cast<u16>(inode.type));
+        window.store16(base + 2, inode.nlink);
+        window.store32(base + 4, inode.gen);
+        window.store64(base + 8, inode.size);
+        window.store64(base + 16, inode.mtime);
+        for (u64 i = 0; i < kDirectBlocks; ++i)
+            window.store32(base + 24 + i * 4, inode.direct[i]);
+        window.store32(base + 72, inode.indirect);
+        window.store32(base + 76, inode.doubleIndirect);
+    }
+    buf_.releaseWrite(ref);
+}
+
+Result<InodeNo>
+Ufs::ialloc(FileType type)
+{
+    procs_.enter(ProcId::UfsIalloc);
+    assert(type != FileType::Free);
+    const u32 bitsPerBlock = static_cast<u32>(kBlockSize * 8);
+    for (u32 bb = 0; bb * bitsPerBlock < geo_.inodeCount; ++bb) {
+        const auto ref = buf_.bread(dev_, geo_.ibmStart + bb);
+        const u64 limit =
+            std::min<u64>(bitsPerBlock,
+                          geo_.inodeCount - bb * bitsPerBlock);
+        for (u64 word = 0; word * 64 < limit; ++word) {
+            const u64 bits = buf_.read64(ref, word * 8);
+            if (bits == ~0ull)
+                continue;
+            for (u64 bit = 0; bit < 64 && word * 64 + bit < limit;
+                 ++bit) {
+                if (bits & (1ull << bit))
+                    continue;
+                const InodeNo ino = static_cast<InodeNo>(
+                    bb * bitsPerBlock + word * 64 + bit);
+                if (ino == 0)
+                    continue;
+                {
+                    BufferCache::WriteWindow window(buf_, ref);
+                    window.store64(word * 8, bits | (1ull << bit));
+                }
+                buf_.releaseWrite(ref);
+                InodeData inode;
+                inode.type = type;
+                inode.nlink = 1;
+                inode.gen = 1;
+                inode.size = 0;
+                inode.mtime = machine_.clock().now();
+                iupdate(ino, inode);
+                adjustFreeInodes(-1);
+                return ino;
+            }
+        }
+        buf_.brelse(ref);
+    }
+    return OsStatus::NoSpace;
+}
+
+void
+Ufs::ifree(InodeNo ino)
+{
+    if (ino == 0 || ino >= geo_.inodeCount) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "ifree: inode number out of range");
+    }
+    const u32 bitsPerBlock = static_cast<u32>(kBlockSize * 8);
+    const auto ref = buf_.bread(dev_, geo_.ibmStart + ino / bitsPerBlock);
+    const u64 bit = ino % bitsPerBlock;
+    const u64 bits = buf_.read64(ref, (bit / 64) * 8);
+    if (!(bits & (1ull << (bit % 64)))) {
+        buf_.brelse(ref);
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "ifree: freeing free inode");
+    }
+    {
+        BufferCache::WriteWindow window(buf_, ref);
+        window.store64((bit / 64) * 8, bits & ~(1ull << (bit % 64)));
+    }
+    buf_.releaseWrite(ref);
+    InodeData dead;
+    dead.type = FileType::Free;
+    iupdate(ino, dead);
+    adjustFreeInodes(1);
+}
+
+Result<BlockNo>
+Ufs::balloc()
+{
+    procs_.enter(ProcId::UfsBalloc);
+    const u32 bitsPerBlock = static_cast<u32>(kBlockSize * 8);
+    // Two passes: rotor to end, then start to rotor.
+    for (int pass = 0; pass < 2; ++pass) {
+        const u32 from = pass == 0 ? allocRotor_ : geo_.dataStart;
+        const u32 to = pass == 0 ? geo_.logStart : allocRotor_;
+        u32 blk = from;
+        while (blk < to) {
+            const u32 bb = blk / bitsPerBlock;
+            const auto ref = buf_.bread(dev_, geo_.dbmStart + bb);
+            const u64 blockFirst = static_cast<u64>(bb) * bitsPerBlock;
+            bool found = false;
+            u64 word = (blk - blockFirst) / 64;
+            const u64 lastBit =
+                std::min<u64>(bitsPerBlock,
+                              static_cast<u64>(to) - blockFirst);
+            for (; word * 64 < lastBit && !found; ++word) {
+                const u64 bits = buf_.read64(ref, word * 8);
+                if (bits == ~0ull)
+                    continue;
+                for (u64 bit = 0; bit < 64; ++bit) {
+                    const u64 candidate = blockFirst + word * 64 + bit;
+                    if (candidate < blk || candidate >= to)
+                        continue;
+                    if (bits & (1ull << bit))
+                        continue;
+                    {
+                        BufferCache::WriteWindow window(buf_, ref);
+                        window.store64(word * 8,
+                                       bits | (1ull << bit));
+                    }
+                    buf_.releaseWrite(ref);
+                    adjustFreeBlocks(-1);
+                    allocRotor_ = static_cast<u32>(candidate + 1);
+                    if (allocRotor_ >= geo_.logStart)
+                        allocRotor_ = geo_.dataStart;
+                    return static_cast<BlockNo>(candidate);
+                }
+            }
+            buf_.brelse(ref);
+            blk = static_cast<u32>(blockFirst + bitsPerBlock);
+        }
+    }
+    return OsStatus::NoSpace;
+}
+
+void
+Ufs::bfree(BlockNo block)
+{
+    if (block < geo_.dataStart || block >= geo_.logStart) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "bfree: freeing non-data block");
+    }
+    const u32 bitsPerBlock = static_cast<u32>(kBlockSize * 8);
+    const auto ref = buf_.bread(dev_, geo_.dbmStart + block / bitsPerBlock);
+    const u64 bit = block % bitsPerBlock;
+    const u64 bits = buf_.read64(ref, (bit / 64) * 8);
+    if (!(bits & (1ull << (bit % 64)))) {
+        buf_.brelse(ref);
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "bfree: freeing free block");
+    }
+    {
+        BufferCache::WriteWindow window(buf_, ref);
+        window.store64((bit / 64) * 8, bits & ~(1ull << (bit % 64)));
+    }
+    buf_.releaseWrite(ref);
+    buf_.invalidateBlock(dev_, block);
+    adjustFreeBlocks(1);
+}
+
+Result<BlockNo>
+Ufs::bmap(InodeNo ino, InodeData &inode, u64 fileBlock, bool allocate)
+{
+    procs_.enter(ProcId::UfsBmap);
+    if (fileBlock >= kMaxFileBlocks)
+        return OsStatus::TooBig;
+
+    if (fileBlock < kDirectBlocks) {
+        BlockNo block = inode.direct[fileBlock];
+        if (block == 0 && allocate) {
+            auto alloc = balloc();
+            if (!alloc.ok())
+                return alloc.status();
+            block = alloc.value();
+            inode.direct[fileBlock] = block;
+            iupdate(ino, inode);
+        }
+        if (block != 0 &&
+            (block < geo_.dataStart || block >= geo_.logStart)) {
+            machine_.crash(sim::CrashCause::ConsistencyCheck,
+                           "bmap: direct block pointer insane");
+        }
+        return block;
+    }
+
+    if (fileBlock >= kDirectBlocks + kIndirectEntries)
+        return bmapDouble(ino, inode, fileBlock, allocate);
+
+    // Single indirect.
+    const u64 slot = fileBlock - kDirectBlocks;
+    if (inode.indirect == 0) {
+        if (!allocate)
+            return BlockNo{0};
+        auto alloc = balloc();
+        if (!alloc.ok())
+            return alloc.status();
+        inode.indirect = alloc.value();
+        const auto iref = buf_.getblk(dev_, inode.indirect);
+        {
+            BufferCache::WriteWindow window(buf_, iref);
+            window.zero(0, kBlockSize);
+        }
+        buf_.releaseWrite(iref);
+        iupdate(ino, inode);
+    }
+    if (inode.indirect < geo_.dataStart ||
+        inode.indirect >= geo_.logStart) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "bmap: indirect block pointer insane");
+    }
+    const auto iref = buf_.bread(dev_, inode.indirect);
+    BlockNo block = buf_.read32(iref, slot * 4);
+    if (block == 0 && allocate) {
+        auto alloc = balloc();
+        if (!alloc.ok()) {
+            buf_.brelse(iref);
+            return alloc.status();
+        }
+        block = alloc.value();
+        {
+            BufferCache::WriteWindow window(buf_, iref);
+            window.store32(slot * 4, block);
+        }
+        buf_.releaseWrite(iref);
+    } else {
+        buf_.brelse(iref);
+    }
+    if (block != 0 && (block < geo_.dataStart || block >= geo_.logStart)) {
+        machine_.crash(sim::CrashCause::ConsistencyCheck,
+                       "bmap: indirect entry insane");
+    }
+    return block;
+}
+
+Result<BlockNo>
+Ufs::bmapDouble(InodeNo ino, InodeData &inode, u64 fileBlock,
+                bool allocate)
+{
+    const u64 rest = fileBlock - kDirectBlocks - kIndirectEntries;
+    const u64 outerSlot = rest / kIndirectEntries;
+    const u64 innerSlot = rest % kIndirectEntries;
+
+    auto checkBlock = [&](BlockNo block, const char *what) {
+        if (block != 0 &&
+            (block < geo_.dataStart || block >= geo_.logStart)) {
+            machine_.crash(sim::CrashCause::ConsistencyCheck,
+                           std::string("bmap: ") + what + " insane");
+        }
+    };
+
+    if (inode.doubleIndirect == 0) {
+        if (!allocate)
+            return BlockNo{0};
+        auto alloc = balloc();
+        if (!alloc.ok())
+            return alloc.status();
+        inode.doubleIndirect = alloc.value();
+        const auto dref = buf_.getblk(dev_, inode.doubleIndirect);
+        {
+            BufferCache::WriteWindow window(buf_, dref);
+            window.zero(0, kBlockSize);
+        }
+        buf_.releaseWrite(dref);
+        iupdate(ino, inode);
+    }
+    checkBlock(inode.doubleIndirect, "double-indirect block pointer");
+
+    const auto dref = buf_.bread(dev_, inode.doubleIndirect);
+    BlockNo innerBlock = buf_.read32(dref, outerSlot * 4);
+    if (innerBlock == 0 && allocate) {
+        auto alloc = balloc();
+        if (!alloc.ok()) {
+            buf_.brelse(dref);
+            return alloc.status();
+        }
+        innerBlock = alloc.value();
+        {
+            BufferCache::WriteWindow window(buf_, dref);
+            window.store32(outerSlot * 4, innerBlock);
+        }
+        buf_.releaseWrite(dref);
+        const auto zref = buf_.getblk(dev_, innerBlock);
+        {
+            BufferCache::WriteWindow window(buf_, zref);
+            window.zero(0, kBlockSize);
+        }
+        buf_.releaseWrite(zref);
+    } else {
+        buf_.brelse(dref);
+    }
+    if (innerBlock == 0)
+        return BlockNo{0};
+    checkBlock(innerBlock, "double-indirect outer entry");
+
+    const auto iref = buf_.bread(dev_, innerBlock);
+    BlockNo block = buf_.read32(iref, innerSlot * 4);
+    if (block == 0 && allocate) {
+        auto alloc = balloc();
+        if (!alloc.ok()) {
+            buf_.brelse(iref);
+            return alloc.status();
+        }
+        block = alloc.value();
+        {
+            BufferCache::WriteWindow window(buf_, iref);
+            window.store32(innerSlot * 4, block);
+        }
+        buf_.releaseWrite(iref);
+    } else {
+        buf_.brelse(iref);
+    }
+    checkBlock(block, "double-indirect inner entry");
+    return block;
+}
+
+void
+Ufs::freeDoubleIndirect(InodeData &inode, u64 fromBlock)
+{
+    if (inode.doubleIndirect == 0)
+        return;
+    const u64 doubleStart = kDirectBlocks + kIndirectEntries;
+    const u64 restFrom =
+        fromBlock > doubleStart ? fromBlock - doubleStart : 0;
+    const u64 firstOuter = restFrom / kIndirectEntries;
+    const u64 firstInner = restFrom % kIndirectEntries;
+
+    const auto dref = buf_.bread(dev_, inode.doubleIndirect);
+    std::vector<std::pair<u64, BlockNo>> inners;
+    for (u64 outer = firstOuter; outer < kIndirectEntries; ++outer) {
+        const BlockNo innerBlock = buf_.read32(dref, outer * 4);
+        if (innerBlock != 0)
+            inners.push_back({outer, innerBlock});
+    }
+
+    const bool freeAll = restFrom == 0;
+    if (!freeAll) {
+        // Clear the outer entries we are about to dismantle, except
+        // a partially-kept boundary inner block.
+        BufferCache::WriteWindow window(buf_, dref);
+        for (const auto &[outer, innerBlock] : inners) {
+            if (outer == firstOuter && firstInner != 0)
+                continue;
+            window.store32(outer * 4, 0);
+        }
+    }
+    buf_.releaseWrite(dref);
+
+    std::vector<BlockNo> toFree;
+    for (const auto &[outer, innerBlock] : inners) {
+        const bool boundary = outer == firstOuter && firstInner != 0;
+        const u64 startSlot = boundary ? firstInner : 0;
+        const auto iref = buf_.bread(dev_, innerBlock);
+        std::vector<BlockNo> entries;
+        for (u64 slot = startSlot; slot < kIndirectEntries; ++slot) {
+            const BlockNo block = buf_.read32(iref, slot * 4);
+            if (block != 0)
+                entries.push_back(block);
+        }
+        if (boundary) {
+            BufferCache::WriteWindow window(buf_, iref);
+            for (u64 slot = startSlot; slot < kIndirectEntries;
+                 ++slot) {
+                window.store32(slot * 4, 0);
+            }
+            buf_.releaseWrite(iref);
+        } else {
+            buf_.brelse(iref);
+            toFree.push_back(innerBlock);
+        }
+        for (const BlockNo block : entries)
+            toFree.push_back(block);
+    }
+    if (freeAll) {
+        toFree.push_back(inode.doubleIndirect);
+        inode.doubleIndirect = 0;
+    }
+    for (const BlockNo block : toFree)
+        bfree(block);
+}
+
+void
+Ufs::freeFileBlocks(InodeNo ino, InodeData &inode, u64 fromBlock)
+{
+    freeDoubleIndirect(inode, fromBlock);
+    for (u64 i = fromBlock; i < kDirectBlocks; ++i) {
+        if (inode.direct[i] != 0) {
+            bfree(inode.direct[i]);
+            inode.direct[i] = 0;
+        }
+    }
+    if (inode.indirect != 0) {
+        const u64 firstSlot =
+            fromBlock > kDirectBlocks ? fromBlock - kDirectBlocks : 0;
+        const auto iref = buf_.bread(dev_, inode.indirect);
+        std::vector<BlockNo> toFree;
+        for (u64 slot = firstSlot; slot < kIndirectEntries; ++slot) {
+            const BlockNo block = buf_.read32(iref, slot * 4);
+            if (block != 0)
+                toFree.push_back(block);
+        }
+        if (firstSlot == 0) {
+            buf_.brelse(iref);
+            const BlockNo indirect = inode.indirect;
+            inode.indirect = 0;
+            for (const BlockNo block : toFree)
+                bfree(block);
+            bfree(indirect);
+        } else {
+            {
+                BufferCache::WriteWindow window(buf_, iref);
+                for (u64 slot = firstSlot; slot < kIndirectEntries;
+                     ++slot) {
+                    window.store32(slot * 4, 0);
+                }
+            }
+            buf_.releaseWrite(iref);
+            for (const BlockNo block : toFree)
+                bfree(block);
+        }
+    }
+    (void)ino;
+}
+
+bool
+Ufs::inodeValid(InodeNo ino)
+{
+    if (ino == 0 || ino >= geo_.inodeCount)
+        return false;
+    const auto ref = buf_.bread(dev_, inodeBlock(ino));
+    const u16 rawType = buf_.read16(ref, inodeOffsetInBlock(ino));
+    buf_.brelse(ref);
+    return rawType != 0 && rawType <= static_cast<u16>(FileType::Symlink);
+}
+
+} // namespace rio::os

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * A UFS-style on-disk file system.
+ *
+ * Metadata (superblock, bitmaps, inodes, directories, indirect
+ * blocks) moves through the buffer cache; regular file data moves
+ * through the UBC (Ufs implements BackingStore for it). All metadata
+ * mutations use BufferCache::WriteWindow + releaseWrite(), so the
+ * kernel's MetadataPolicy — synchronous UFS ordering, delayed
+ * no-order writes, AdvFS-style journalling, or Rio's never-write —
+ * applies uniformly.
+ *
+ * On-disk layout (8 KB blocks):
+ *   block 0                 superblock
+ *   ibmStart..              inode bitmap
+ *   dbmStart..              data-block bitmap
+ *   itStart..               inode table (128 B inodes, 64 per block)
+ *   dataStart..logStart-1   data blocks
+ *   logStart..              metadata journal (Journal fs only)
+ */
+
+#ifndef RIO_OS_UFS_HH
+#define RIO_OS_UFS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/buf.hh"
+#include "os/kconfig.hh"
+#include "os/ubc.hh"
+#include "support/errors.hh"
+
+namespace rio::os
+{
+
+using support::OsStatus;
+using support::Result;
+
+enum class FileType : u16
+{
+    Free = 0,
+    Regular = 1,
+    Dir = 2,
+    Symlink = 3,
+};
+
+/** In-core copy of an on-disk inode. */
+struct InodeData
+{
+    FileType type = FileType::Free;
+    u16 nlink = 0;
+    u32 gen = 0;
+    u64 size = 0;
+    u64 mtime = 0;
+    u32 direct[12] = {};
+    u32 indirect = 0;
+    u32 doubleIndirect = 0;
+};
+
+struct DirEntry
+{
+    std::string name;
+    InodeNo ino = 0;
+    FileType type = FileType::Free;
+};
+
+struct UfsGeometry
+{
+    u32 totalBlocks = 0;
+    u32 inodeCount = 0;
+    u32 ibmStart = 0;
+    u32 dbmStart = 0;
+    u32 dbmBlocks = 0;
+    u32 itStart = 0;
+    u32 itBlocks = 0;
+    u32 dataStart = 0;
+    u32 logStart = 0;
+    u32 logBlocks = 0;
+};
+
+class Ufs : public BackingStore
+{
+  public:
+    static constexpr u32 kSuperMagic = 0x52F51996;
+    static constexpr u64 kBlockSize = sim::kPageSize;
+    static constexpr u64 kInodeSize = 128;
+    static constexpr u64 kInodesPerBlock = kBlockSize / kInodeSize;
+    static constexpr u64 kDirentSize = 64;
+    static constexpr u64 kDirentsPerBlock = kBlockSize / kDirentSize;
+    static constexpr u64 kNameMax = 56;
+    static constexpr u64 kDirectBlocks = 12;
+    static constexpr u64 kIndirectEntries = kBlockSize / 4;
+    static constexpr u64 kMaxFileBlocks =
+        kDirectBlocks + kIndirectEntries +
+        kIndirectEntries * kIndirectEntries;
+    static constexpr u64 kMaxFileBytes = kMaxFileBlocks * kBlockSize;
+    static constexpr InodeNo kRootIno = 1;
+    static constexpr u32 kDefaultLogBlocks = 64;
+
+    /** @{ Superblock field offsets. */
+    static constexpr u64 kSbMagic = 0;
+    static constexpr u64 kSbTotalBlocks = 4;
+    static constexpr u64 kSbInodeCount = 8;
+    static constexpr u64 kSbIbmStart = 12;
+    static constexpr u64 kSbDbmStart = 16;
+    static constexpr u64 kSbDbmBlocks = 20;
+    static constexpr u64 kSbItStart = 24;
+    static constexpr u64 kSbItBlocks = 28;
+    static constexpr u64 kSbDataStart = 32;
+    static constexpr u64 kSbLogStart = 36;
+    static constexpr u64 kSbLogBlocks = 40;
+    static constexpr u64 kSbFreeBlocks = 44;
+    static constexpr u64 kSbFreeInodes = 48;
+    static constexpr u64 kSbRootIno = 52;
+    static constexpr u64 kSbClean = 56;
+    static constexpr u64 kSbMountCount = 60;
+    /** @} */
+
+    Ufs(sim::Machine &machine, KProcTable &procs, KCopy &kcopy,
+        LockTable &locks, const KernelConfig &config, BufferCache &buf,
+        Ubc &ubc);
+
+    /** Format a fresh file system on @p disk (host-side, at setup). */
+    static void mkfs(sim::Disk &disk, sim::SimClock &clock);
+
+    /**
+     * Mount the device. Fails with OsStatus::Io on a bad superblock.
+     * The caller is expected to have run fsck if the fs was dirty.
+     * @param disk The device the file data pages spill to / fill
+     *             from (the same device the buffer cache uses).
+     */
+    Result<void> mount(DevNo dev, sim::Disk &disk);
+
+    /** Clean shutdown: flush everything and mark the fs clean. */
+    void unmount();
+
+    bool mounted() const { return mounted_; }
+    DevNo dev() const { return dev_; }
+    const UfsGeometry &geometry() const { return geo_; }
+    u32 freeBlocks();
+    u32 freeInodes();
+
+    /** @{ Inode operations. */
+    Result<InodeData> iget(InodeNo ino);
+    void iupdate(InodeNo ino, const InodeData &inode);
+    Result<InodeNo> ialloc(FileType type);
+    void ifree(InodeNo ino);
+    /** @} */
+
+    /**
+     * Map file block @p fileBlock of @p inode to a disk block,
+     * allocating one (and updating @p inode) if @p allocate.
+     * @return 0 for a hole when not allocating.
+     */
+    Result<BlockNo> bmap(InodeNo ino, InodeData &inode, u64 fileBlock,
+                         bool allocate);
+
+    /** @{ Directory operations (by directory inode). */
+    Result<InodeNo> dirLookup(InodeNo dir, std::string_view name);
+    Result<void> dirEnter(InodeNo dir, std::string_view name,
+                          InodeNo ino, FileType type);
+    Result<void> dirRemove(InodeNo dir, std::string_view name);
+    Result<bool> dirIsEmpty(InodeNo dir);
+    Result<std::vector<DirEntry>> dirList(InodeNo dir);
+    /** @} */
+
+    /** @{ Path operations (absolute paths, '/'-separated). */
+    Result<InodeNo> namei(std::string_view path);
+    Result<InodeNo> nameiNoFollow(std::string_view path);
+    Result<InodeNo> create(std::string_view path, FileType type);
+    /** Hard link: a second name for an existing regular file. */
+    Result<void> link(std::string_view existing,
+                      std::string_view linkpath);
+    Result<void> remove(std::string_view path);
+    Result<void> mkdir(std::string_view path);
+    Result<void> rmdir(std::string_view path);
+    Result<void> rename(std::string_view from, std::string_view to);
+    Result<void> symlink(std::string_view target,
+                         std::string_view linkpath);
+    Result<std::string> readlink(std::string_view path);
+    /** @} */
+
+    /** @{ File contents (via the UBC). */
+    Result<u64> readFile(InodeNo ino, u64 off, std::span<u8> out);
+    Result<u64> writeFile(InodeNo ino, u64 off,
+                          std::span<const u8> data);
+    Result<void> truncate(InodeNo ino, u64 newSize);
+    /** @} */
+
+    /** Make one file durable (data + metadata). */
+    void fsyncFile(InodeNo ino, bool waitMetadata);
+
+    /** Flush everything (sync(2) semantics; async issue). */
+    void syncAll(bool wait);
+
+    /** Push the in-core summary counters to the cached superblock. */
+    void pushSuperCounters();
+
+    /** @{ BackingStore (UBC pull interface). */
+    u32 fillPage(DevNo dev, InodeNo ino, u64 pageIdx,
+                 Addr pagePhys) override;
+    void spillPage(DevNo dev, InodeNo ino, u64 pageIdx, Addr pagePhys,
+                   u32 validBytes, bool sync) override;
+    /** @} */
+
+    /** True if @p ino is an allocated inode (warm-reboot restore). */
+    bool inodeValid(InodeNo ino);
+
+  private:
+    Result<InodeNo> nameiFrom(std::string_view path, int depth);
+    Result<std::pair<InodeNo, std::string>>
+    nameiParent(std::string_view path);
+    Result<BlockNo> balloc();
+    void bfree(BlockNo block);
+    Result<BlockNo> bmapDouble(InodeNo ino, InodeData &inode,
+                               u64 fileBlock, bool allocate);
+    void freeDoubleIndirect(InodeData &inode, u64 fromBlock);
+    void freeFileBlocks(InodeNo ino, InodeData &inode, u64 fromBlock);
+    void adjustFreeBlocks(i64 delta);
+    void adjustFreeInodes(i64 delta);
+    void superWrite(u64 off, u32 value);
+    u32 superRead(u64 off);
+    Addr inodeOffsetInBlock(InodeNo ino) const;
+    BlockNo inodeBlock(InodeNo ino) const;
+    void checkGeometry();
+
+    sim::Machine &machine_;
+    KProcTable &procs_;
+    KCopy &kcopy_;
+    LockTable &locks_;
+    const KernelConfig &config_;
+    BufferCache &buf_;
+    Ubc &ubc_;
+
+    bool mounted_ = false;
+    DevNo dev_ = 0;
+    sim::Disk *disk_ = nullptr;
+
+    /** Sequential-read tracking for the readahead overlap model. */
+    InodeNo lastFillIno_ = 0;
+    u64 lastFillPage_ = ~0ull;
+    SimNs lastFillEnd_ = 0;
+    UfsGeometry geo_;
+    LockId fsLock_ = 0;
+    u32 allocRotor_ = 0;
+    u32 freeBlocksCache_ = 0;
+    u32 freeInodesCache_ = 0;
+    bool sbCountersDirty_ = false;
+    std::vector<u8> scratch_;
+};
+
+} // namespace rio::os
+
+#endif // RIO_OS_UFS_HH

@@ -1,0 +1,350 @@
+#include "os/vfs.hh"
+
+#include <algorithm>
+
+namespace rio::os
+{
+
+Vfs::Vfs(sim::Machine &machine, KProcTable &procs, KernelHeap &heap,
+         const KernelConfig &config, Ufs &ufs, Ubc &ubc,
+         BufferCache &buf)
+    : machine_(machine), procs_(procs), heap_(heap), config_(config),
+      ufs_(ufs), ubc_(ubc), buf_(buf)
+{}
+
+void
+Vfs::sysEnter(ProcId proc)
+{
+    ++syscalls_;
+    SimNs entry = machine_.config().costs.syscallEntryNs;
+    if (machine_.bus().codePatching()) {
+        entry = static_cast<SimNs>(
+            static_cast<double>(entry) *
+            (1.0 + machine_.config().costs.patchKernelCpuOverhead));
+    }
+    machine_.clock().advance(entry);
+    procs_.enter(proc);
+    if (tick_)
+        tick_();
+}
+
+bool
+Vfs::reliabilitySyncsEnabled() const
+{
+    // Rio makes sync/fsync instantaneous: memory *is* permanent
+    // (section 2.3). The administrative override re-enables them.
+    return !config_.rio || config_.adminForceSync;
+}
+
+DataPolicy
+Vfs::effectiveDataPolicy() const
+{
+    if (config_.rio)
+        return config_.adminForceSync ? DataPolicy::Async64K
+                                      : DataPolicy::Never;
+    return config_.data;
+}
+
+Result<Process::Fd *>
+Vfs::fdOf(Process &proc, int fd)
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= proc.fds.size() ||
+        !proc.fds[fd].open) {
+        return support::OsStatus::BadFd;
+    }
+    return &proc.fds[fd];
+}
+
+Result<int>
+Vfs::open(Process &proc, std::string_view path, OpenFlags flags)
+{
+    sysEnter(ProcId::VfsOpen);
+    auto ino = ufs_.namei(path);
+    if (!ino.ok()) {
+        if (ino.status() != OsStatus::NoEnt || !flags.create)
+            return ino.status();
+        auto created = ufs_.create(path, FileType::Regular);
+        if (!created.ok())
+            return created.status();
+        ino = created;
+    } else if (flags.create && flags.excl) {
+        return OsStatus::Exist;
+    }
+
+    auto inode = ufs_.iget(ino.value());
+    if (!inode.ok())
+        return inode.status();
+    if (inode.value().type == FileType::Dir && flags.write)
+        return OsStatus::IsDir;
+
+    if (flags.trunc && flags.write &&
+        inode.value().type == FileType::Regular) {
+        auto truncated = ufs_.truncate(ino.value(), 0);
+        if (!truncated.ok())
+            return truncated.status();
+    }
+
+    // Find a free slot.
+    int fd = -1;
+    for (std::size_t i = 0; i < proc.fds.size(); ++i) {
+        if (!proc.fds[i].open) {
+            fd = static_cast<int>(i);
+            break;
+        }
+    }
+    if (fd < 0) {
+        if (proc.fds.size() >= config_.maxOpenFiles)
+            return OsStatus::MFile;
+        proc.fds.emplace_back();
+        fd = static_cast<int>(proc.fds.size() - 1);
+    }
+
+    Process::Fd &slot = proc.fds[fd];
+    slot.open = true;
+    slot.ino = ino.value();
+    slot.offset = flags.append ? inode.value().size : 0;
+    slot.flags = flags;
+    slot.bytesSinceFlush = 0;
+    slot.lastWriteEnd = ~0ull;
+    slot.kfile = heap_.alloc(64); // Kernel open-file structure.
+    return fd;
+}
+
+Result<void>
+Vfs::close(Process &proc, int fd)
+{
+    sysEnter(ProcId::VfsClose);
+    auto slot = fdOf(proc, fd);
+    if (!slot.ok())
+        return slot.status();
+    Process::Fd &entry = *slot.value();
+    const InodeNo ino = entry.ino;
+    const bool wrote = entry.flags.write;
+    heap_.free(entry.kfile);
+    entry = Process::Fd{};
+
+    if (config_.fsyncOnClose && wrote && reliabilitySyncsEnabled())
+        ufs_.fsyncFile(ino, true);
+    return {};
+}
+
+Result<u64>
+Vfs::read(Process &proc, int fd, std::span<u8> out)
+{
+    sysEnter(ProcId::VfsRead);
+    auto slot = fdOf(proc, fd);
+    if (!slot.ok())
+        return slot.status();
+    auto n = ufs_.readFile(slot.value()->ino, slot.value()->offset, out);
+    if (n.ok())
+        slot.value()->offset += n.value();
+    return n;
+}
+
+Result<u64>
+Vfs::pread(Process &proc, int fd, u64 off, std::span<u8> out)
+{
+    sysEnter(ProcId::VfsRead);
+    auto slot = fdOf(proc, fd);
+    if (!slot.ok())
+        return slot.status();
+    return ufs_.readFile(slot.value()->ino, off, out);
+}
+
+void
+Vfs::applyWritePolicy(Process::Fd &fd, u64 off, u64 n)
+{
+    switch (effectiveDataPolicy()) {
+      case DataPolicy::SyncOnWrite:
+        ufs_.fsyncFile(fd.ino, true);
+        return;
+      case DataPolicy::Async64K: {
+        const bool nonSequential =
+            fd.lastWriteEnd != ~0ull && off != fd.lastWriteEnd;
+        fd.bytesSinceFlush += n;
+        fd.lastWriteEnd = off + n;
+        if (fd.bytesSinceFlush >= config_.asyncFlushBytes ||
+            nonSequential) {
+            ubc_.flushFile(ufs_.dev(), fd.ino, false);
+            fd.bytesSinceFlush = 0;
+        }
+        return;
+      }
+      case DataPolicy::Delayed:
+      case DataPolicy::Never:
+        return;
+    }
+}
+
+Result<u64>
+Vfs::write(Process &proc, int fd, std::span<const u8> data)
+{
+    sysEnter(ProcId::VfsWrite);
+    auto slot = fdOf(proc, fd);
+    if (!slot.ok())
+        return slot.status();
+    Process::Fd &entry = *slot.value();
+    if (!entry.flags.write)
+        return OsStatus::Access;
+
+    u64 off = entry.offset;
+    if (entry.flags.append) {
+        auto inode = ufs_.iget(entry.ino);
+        if (!inode.ok())
+            return inode.status();
+        off = inode.value().size;
+    }
+    auto n = ufs_.writeFile(entry.ino, off, data);
+    if (!n.ok())
+        return n;
+    entry.offset = off + n.value();
+    applyWritePolicy(entry, off, n.value());
+    return n;
+}
+
+Result<u64>
+Vfs::pwrite(Process &proc, int fd, u64 off, std::span<const u8> data)
+{
+    sysEnter(ProcId::VfsWrite);
+    auto slot = fdOf(proc, fd);
+    if (!slot.ok())
+        return slot.status();
+    Process::Fd &entry = *slot.value();
+    if (!entry.flags.write)
+        return OsStatus::Access;
+    auto n = ufs_.writeFile(entry.ino, off, data);
+    if (!n.ok())
+        return n;
+    applyWritePolicy(entry, off, n.value());
+    return n;
+}
+
+Result<u64>
+Vfs::lseek(Process &proc, int fd, u64 pos)
+{
+    sysEnter(ProcId::VfsLseek);
+    auto slot = fdOf(proc, fd);
+    if (!slot.ok())
+        return slot.status();
+    slot.value()->offset = pos;
+    return pos;
+}
+
+Result<void>
+Vfs::fsync(Process &proc, int fd)
+{
+    sysEnter(ProcId::VfsFsync);
+    auto slot = fdOf(proc, fd);
+    if (!slot.ok())
+        return slot.status();
+    if (reliabilitySyncsEnabled())
+        ufs_.fsyncFile(slot.value()->ino, true);
+    return {};
+}
+
+void
+Vfs::sync()
+{
+    sysEnter(ProcId::VfsSync);
+    if (reliabilitySyncsEnabled())
+        ufs_.syncAll(false);
+}
+
+Result<void>
+Vfs::unlink(std::string_view path)
+{
+    sysEnter(ProcId::UfsRemove);
+    return ufs_.remove(path);
+}
+
+Result<void>
+Vfs::mkdir(std::string_view path)
+{
+    sysEnter(ProcId::UfsMkdir);
+    return ufs_.mkdir(path);
+}
+
+Result<void>
+Vfs::rmdir(std::string_view path)
+{
+    sysEnter(ProcId::UfsRmdir);
+    return ufs_.rmdir(path);
+}
+
+Result<void>
+Vfs::rename(std::string_view from, std::string_view to)
+{
+    sysEnter(ProcId::UfsRename);
+    return ufs_.rename(from, to);
+}
+
+Result<void>
+Vfs::link(std::string_view existing, std::string_view linkpath)
+{
+    sysEnter(ProcId::UfsCreate);
+    return ufs_.link(existing, linkpath);
+}
+
+Result<void>
+Vfs::truncate(std::string_view path, u64 size)
+{
+    sysEnter(ProcId::UfsTruncate);
+    auto ino = ufs_.namei(path);
+    if (!ino.ok())
+        return ino.status();
+    return ufs_.truncate(ino.value(), size);
+}
+
+Result<void>
+Vfs::symlink(std::string_view target, std::string_view linkpath)
+{
+    sysEnter(ProcId::UfsSymlink);
+    return ufs_.symlink(target, linkpath);
+}
+
+Result<std::string>
+Vfs::readlink(std::string_view path)
+{
+    sysEnter(ProcId::VfsStat);
+    return ufs_.readlink(path);
+}
+
+Result<Stat>
+Vfs::stat(std::string_view path)
+{
+    sysEnter(ProcId::VfsStat);
+    auto ino = ufs_.namei(path);
+    if (!ino.ok())
+        return ino.status();
+    auto inode = ufs_.iget(ino.value());
+    if (!inode.ok())
+        return inode.status();
+    Stat st;
+    st.type = inode.value().type;
+    st.size = inode.value().size;
+    st.nlink = inode.value().nlink;
+    st.mtime = inode.value().mtime;
+    st.ino = ino.value();
+    return st;
+}
+
+Result<std::vector<DirEntry>>
+Vfs::readdir(std::string_view path)
+{
+    sysEnter(ProcId::VfsReaddir);
+    auto ino = ufs_.namei(path);
+    if (!ino.ok())
+        return ino.status();
+    return ufs_.dirList(ino.value());
+}
+
+Result<u64>
+Vfs::restoreDataByIno(InodeNo ino, u64 off, std::span<const u8> data)
+{
+    sysEnter(ProcId::VfsWrite);
+    if (!ufs_.inodeValid(ino))
+        return OsStatus::Stale;
+    return ufs_.writeFile(ino, off, data);
+}
+
+} // namespace rio::os

@@ -1,0 +1,3 @@
+#include "sim/clock.hh"
+
+// SimClock is header-only; this translation unit anchors the library.

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Simulated time. The clock only moves when a component explicitly
+ * charges time to it (CPU work, disk latency, lock waits), making
+ * every run deterministic.
+ */
+
+#ifndef RIO_SIM_CLOCK_HH
+#define RIO_SIM_CLOCK_HH
+
+#include "support/types.hh"
+
+namespace rio::sim
+{
+
+class SimClock
+{
+  public:
+    /** Current simulated time in nanoseconds since boot. */
+    SimNs now() const { return now_; }
+
+    /** Advance time by @p ns. */
+    void advance(SimNs ns) { now_ += ns; }
+
+    /** Advance time to @p t if it is in the future. */
+    void
+    advanceTo(SimNs t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    /** Reset to zero (new boot). */
+    void reset() { now_ = 0; }
+
+    /** Convenience: seconds as a double, for reports. */
+    double seconds() const { return static_cast<double>(now_) * 1e-9; }
+
+  private:
+    SimNs now_ = 0;
+};
+
+/** Nanoseconds in one simulated second. */
+constexpr SimNs kNsPerSec = 1'000'000'000ull;
+
+} // namespace rio::sim
+
+#endif // RIO_SIM_CLOCK_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Configuration of the simulated machine: memory geometry, disk
+ * geometry, and the cost model used to advance simulated time.
+ *
+ * Defaults approximate the paper's testbed, a DEC 3000/600 (175 MHz
+ * Alpha 21064) with 128 MB of memory and early-90s SCSI disks. Tests
+ * shrink the memory and disk via these knobs; the code paths are
+ * identical at every scale.
+ */
+
+#ifndef RIO_SIM_CONFIG_HH
+#define RIO_SIM_CONFIG_HH
+
+#include "support/types.hh"
+
+namespace rio::sim
+{
+
+/** Page size used by the paper's platform (8 KB). */
+constexpr u64 kPageSize = 8192;
+constexpr u64 kPageShift = 13;
+
+/** Disk sector size. */
+constexpr u64 kSectorSize = 512;
+
+/** Sectors per file-system block (8 KB blocks). */
+constexpr u64 kSectorsPerBlock = kPageSize / kSectorSize;
+
+/**
+ * Cost model constants, all in nanoseconds unless noted.
+ * See DESIGN.md section 5 for the derivation.
+ */
+struct CostModel
+{
+    /** Kernel entry/exit for one system call. */
+    SimNs syscallEntryNs = 6000;
+
+    /** Cost per byte moved by kernel copy routines (~300 MB/s, the
+     * Alpha 21064's effective bcopy bandwidth). */
+    double copyNsPerByte = 3.0;
+
+    /** Single load/store through the bus (amortized). */
+    SimNs memAccessNs = 40;
+
+    /** TLB miss / page-table walk penalty. */
+    SimNs tlbMissNs = 200;
+
+    /** Open+close one page for writing (kernel-internal, no syscall). */
+    SimNs protToggleNs = 500;
+
+    /** Cost of one inserted code-patching address check. */
+    double patchCheckNsPerStore = 8.0;
+
+    /**
+     * Fraction of kernel stores still checked after the optimizations
+     * of [Wahbe93].
+     */
+    double patchCheckedFraction = 0.30;
+
+    /**
+     * Whole-kernel CPU dilation under code patching: checks inserted
+     * before every kernel store (not just the file-cache traffic the
+     * simulated bus sees) plus register pressure and code bloat slow
+     * kernel execution by 20-50% (section 2.1, [Chen96]). Applied to
+     * kernel-side time charges while code patching is enabled.
+     */
+    double patchKernelCpuOverhead = 0.30;
+
+    /** Fixed controller/command overhead per disk request. */
+    SimNs diskControllerNs = 500'000;
+
+    /** Full-stroke seek time; actual seeks scale with distance. */
+    SimNs diskFullSeekNs = 18'000'000;
+
+    /** Average rotational delay (half a 5400 RPM revolution). */
+    SimNs diskAvgRotNs = 5'600'000;
+
+    /** Media transfer rate in bytes per nanosecond (5 MB/s). */
+    double diskBytesPerNs = 0.005;
+};
+
+/** Geometry and feature flags of the simulated machine. */
+struct MachineConfig
+{
+    /** Physical memory size; must be a multiple of kPageSize. */
+    u64 physMemBytes = 32ull << 20;
+
+    /** Kernel text region size. */
+    u64 kernelTextBytes = 2ull << 20;
+
+    /** Kernel heap region size. */
+    u64 kernelHeapBytes = 6ull << 20;
+
+    /** Kernel stack region size. */
+    u64 kernelStackBytes = 256ull << 10;
+
+    /** Buffer cache (metadata) pool size. */
+    u64 bufPoolBytes = 2ull << 20;
+
+    /**
+     * UBC (file data) pool size; 0 means "all remaining memory",
+     * mirroring Digital Unix's dynamic UBC sizing under I/O load.
+     */
+    u64 ubcPoolBytes = 0;
+
+    /** Main data disk capacity in bytes. */
+    u64 diskBytes = 256ull << 20;
+
+    /** Swap partition capacity (must hold a full memory dump). */
+    u64 swapBytes = 64ull << 20;
+
+    /**
+     * Whether the platform preserves memory across a reset, like the
+     * DEC Alphas in section 5. PCs of the era cleared memory, making
+     * warm reboot impossible (the Harp experience, section 6).
+     */
+    bool memorySurvivesReset = true;
+
+    /**
+     * Bytes of low memory scribbled by firmware during reboot even on
+     * warm-capable hardware (console data structures etc.). Page 0 is
+     * reserved, so the default overlaps no kernel region.
+     */
+    u64 rebootScribbleBytes = 4096;
+
+    /** Seed for the machine-level RNG (disk rotation phase etc.). */
+    u64 seed = 1;
+
+    CostModel costs{};
+};
+
+} // namespace rio::sim
+
+#endif // RIO_SIM_CONFIG_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CPU control state relevant to Rio.
+ *
+ * The DEC Alpha 21064's ABOX control register has a bit that forces
+ * KSEG (physical) addresses to be mapped through the TLB instead of
+ * bypassing it (paper section 2.1). Rio's "VM protection" mode sets
+ * this bit; without it, any kernel store using a physical address can
+ * silently bypass page protection.
+ */
+
+#ifndef RIO_SIM_CPU_HH
+#define RIO_SIM_CPU_HH
+
+#include "support/types.hh"
+
+namespace rio::sim
+{
+
+class Cpu
+{
+  public:
+    /** ABOX bit: map KSEG addresses through the TLB. */
+    bool mapKsegThroughTlb() const { return mapKseg_; }
+    void setMapKsegThroughTlb(bool on) { mapKseg_ = on; }
+
+    /** Reset to power-on defaults (KSEG bypasses the TLB). */
+    void reset() { mapKseg_ = false; }
+
+  private:
+    bool mapKseg_ = false;
+};
+
+/**
+ * KSEG address helpers. On the Alpha, addresses whose two most
+ * significant bits are 10 binary bypass the TLB and address physical
+ * memory directly.
+ */
+constexpr Addr kKsegBase = 1ull << 63;
+constexpr Addr kKsegMask = (1ull << 62) - 1;
+
+constexpr bool
+isKsegAddr(Addr addr)
+{
+    return (addr >> 62) == 0b10;
+}
+
+constexpr Addr
+ksegToPhys(Addr addr)
+{
+    return addr & kKsegMask;
+}
+
+constexpr Addr
+physToKseg(Addr pa)
+{
+    return kKsegBase | pa;
+}
+
+} // namespace rio::sim
+
+#endif // RIO_SIM_CPU_HH

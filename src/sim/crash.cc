@@ -1,0 +1,20 @@
+#include "sim/crash.hh"
+
+namespace rio::sim
+{
+
+const char *
+crashCauseName(CrashCause cause)
+{
+    switch (cause) {
+      case CrashCause::MachineCheck: return "machine check";
+      case CrashCause::ProtectionFault: return "protection fault";
+      case CrashCause::KernelPanic: return "kernel panic";
+      case CrashCause::ConsistencyCheck: return "consistency check";
+      case CrashCause::Watchdog: return "watchdog timeout";
+      case CrashCause::Deadlock: return "deadlock";
+    }
+    return "unknown";
+}
+
+} // namespace rio::sim

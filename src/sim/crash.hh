@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Crash modelling. A simulated system crash is a C++ exception that
+ * unwinds out of the simulated kernel to the experiment harness; the
+ * host process never dies. The cause taxonomy mirrors how the paper's
+ * crashes were detected: machine checks on illegal addresses, kernel
+ * consistency checks, explicit panics, protection faults (Rio's
+ * mechanism halting the system), and hangs caught by a watchdog.
+ */
+
+#ifndef RIO_SIM_CRASH_HH
+#define RIO_SIM_CRASH_HH
+
+#include <exception>
+#include <string>
+
+#include "support/types.hh"
+
+namespace rio::sim
+{
+
+enum class CrashCause : u8
+{
+    MachineCheck,     ///< Illegal/unmapped address issued to the bus.
+    ProtectionFault,  ///< Store hit a write-protected page.
+    KernelPanic,      ///< Explicit panic() call.
+    ConsistencyCheck, ///< Kernel sanity check failed (bad magic etc.).
+    Watchdog,         ///< System hung; hardware watchdog fired.
+    Deadlock,         ///< Lock cycle detected (reported as a hang).
+};
+
+/** Human-readable cause name. */
+const char *crashCauseName(CrashCause cause);
+
+/**
+ * Thrown by any simulated-kernel component to crash the machine.
+ * Caught only by the experiment harness (and by Machine::crash
+ * bookkeeping on the way out).
+ */
+class CrashException : public std::exception
+{
+  public:
+    CrashException(CrashCause cause, std::string message, SimNs when)
+        : cause_(cause), message_(std::move(message)), when_(when)
+    {
+        what_ = std::string(crashCauseName(cause_)) + ": " + message_;
+    }
+
+    CrashCause cause() const { return cause_; }
+    const std::string &message() const { return message_; }
+    SimNs when() const { return when_; }
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    CrashCause cause_;
+    std::string message_;
+    SimNs when_;
+    std::string what_;
+};
+
+} // namespace rio::sim
+
+#endif // RIO_SIM_CRASH_HH

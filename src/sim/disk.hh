@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The simulated disk: a sector store with an early-90s SCSI latency
+ * model (distance-scaled seek, rotational delay, media transfer) and a
+ * FIFO write queue for asynchronous writes.
+ *
+ * Crash semantics mirror the paper: queued writes that have not
+ * reached the platter are lost, and the write in flight at the moment
+ * of the crash tears — partially written, with one garbage sector at
+ * the boundary (section 2.1 notes disks share this window with Rio's
+ * open-for-write pages).
+ */
+
+#ifndef RIO_SIM_DISK_HH
+#define RIO_SIM_DISK_HH
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/config.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace rio::sim
+{
+
+struct DiskStats
+{
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 sectorsRead = 0;
+    u64 sectorsWritten = 0;
+    u64 queuedWrites = 0;
+    SimNs busyNs = 0;
+};
+
+class Disk
+{
+  public:
+    Disk(u64 bytes, const CostModel &costs, support::Rng rng);
+
+    u64 numSectors() const { return numSectors_; }
+
+    /**
+     * Synchronous read. Waits for the in-flight transfer and any
+     * overlapping queued write, then occupies the head.
+     * @param overlapNs Time the transfer could overlap with work the
+     *        caller already did (sequential readahead): subtracted
+     *        from the visible service time. Queue waits still apply.
+     */
+    void read(SectorNo start, u64 count, std::span<u8> out,
+              SimClock &clock, SimNs overlapNs = 0);
+
+    /** Synchronous write; waits behind the write queue (FIFO). */
+    void write(SectorNo start, u64 count, std::span<const u8> data,
+               SimClock &clock);
+
+    /**
+     * Asynchronous write: queue and return immediately. Data is
+     * copied; it reaches the platter at a future simulated time.
+     */
+    void queueWrite(SectorNo start, u64 count,
+                    std::span<const u8> data, SimClock &clock);
+
+    /** Apply queued writes whose completion time has passed. */
+    void poll(SimNs now);
+
+    /** Wait until the queue is empty (advances the clock). */
+    void drain(SimClock &clock);
+
+    /** Pending queued writes not yet on the platter. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /**
+     * The system crashed at @p when: writes already complete are
+     * applied; the in-flight write tears; the rest are lost.
+     * @return Number of queued writes lost.
+     */
+    u64 crashDropQueue(SimNs when);
+
+    const DiskStats &stats() const { return stats_; }
+    void resetStats() { stats_ = DiskStats{}; }
+
+    /** Host-side access for verification tooling (no time charge). */
+    std::span<const u8> peekSector(SectorNo sector) const;
+    std::span<u8> hostSector(SectorNo sector);
+
+  private:
+    struct Pending
+    {
+        SectorNo start;
+        u64 count;
+        std::vector<u8> data;
+        SimNs startTime;
+        SimNs completeTime;
+    };
+
+    SimNs serviceTime(SectorNo start, u64 count);
+    void apply(const Pending &pending);
+    void doTransfer(SectorNo start, u64 count, SimClock &clock,
+                    bool is_write, SimNs overlapNs = 0);
+
+    u64 numSectors_;
+    std::vector<u8> store_;
+    const CostModel &costs_;
+    support::Rng rng_;
+    SectorNo head_ = 0;
+    SimNs lastComplete_ = 0;
+    std::deque<Pending> queue_;
+    DiskStats stats_;
+};
+
+} // namespace rio::sim
+
+#endif // RIO_SIM_DISK_HH

@@ -1,0 +1,65 @@
+#include "sim/machine.hh"
+
+#include <stdexcept>
+
+namespace rio::sim
+{
+
+namespace
+{
+
+/** Firmware + self-test time charged for a reboot (simulated). */
+constexpr SimNs kFirmwareBootNs = 30ull * kNsPerSec;
+
+} // namespace
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config),
+      rng_(config.seed),
+      mem_(config),
+      pageTable_(mem_),
+      tlb_(),
+      cpu_(),
+      bus_(mem_, pageTable_, tlb_, cpu_, clock_, config_.costs),
+      disk_(config.diskBytes, config_.costs, rng_.fork()),
+      swap_(config.swapBytes, config_.costs, rng_.fork())
+{
+    if (config.swapBytes < config.physMemBytes) {
+        throw std::runtime_error(
+            "Machine: swap partition cannot hold a memory dump");
+    }
+}
+
+void
+Machine::crash(CrashCause cause, const std::string &msg)
+{
+    noteCrash(clock_.now());
+    throw CrashException(cause, msg, clock_.now());
+}
+
+void
+Machine::noteCrash(SimNs when)
+{
+    if (crashed_)
+        return; // Already accounted (crash during crash handling).
+    crashed_ = true;
+    ++crashCount_;
+    lostQueuedWrites_ += disk_.crashDropQueue(when);
+    lostQueuedWrites_ += swap_.crashDropQueue(when);
+}
+
+void
+Machine::reset(ResetKind kind)
+{
+    tlb_.flushAll();
+    cpu_.reset();
+    if (kind == ResetKind::Cold || !config_.memorySurvivesReset) {
+        mem_.zeroAll();
+    } else {
+        mem_.scribbleLow(config_.rebootScribbleBytes);
+    }
+    clock_.advance(kFirmwareBootNs);
+    crashed_ = false;
+}
+
+} // namespace rio::sim

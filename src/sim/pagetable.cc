@@ -1,0 +1,54 @@
+#include "sim/pagetable.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace rio::sim
+{
+
+PageTable::PageTable(PhysMem &mem)
+    : mem_(mem),
+      base_(mem.region(RegionKind::PageTables).base),
+      numPages_(mem.numPages())
+{
+    assert(numPages_ * 8 <= mem.region(RegionKind::PageTables).size);
+}
+
+void
+PageTable::initIdentity()
+{
+    for (u64 vpn = 0; vpn < numPages_; ++vpn) {
+        Pte pte;
+        pte.valid = vpn != 0; // Page 0 stays unmapped (null page).
+        pte.writable = true;
+        pte.pfn = vpn;
+        write(vpn, pte);
+    }
+}
+
+Pte
+PageTable::read(u64 vpn) const
+{
+    assert(vpn < numPages_);
+    u64 word;
+    std::memcpy(&word, mem_.raw() + entryAddr(vpn), 8);
+    return Pte::decode(word);
+}
+
+void
+PageTable::write(u64 vpn, const Pte &pte)
+{
+    assert(vpn < numPages_);
+    const u64 word = pte.encode();
+    std::memcpy(mem_.raw() + entryAddr(vpn), &word, 8);
+}
+
+void
+PageTable::setWritable(u64 vpn, bool writable)
+{
+    Pte pte = read(vpn);
+    pte.writable = writable;
+    write(vpn, pte);
+}
+
+} // namespace rio::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The hardware-walked page table.
+ *
+ * PTEs live inside simulated physical memory (RegionKind::PageTables),
+ * so injected faults can corrupt translations — just as on real
+ * hardware. The kernel identity-maps all physical pages at boot;
+ * Rio's protection module later clears the writable bit on file-cache
+ * and registry pages. When the CPU's ABOX mapKseg bit is set, KSEG
+ * (physical) addresses are also translated through these PTEs, which
+ * is how the paper protects the physically-addressed UBC (section 2.1).
+ */
+
+#ifndef RIO_SIM_PAGETABLE_HH
+#define RIO_SIM_PAGETABLE_HH
+
+#include "sim/physmem.hh"
+#include "support/types.hh"
+
+namespace rio::sim
+{
+
+/** Decoded page-table entry. */
+struct Pte
+{
+    bool valid = false;
+    bool writable = false;
+    u64 pfn = 0; ///< Physical frame number.
+
+    static constexpr u64 kValidBit = 1ull << 0;
+    static constexpr u64 kWritableBit = 1ull << 1;
+    static constexpr int kPfnShift = 16;
+
+    u64
+    encode() const
+    {
+        u64 word = pfn << kPfnShift;
+        if (valid)
+            word |= kValidBit;
+        if (writable)
+            word |= kWritableBit;
+        return word;
+    }
+
+    static Pte
+    decode(u64 word)
+    {
+        Pte pte;
+        pte.valid = word & kValidBit;
+        pte.writable = word & kWritableBit;
+        pte.pfn = word >> kPfnShift;
+        return pte;
+    }
+};
+
+class PageTable
+{
+  public:
+    explicit PageTable(PhysMem &mem);
+
+    /** Number of mappable pages (== physical pages). */
+    u64 numPages() const { return numPages_; }
+
+    /** Identity-map every physical page, writable. Called at boot. */
+    void initIdentity();
+
+    /** Read the PTE for virtual page @p vpn (hardware walk). */
+    Pte read(u64 vpn) const;
+
+    /** Install @p pte for virtual page @p vpn. */
+    void write(u64 vpn, const Pte &pte);
+
+    /** Set or clear the writable bit for @p vpn. */
+    void setWritable(u64 vpn, bool writable);
+
+  private:
+    Addr entryAddr(u64 vpn) const { return base_ + vpn * 8; }
+
+    PhysMem &mem_;
+    Addr base_;
+    u64 numPages_;
+};
+
+} // namespace rio::sim
+
+#endif // RIO_SIM_PAGETABLE_HH

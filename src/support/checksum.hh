@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Block checksums used by the corruption-detection apparatus.
+ *
+ * The paper (section 3.2) maintains a checksum for every file-cache
+ * block, updated by all legitimate write paths; an unintentional store
+ * leaves the checksum inconsistent. We use a 32-bit FNV-1a variant
+ * mixed with position so that byte swaps are detected too.
+ */
+
+#ifndef RIO_SUPPORT_CHECKSUM_HH
+#define RIO_SUPPORT_CHECKSUM_HH
+
+#include <span>
+
+#include "support/types.hh"
+
+namespace rio::support
+{
+
+/** Checksum a byte span. Never returns 0 (0 means "no checksum"). */
+inline u32
+checksum32(std::span<const u8> bytes)
+{
+    u64 hash = 0xcbf29ce484222325ull;
+    u64 pos = 0x9e3779b9ull;
+    for (u8 byte : bytes) {
+        hash ^= byte + pos;
+        hash *= 0x100000001b3ull;
+        pos += 0x9e3779b9ull;
+    }
+    u32 folded = static_cast<u32>(hash ^ (hash >> 32));
+    return folded == 0 ? 1u : folded;
+}
+
+} // namespace rio::support
+
+#endif // RIO_SUPPORT_CHECKSUM_HH

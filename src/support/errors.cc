@@ -1,0 +1,31 @@
+#include "support/errors.hh"
+
+namespace rio::support
+{
+
+const char *
+osStatusName(OsStatus status)
+{
+    switch (status) {
+      case OsStatus::Ok: return "Ok";
+      case OsStatus::NoEnt: return "NoEnt";
+      case OsStatus::Exist: return "Exist";
+      case OsStatus::NotDir: return "NotDir";
+      case OsStatus::IsDir: return "IsDir";
+      case OsStatus::NotEmpty: return "NotEmpty";
+      case OsStatus::NoSpace: return "NoSpace";
+      case OsStatus::BadFd: return "BadFd";
+      case OsStatus::Inval: return "Inval";
+      case OsStatus::NameTooLong: return "NameTooLong";
+      case OsStatus::TooBig: return "TooBig";
+      case OsStatus::MFile: return "MFile";
+      case OsStatus::Io: return "Io";
+      case OsStatus::Access: return "Access";
+      case OsStatus::Loop: return "Loop";
+      case OsStatus::Stale: return "Stale";
+      case OsStatus::RoFs: return "RoFs";
+    }
+    return "Unknown";
+}
+
+} // namespace rio::support

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Error codes returned by the simulated kernel's system-call layer,
+ * and a small Result wrapper so callers cannot silently ignore them.
+ */
+
+#ifndef RIO_SUPPORT_ERRORS_HH
+#define RIO_SUPPORT_ERRORS_HH
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "support/types.hh"
+
+namespace rio::support
+{
+
+/** Unix-flavoured status codes for simulated syscalls. */
+enum class OsStatus : u8
+{
+    Ok = 0,
+    NoEnt,       ///< No such file or directory.
+    Exist,       ///< File exists.
+    NotDir,      ///< A path component is not a directory.
+    IsDir,       ///< Operation not valid on a directory.
+    NotEmpty,    ///< Directory not empty.
+    NoSpace,     ///< File system out of space or inodes.
+    BadFd,       ///< Bad file descriptor.
+    Inval,       ///< Invalid argument.
+    NameTooLong, ///< Path component exceeds the name limit.
+    TooBig,      ///< File would exceed the maximum file size.
+    MFile,       ///< Too many open files.
+    Io,          ///< I/O error (e.g. unreadable sector).
+    Access,      ///< Permission denied.
+    Loop,        ///< Too many levels of symbolic links.
+    Stale,       ///< Vnode went away underneath the caller.
+    RoFs,        ///< Read-only file system.
+};
+
+/** Human-readable name of a status code (for logs and reports). */
+const char *osStatusName(OsStatus status);
+
+/**
+ * A value-or-error result for syscall-style interfaces.
+ *
+ * The error branch carries only an OsStatus, like a Unix errno. The
+ * value is only accessible after checking ok(), enforced by assert.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /* implicit */ Result(T value)
+        : status_(OsStatus::Ok), value_(std::move(value))
+    {}
+
+    /* implicit */ Result(OsStatus status) : status_(status)
+    {
+        assert(status != OsStatus::Ok);
+    }
+
+    bool ok() const { return status_ == OsStatus::Ok; }
+    OsStatus status() const { return status_; }
+
+    const T &
+    value() const
+    {
+        assert(ok());
+        return value_;
+    }
+
+    T &
+    value()
+    {
+        assert(ok());
+        return value_;
+    }
+
+  private:
+    OsStatus status_;
+    T value_{};
+};
+
+/** Specialization for operations that produce no value. */
+template <>
+class Result<void>
+{
+  public:
+    Result() : status_(OsStatus::Ok) {}
+    /* implicit */ Result(OsStatus status) : status_(status) {}
+
+    bool ok() const { return status_ == OsStatus::Ok; }
+    OsStatus status() const { return status_; }
+
+  private:
+    OsStatus status_;
+};
+
+} // namespace rio::support
+
+#endif // RIO_SUPPORT_ERRORS_HH

@@ -1,0 +1,49 @@
+#include "support/log.hh"
+
+#include <cstdio>
+
+namespace rio::support
+{
+
+namespace
+{
+
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    if (level < g_level || g_level == LogLevel::Off)
+        return;
+    std::fprintf(stderr, "[rio:%s] %s\n", levelName(level),
+                 message.c_str());
+}
+
+} // namespace rio::support

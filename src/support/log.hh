@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator.
+ *
+ * The simulated kernel's own console output (panic messages, fsck
+ * reports) goes through os::Kernel; this logger is for host-side
+ * diagnostics of the simulation itself. Default level is Warn so that
+ * test and bench output stays clean.
+ */
+
+#ifndef RIO_SUPPORT_LOG_HH
+#define RIO_SUPPORT_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace rio::support
+{
+
+enum class LogLevel
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+    Off,
+};
+
+/** Set the global log threshold. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** Emit a message at @p level if it passes the threshold. */
+void logMessage(LogLevel level, const std::string &message);
+
+/** Stream-style helper: LogLine(LogLevel::Info) << "x=" << x; */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { logMessage(level_, stream_.str()); }
+
+    LogLine(const LogLine &) = delete;
+    LogLine &operator=(const LogLine &) = delete;
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace rio::support
+
+#define RIO_LOG_DEBUG ::rio::support::LogLine(::rio::support::LogLevel::Debug)
+#define RIO_LOG_INFO ::rio::support::LogLine(::rio::support::LogLevel::Info)
+#define RIO_LOG_WARN ::rio::support::LogLine(::rio::support::LogLevel::Warn)
+#define RIO_LOG_ERROR ::rio::support::LogLine(::rio::support::LogLevel::Error)
+
+#endif // RIO_SUPPORT_LOG_HH

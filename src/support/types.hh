@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental integer and address types used throughout the Rio
+ * simulation. All simulated machine addresses are 64-bit, matching the
+ * DEC Alpha platform the paper targets.
+ */
+
+#ifndef RIO_SUPPORT_TYPES_HH
+#define RIO_SUPPORT_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rio
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** A simulated machine address (virtual or physical, see sim::MemBus). */
+using Addr = u64;
+
+/** Simulated time in nanoseconds. */
+using SimNs = u64;
+
+/** Disk sector number. */
+using SectorNo = u64;
+
+/** File-system block number. */
+using BlockNo = u32;
+
+/** Inode number. */
+using InodeNo = u32;
+
+/** Mounted device number. */
+using DevNo = u32;
+
+namespace support
+{
+
+/** Round @p value up to the next multiple of @p align (a power of two). */
+constexpr u64
+roundUp(u64 value, u64 align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (a power of two). */
+constexpr u64
+roundDown(u64 value, u64 align)
+{
+    return value & ~(align - 1);
+}
+
+/** True if @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(u64 value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // namespace support
+} // namespace rio
+
+#endif // RIO_SUPPORT_TYPES_HH

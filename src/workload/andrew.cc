@@ -1,0 +1,167 @@
+#include "workload/andrew.hh"
+
+#include <algorithm>
+
+namespace rio::wl
+{
+
+Andrew::Andrew(os::Kernel &kernel, const AndrewConfig &config)
+    : kernel_(kernel), config_(config), rng_(config.seed),
+      proc_(200 + static_cast<u32>(config.seed % 100))
+{
+    genRoot_ = config_.root;
+}
+
+std::string
+Andrew::dirPath(u32 dir) const
+{
+    return genRoot_ + "/dir" + std::to_string(dir);
+}
+
+std::string
+Andrew::filePath(u32 index, const char *suffix) const
+{
+    return dirPath(index % config_.dirs) + "/src" +
+           std::to_string(index) + suffix;
+}
+
+u64
+Andrew::fileBytes(u32 index)
+{
+    // Deterministic per (seed, index): avg +/- 50%.
+    support::Rng local(config_.seed * 7919 + index);
+    return config_.avgFileBytes / 2 +
+           local.below(config_.avgFileBytes);
+}
+
+void
+Andrew::advancePhase()
+{
+    cursor_ = 0;
+    switch (phase_) {
+      case Phase::MakeDirs: phase_ = Phase::CopyFiles; break;
+      case Phase::CopyFiles: phase_ = Phase::StatPass; break;
+      case Phase::StatPass: phase_ = Phase::ReadPass; break;
+      case Phase::ReadPass: phase_ = Phase::Compile; break;
+      case Phase::Compile:
+        phase_ = config_.loop ? Phase::Cleanup : Phase::Done;
+        break;
+      case Phase::Cleanup:
+        ++generations_;
+        genRoot_ =
+            config_.root + "_g" + std::to_string(generations_);
+        phase_ = Phase::MakeDirs;
+        break;
+      case Phase::Done: break;
+    }
+}
+
+bool
+Andrew::step()
+{
+    auto &vfs = kernel_.vfs();
+    auto &clock = kernel_.machine().clock();
+    clock.advance(config_.userCpuNs);
+
+    switch (phase_) {
+      case Phase::MakeDirs: {
+        if (cursor_ == 0)
+            vfs.mkdir(genRoot_);
+        if (cursor_ < config_.dirs) {
+            vfs.mkdir(dirPath(cursor_));
+            ++cursor_;
+        }
+        if (cursor_ >= config_.dirs)
+            advancePhase();
+        return true;
+      }
+      case Phase::CopyFiles: {
+        const u32 index = cursor_;
+        std::vector<u8> bytes(fileBytes(index));
+        fillPattern(bytes, config_.seed * 31 + index);
+        auto fd = vfs.open(proc_, filePath(index, ".c"),
+                           os::OpenFlags::writeOnly());
+        if (fd.ok()) {
+            vfs.write(proc_, fd.value(), bytes);
+            vfs.close(proc_, fd.value());
+        }
+        if (++cursor_ >= config_.files)
+            advancePhase();
+        return true;
+      }
+      case Phase::StatPass: {
+        // find/ls/du: stat every file, list every directory.
+        if (cursor_ < config_.dirs) {
+            vfs.readdir(dirPath(cursor_));
+        } else {
+            vfs.stat(filePath(cursor_ - config_.dirs, ".c"));
+        }
+        if (++cursor_ >= config_.dirs + config_.files)
+            advancePhase();
+        return true;
+      }
+      case Phase::ReadPass: {
+        // grep/wc: read every file fully.
+        const u32 index = cursor_;
+        auto fd = vfs.open(proc_, filePath(index, ".c"),
+                           os::OpenFlags::readOnly());
+        if (fd.ok()) {
+            std::vector<u8> bytes(fileBytes(index));
+            vfs.read(proc_, fd.value(), bytes);
+            vfs.close(proc_, fd.value());
+        }
+        if (++cursor_ >= config_.files)
+            advancePhase();
+        return true;
+      }
+      case Phase::Compile: {
+        const u32 index = cursor_;
+        auto fd = vfs.open(proc_, filePath(index, ".c"),
+                           os::OpenFlags::readOnly());
+        if (fd.ok()) {
+            std::vector<u8> bytes(fileBytes(index));
+            vfs.read(proc_, fd.value(), bytes);
+            vfs.close(proc_, fd.value());
+        }
+        // The compiler itself: CPU-bound (dominates Andrew).
+        clock.advance(config_.compileNsPerFile);
+        std::vector<u8> object(fileBytes(index) / 2);
+        fillPattern(object, config_.seed * 37 + index);
+        auto ofd = vfs.open(proc_, filePath(index, ".o"),
+                            os::OpenFlags::writeOnly());
+        if (ofd.ok()) {
+            for (u64 off = 0; off < object.size();
+                 off += config_.objectWriteChunk) {
+                const u64 n = std::min<u64>(config_.objectWriteChunk,
+                                            object.size() - off);
+                vfs.write(proc_, ofd.value(),
+                          std::span<const u8>(object.data() + off, n));
+            }
+            vfs.close(proc_, ofd.value());
+        }
+        if (++cursor_ >= config_.files)
+            advancePhase();
+        return phase_ != Phase::Done;
+      }
+      case Phase::Cleanup: {
+        // Remove this generation's tree so loops don't fill the disk.
+        if (cursor_ < config_.files) {
+            vfs.unlink(filePath(cursor_, ".c"));
+            vfs.unlink(filePath(cursor_, ".o"));
+            ++cursor_;
+        } else if (cursor_ < config_.files + config_.dirs) {
+            vfs.rmdir(dirPath(cursor_ - config_.files));
+            ++cursor_;
+        } else {
+            vfs.rmdir(genRoot_);
+            advancePhase();
+        }
+        return true;
+      }
+      case Phase::Done:
+        return false;
+    }
+    return false;
+}
+
+} // namespace rio::wl

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Andrew benchmark [Howard88] as a synthetic generator with the
+ * original's five-phase structure: (1) create the directory
+ * hierarchy, (2) copy the source files into it, (3) examine the
+ * hierarchy (stat every file: find/ls/du), (4) read every file
+ * (grep/wc), (5) compile — CPU-dominated, reading each source and
+ * writing an object file. The paper runs Andrew both as a Table 2
+ * workload and as background load (four copies) during crash tests.
+ */
+
+#ifndef RIO_WL_ANDREW_HH
+#define RIO_WL_ANDREW_HH
+
+#include <string>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "support/rng.hh"
+#include "workload/script.hh"
+
+namespace rio::wl
+{
+
+struct AndrewConfig
+{
+    std::string root = "/andrew";
+    u64 seed = 7;
+    u32 dirs = 10;
+    u32 files = 50;
+    u64 avgFileBytes = 12 * 1024;
+    /** Compile cost per source file (the dominant phase). */
+    SimNs compileNsPerFile = 80'000'000;
+    /** Per-operation user-level CPU. */
+    SimNs userCpuNs = 30'000;
+    /** The compiler emits the object file in small chunks, which is
+     * what makes the "sync" mount so expensive (each chunk write is
+     * synchronous). */
+    u64 objectWriteChunk = 2048;
+    /** Restart forever (background load for crash tests). */
+    bool loop = false;
+};
+
+class Andrew : public Script
+{
+  public:
+    Andrew(os::Kernel &kernel, const AndrewConfig &config);
+
+    bool step() override;
+    std::string name() const override { return "andrew"; }
+
+    u32 generationsCompleted() const { return generations_; }
+
+  private:
+    enum class Phase : u8
+    {
+        MakeDirs,
+        CopyFiles,
+        StatPass,
+        ReadPass,
+        Compile,
+        Cleanup,
+        Done,
+    };
+
+    std::string dirPath(u32 dir) const;
+    std::string filePath(u32 index, const char *suffix) const;
+    u64 fileBytes(u32 index);
+    void advancePhase();
+
+    os::Kernel &kernel_;
+    AndrewConfig config_;
+    support::Rng rng_;
+    os::Process proc_;
+    Phase phase_ = Phase::MakeDirs;
+    u32 cursor_ = 0;
+    u32 generations_ = 0;
+    std::string genRoot_;
+};
+
+} // namespace rio::wl
+
+#endif // RIO_WL_ANDREW_HH

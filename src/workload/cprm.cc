@@ -1,0 +1,119 @@
+#include "workload/cprm.hh"
+
+#include <algorithm>
+
+#include "workload/script.hh"
+
+namespace rio::wl
+{
+
+CpRm::CpRm(os::Kernel &kernel, const CpRmConfig &config)
+    : kernel_(kernel), config_(config), proc_(400)
+{}
+
+void
+CpRm::buildSourceTree()
+{
+    auto &vfs = kernel_.vfs();
+    support::Rng rng(config_.seed);
+
+    relDirs_.clear();
+    files_.clear();
+
+    // Two-level hierarchy, like a source tree.
+    const u32 topDirs = std::max<u32>(1, config_.dirs / 4);
+    for (u32 top = 0; top < topDirs; ++top) {
+        relDirs_.push_back("/sub" + std::to_string(top));
+    }
+    for (u32 dir = topDirs; dir < config_.dirs; ++dir) {
+        relDirs_.push_back("/sub" + std::to_string(dir % topDirs) +
+                           "/mod" + std::to_string(dir));
+    }
+
+    u64 bytesLeft = config_.totalBytes;
+    u32 fileId = 0;
+    while (bytesLeft > 0) {
+        const u64 size = std::min<u64>(
+            bytesLeft,
+            config_.avgFileBytes / 2 + rng.below(config_.avgFileBytes));
+        const std::string &dir = relDirs_[rng.below(relDirs_.size())];
+        files_.push_back(
+            {dir + "/file" + std::to_string(fileId++) + ".c", size});
+        bytesLeft -= size;
+    }
+
+    vfs.mkdir(config_.srcRoot);
+    for (const std::string &dir : relDirs_)
+        vfs.mkdir(config_.srcRoot + dir);
+    std::vector<u8> bytes;
+    for (const SourceFile &file : files_) {
+        bytes.resize(file.bytes);
+        fillPattern(bytes, config_.seed * 131 + file.bytes);
+        auto fd = vfs.open(proc_, config_.srcRoot + file.relPath,
+                           os::OpenFlags::writeOnly());
+        if (fd.ok()) {
+            vfs.write(proc_, fd.value(), bytes);
+            vfs.close(proc_, fd.value());
+        }
+    }
+
+    // Push everything to disk and drop the caches so the timed copy
+    // starts cold (bypassing the write policy on purpose: this is
+    // experiment setup, not workload).
+    kernel_.ufs().syncAll(true);
+    kernel_.ubc().invalidateAll();
+}
+
+CpRmResult
+CpRm::run()
+{
+    auto &vfs = kernel_.vfs();
+    auto &clock = kernel_.machine().clock();
+    CpRmResult result;
+
+    // --- cp -r ----------------------------------------------------
+    const double copyStart = clock.seconds();
+    vfs.mkdir(config_.dstRoot);
+    for (const std::string &dir : relDirs_)
+        vfs.mkdir(config_.dstRoot + dir);
+    std::vector<u8> chunk(sim::kPageSize);
+    for (const SourceFile &file : files_) {
+        clock.advance(config_.fileCpuNs);
+        auto in = vfs.open(proc_, config_.srcRoot + file.relPath,
+                           os::OpenFlags::readOnly());
+        auto out = vfs.open(proc_, config_.dstRoot + file.relPath,
+                            os::OpenFlags::writeOnly());
+        if (in.ok() && out.ok()) {
+            for (;;) {
+                clock.advance(config_.chunkCpuNs);
+                auto n = vfs.read(proc_, in.value(), chunk);
+                if (!n.ok() || n.value() == 0)
+                    break;
+                vfs.write(proc_, out.value(),
+                          std::span<const u8>(chunk.data(),
+                                              n.value()));
+                if (n.value() < chunk.size())
+                    break;
+            }
+        }
+        if (in.ok())
+            vfs.close(proc_, in.value());
+        if (out.ok())
+            vfs.close(proc_, out.value());
+    }
+    result.copySeconds = clock.seconds() - copyStart;
+
+    // --- rm -rf ---------------------------------------------------
+    const double rmStart = clock.seconds();
+    for (const SourceFile &file : files_) {
+        clock.advance(config_.rmCpuNs);
+        vfs.unlink(config_.dstRoot + file.relPath);
+    }
+    for (auto it = relDirs_.rbegin(); it != relDirs_.rend(); ++it)
+        vfs.rmdir(config_.dstRoot + *it);
+    vfs.rmdir(config_.dstRoot);
+    result.rmSeconds = clock.seconds() - rmStart;
+    return result;
+}
+
+} // namespace rio::wl

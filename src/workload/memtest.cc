@@ -1,0 +1,400 @@
+#include "workload/memtest.hh"
+
+#include <algorithm>
+
+namespace rio::wl
+{
+
+using support::OsStatus;
+
+MemTest::MemTest(os::Kernel &kernel, const MemTestConfig &config)
+    : kernel_(&kernel), config_(config), rng_(config.seed), proc_(100)
+{}
+
+void
+MemTest::setup()
+{
+    auto &vfs = kernel_->vfs();
+    vfs.mkdir(config_.root);
+    model_.mkdir(config_.root);
+    for (u32 i = 0; i < config_.numDirs; ++i) {
+        const std::string dir =
+            config_.root + "/d" + std::to_string(i);
+        vfs.mkdir(dir);
+        model_.mkdir(dir);
+    }
+    // Duplicate pairs: two identical copies of files the workload
+    // never touches again; they must still match after every crash.
+    std::vector<u8> bytes(config_.duplicateBytes);
+    for (u32 i = 0; i < config_.duplicatePairs; ++i) {
+        fillPattern(bytes, config_.seed * 1000 + i);
+        for (int copy = 0; copy < 2; ++copy) {
+            const std::string path = config_.root + "/dup" +
+                                     std::to_string(i) + "_" +
+                                     std::to_string(copy);
+            auto fd = vfs.open(proc_, path,
+                               os::OpenFlags::writeOnly());
+            if (!fd.ok())
+                continue;
+            vfs.write(proc_, fd.value(), bytes);
+            vfs.fsync(proc_, fd.value());
+            vfs.close(proc_, fd.value());
+            model_.writeFile(path, 0, bytes);
+        }
+    }
+}
+
+std::string
+MemTest::pickFile()
+{
+    if (liveFiles_.empty())
+        return {};
+    return liveFiles_[rng_.below(liveFiles_.size())];
+}
+
+std::string
+MemTest::newFileName()
+{
+    const u32 dir = static_cast<u32>(rng_.below(config_.numDirs));
+    return config_.root + "/d" + std::to_string(dir) + "/f" +
+           std::to_string(nextFileId_++);
+}
+
+void
+MemTest::writeAt(const std::string &path, u64 off, u64 len, bool append)
+{
+    auto &vfs = kernel_->vfs();
+    std::vector<u8> bytes(len);
+    fillPattern(bytes, rng_.next());
+
+    pending_ = {PendingOp::Kind::Write, path, {}};
+    auto flags = os::OpenFlags::readWrite(true);
+    flags.append = append;
+    auto fd = vfs.open(proc_, path, flags);
+    if (!fd.ok()) {
+        tainted_.insert(path);
+        return;
+    }
+    auto n = append ? vfs.write(proc_, fd.value(), bytes)
+                    : vfs.pwrite(proc_, fd.value(), off, bytes);
+    if (n.ok() && config_.fsyncEveryWrite)
+        vfs.fsync(proc_, fd.value());
+    vfs.close(proc_, fd.value());
+    if (!n.ok() || n.value() != len) {
+        tainted_.insert(path);
+        return;
+    }
+    if (append) {
+        const auto *existing = model_.contents(path);
+        off = existing ? existing->size() : 0;
+    }
+    model_.writeFile(path, off, bytes);
+}
+
+void
+MemTest::doCreate()
+{
+    if (liveFiles_.size() >= config_.maxFiles ||
+        model_.totalBytes() >= config_.maxFileSetBytes) {
+        doRemove();
+        return;
+    }
+    const std::string path = newFileName();
+    const u64 len = rng_.between(1024, 32 * 1024);
+    liveFiles_.push_back(path);
+    writeAt(path, 0, len, false);
+}
+
+void
+MemTest::doAppend()
+{
+    const std::string path = pickFile();
+    if (path.empty()) {
+        doCreate();
+        return;
+    }
+    const auto *existing = model_.contents(path);
+    const u64 size = existing ? existing->size() : 0;
+    if (size >= config_.maxFileBytes ||
+        model_.totalBytes() >= config_.maxFileSetBytes) {
+        doRemove();
+        return;
+    }
+    const u64 room = config_.maxFileBytes - size;
+    const u64 len =
+        room <= 512
+            ? room
+            : rng_.between(512, std::min<u64>(64 * 1024, room));
+    writeAt(path, size, len, true);
+}
+
+void
+MemTest::doOverwrite()
+{
+    const std::string path = pickFile();
+    if (path.empty()) {
+        doCreate();
+        return;
+    }
+    const auto *existing = model_.contents(path);
+    if (!existing || existing->empty()) {
+        doCreate();
+        return;
+    }
+    const u64 off = rng_.below(existing->size());
+    const u64 len = rng_.between(
+        1, std::min<u64>(32 * 1024, config_.maxFileBytes - off));
+    writeAt(path, off, len, false);
+}
+
+void
+MemTest::doReadVerify()
+{
+    const std::string path = pickFile();
+    if (path.empty())
+        return;
+    if (tainted_.count(path))
+        return;
+    const auto *expected = model_.contents(path);
+    if (!expected)
+        return;
+    auto &vfs = kernel_->vfs();
+    auto fd = vfs.open(proc_, path, os::OpenFlags::readOnly());
+    if (!fd.ok()) {
+        liveMismatch_ = true;
+        return;
+    }
+    std::vector<u8> bytes(expected->size());
+    auto n = vfs.read(proc_, fd.value(), bytes);
+    vfs.close(proc_, fd.value());
+    if (!n.ok() || n.value() != expected->size() ||
+        !std::equal(expected->begin(), expected->end(),
+                    bytes.begin())) {
+        liveMismatch_ = true;
+    }
+}
+
+void
+MemTest::doRemove()
+{
+    if (liveFiles_.empty())
+        return;
+    const u64 index = rng_.below(liveFiles_.size());
+    const std::string path = liveFiles_[index];
+    pending_ = {PendingOp::Kind::Remove, path, {}};
+    auto removed = kernel_->vfs().unlink(path);
+    liveFiles_.erase(liveFiles_.begin() + index);
+    if (!removed.ok()) {
+        tainted_.insert(path);
+        return;
+    }
+    model_.removeFile(path);
+}
+
+void
+MemTest::doMkdirRmdir()
+{
+    auto &vfs = kernel_->vfs();
+    if (!tmpDirs_.empty() && rng_.chance(0.5)) {
+        const u64 index = rng_.below(tmpDirs_.size());
+        const std::string dir = tmpDirs_[index];
+        pending_ = {PendingOp::Kind::Rmdir, dir, {}};
+        auto removed = vfs.rmdir(dir);
+        tmpDirs_.erase(tmpDirs_.begin() + index);
+        if (removed.ok())
+            model_.rmdir(dir);
+        return;
+    }
+    const std::string dir =
+        config_.root + "/tmp" + std::to_string(nextTmpId_++);
+    pending_ = {PendingOp::Kind::Mkdir, dir, {}};
+    auto made = vfs.mkdir(dir);
+    if (made.ok()) {
+        model_.mkdir(dir);
+        tmpDirs_.push_back(dir);
+    }
+}
+
+void
+MemTest::doRename()
+{
+    const std::string from = pickFile();
+    if (from.empty())
+        return;
+    const std::string to = newFileName();
+    pending_ = {PendingOp::Kind::Rename, from, to};
+    auto renamed = kernel_->vfs().rename(from, to);
+    if (!renamed.ok()) {
+        tainted_.insert(from);
+        return;
+    }
+    model_.renameFile(from, to);
+    auto it = std::find(liveFiles_.begin(), liveFiles_.end(), from);
+    if (it != liveFiles_.end())
+        *it = to;
+    if (tainted_.erase(from))
+        tainted_.insert(to);
+}
+
+void
+MemTest::doTruncate()
+{
+    const std::string path = pickFile();
+    if (path.empty())
+        return;
+    const auto *existing = model_.contents(path);
+    if (!existing || existing->empty())
+        return;
+    const u64 newSize = rng_.below(existing->size());
+    pending_ = {PendingOp::Kind::Truncate, path, {}};
+    auto truncated = kernel_->vfs().truncate(path, newSize);
+    if (!truncated.ok()) {
+        tainted_.insert(path);
+        return;
+    }
+    model_.truncateFile(path, newSize);
+}
+
+bool
+MemTest::step()
+{
+    static const double weights[] = {
+        4, // create
+        5, // append
+        4, // overwrite
+        4, // read+verify
+        2, // remove
+        1, // mkdir/rmdir
+        1, // rename
+        1, // truncate
+    };
+    switch (rng_.weighted(weights)) {
+      case 0: doCreate(); break;
+      case 1: doAppend(); break;
+      case 2: doOverwrite(); break;
+      case 3: doReadVerify(); break;
+      case 4: doRemove(); break;
+      case 5: doMkdirRmdir(); break;
+      case 6: doRename(); break;
+      case 7: doTruncate(); break;
+    }
+    pending_ = PendingOp{};
+    ++opsCompleted_;
+    return true;
+}
+
+MemTest::VerifyResult
+MemTest::verify(os::Kernel &kernel) const
+{
+    VerifyResult result;
+    auto &vfs = kernel.vfs();
+    os::Process proc(101);
+
+    auto tolerated = [&](const std::string &path) {
+        if (tainted_.count(path))
+            return true;
+        return pending_.kind != PendingOp::Kind::None &&
+               (pending_.path == path || pending_.path2 == path);
+    };
+
+    for (const std::string &dir : model_.dirs()) {
+        if (pending_.kind != PendingOp::Kind::None &&
+            (pending_.path == dir || pending_.path2 == dir)) {
+            continue;
+        }
+        ++result.dirsChecked;
+        auto st = vfs.stat(dir);
+        if (!st.ok() || st.value().type != os::FileType::Dir) {
+            ++result.missingDirs;
+            result.details.push_back("missing dir: " + dir);
+        }
+    }
+
+    for (const auto &[path, expected] : model_.files()) {
+        if (tolerated(path))
+            continue;
+        ++result.filesChecked;
+        auto fd = vfs.open(proc, path, os::OpenFlags::readOnly());
+        if (!fd.ok()) {
+            ++result.missingFiles;
+            result.details.push_back("missing file: " + path);
+            continue;
+        }
+        auto st = vfs.stat(path);
+        if (st.ok() && st.value().size != expected.size()) {
+            ++result.sizeMismatches;
+            result.details.push_back(
+                "size mismatch: " + path + " expected " +
+                std::to_string(expected.size()) + " got " +
+                std::to_string(st.value().size));
+            vfs.close(proc, fd.value());
+            continue;
+        }
+        std::vector<u8> bytes(expected.size());
+        auto n = vfs.read(proc, fd.value(), bytes);
+        vfs.close(proc, fd.value());
+        if (!n.ok() || n.value() != expected.size()) {
+            ++result.readErrors;
+            result.details.push_back("read error: " + path);
+            continue;
+        }
+        if (!std::equal(expected.begin(), expected.end(),
+                        bytes.begin())) {
+            ++result.contentMismatches;
+            result.details.push_back("content mismatch: " + path);
+        }
+    }
+
+    // Extra files: anything in our directories the model doesn't know.
+    for (u32 i = 0; i < config_.numDirs; ++i) {
+        const std::string dir =
+            config_.root + "/d" + std::to_string(i);
+        auto listing = vfs.readdir(dir);
+        if (!listing.ok())
+            continue;
+        for (const auto &entry : listing.value()) {
+            const std::string path = dir + "/" + entry.name;
+            if (!model_.fileExists(path) && !tolerated(path)) {
+                ++result.extraFiles;
+                result.details.push_back("extra file: " + path);
+            }
+        }
+    }
+
+    // Duplicate pairs must still be identical to each other.
+    for (u32 i = 0; i < config_.duplicatePairs; ++i) {
+        std::vector<std::vector<u8>> copies;
+        bool ok = true;
+        for (int copy = 0; copy < 2; ++copy) {
+            const std::string path = config_.root + "/dup" +
+                                     std::to_string(i) + "_" +
+                                     std::to_string(copy);
+            auto st = vfs.stat(path);
+            if (!st.ok()) {
+                ok = false;
+                break;
+            }
+            std::vector<u8> bytes(st.value().size);
+            auto fd = vfs.open(proc, path, os::OpenFlags::readOnly());
+            if (!fd.ok()) {
+                ok = false;
+                break;
+            }
+            auto n = vfs.read(proc, fd.value(), bytes);
+            vfs.close(proc, fd.value());
+            if (!n.ok()) {
+                ok = false;
+                break;
+            }
+            copies.push_back(std::move(bytes));
+        }
+        if (!ok || copies.size() != 2 || copies[0] != copies[1]) {
+            ++result.duplicateMismatches;
+            result.details.push_back("duplicate pair " +
+                                     std::to_string(i) + " differs");
+        }
+    }
+    return result;
+}
+
+} // namespace rio::wl

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * memTest (paper section 3.2): a synthetic workload whose actions and
+ * data are repeatable and checkable after a system crash. It
+ * generates a pseudo-random stream of file/directory creations,
+ * deletions, reads, writes, renames and truncates, applying every
+ * completed operation both to the simulated kernel and to a host-side
+ * ModelFs (the analogue of the paper's status file kept across the
+ * network). After the crash and reboot, verify() compares the
+ * recovered file system against the model; the operation in flight
+ * at the moment of the crash is tolerated in either state, mirroring
+ * the paper's treatment of blocks marked "changing".
+ */
+
+#ifndef RIO_WL_MEMTEST_HH
+#define RIO_WL_MEMTEST_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "support/rng.hh"
+#include "workload/modelfs.hh"
+#include "workload/script.hh"
+
+namespace rio::wl
+{
+
+struct MemTestConfig
+{
+    std::string root = "/memtest";
+    u64 seed = 42;
+    /** Target ceiling for the live file set (paper: 100 MB). */
+    u64 maxFileSetBytes = 4ull << 20;
+    u64 maxFileBytes = 128 * 1024;
+    u32 maxFiles = 96;
+    u32 numDirs = 6;
+    /** fsync after every write: the disk write-through baseline. */
+    bool fsyncEveryWrite = false;
+    /** Untouched duplicate file pairs (final corruption check). */
+    u32 duplicatePairs = 4;
+    u64 duplicateBytes = 32 * 1024;
+};
+
+class MemTest : public Script
+{
+  public:
+    MemTest(os::Kernel &kernel, const MemTestConfig &config);
+
+    /** Create the directory skeleton and the duplicate pairs. */
+    void setup();
+
+    /**
+     * Continue the workload against a rebooted kernel (the machine
+     * survived; the kernel instance did not). The model and the
+     * operation stream carry on where they left off.
+     */
+    void rebind(os::Kernel &kernel) { kernel_ = &kernel; }
+
+    bool step() override;
+    std::string name() const override { return "memTest"; }
+
+    u64 opsCompleted() const { return opsCompleted_; }
+    const ModelFs &model() const { return model_; }
+    bool liveMismatchSeen() const { return liveMismatch_; }
+
+    /** The operation that was in flight if the system crashed. */
+    struct PendingOp
+    {
+        enum class Kind : u8
+        {
+            None,
+            Write,
+            Create,
+            Remove,
+            Mkdir,
+            Rmdir,
+            Rename,
+            Truncate,
+        };
+        Kind kind = Kind::None;
+        std::string path;
+        std::string path2;
+    };
+
+    struct VerifyResult
+    {
+        u64 filesChecked = 0;
+        u64 dirsChecked = 0;
+        u64 missingFiles = 0;
+        u64 sizeMismatches = 0;
+        u64 contentMismatches = 0;
+        u64 extraFiles = 0;
+        u64 missingDirs = 0;
+        u64 duplicateMismatches = 0;
+        u64 readErrors = 0;
+        std::vector<std::string> details;
+
+        bool
+        corrupt() const
+        {
+            return missingFiles + sizeMismatches + contentMismatches +
+                       extraFiles + missingDirs + duplicateMismatches +
+                       readErrors >
+                   0;
+        }
+    };
+
+    /**
+     * Compare the (rebooted) kernel's file system against the model.
+     * @param kernel A booted kernel mounting the recovered fs.
+     */
+    VerifyResult verify(os::Kernel &kernel) const;
+
+  private:
+    std::string pickFile();
+    std::string newFileName();
+    void doCreate();
+    void doAppend();
+    void doOverwrite();
+    void doReadVerify();
+    void doRemove();
+    void doMkdirRmdir();
+    void doRename();
+    void doTruncate();
+    void writeAt(const std::string &path, u64 off, u64 len,
+                 bool append);
+
+    os::Kernel *kernel_;
+    MemTestConfig config_;
+    support::Rng rng_;
+    os::Process proc_;
+    ModelFs model_;
+    std::vector<std::string> liveFiles_;
+    std::set<std::string> tainted_; ///< Paths with failed mutations.
+    std::vector<std::string> tmpDirs_;
+    PendingOp pending_;
+    u64 opsCompleted_ = 0;
+    u64 nextFileId_ = 0;
+    u64 nextTmpId_ = 0;
+    bool liveMismatch_ = false;
+};
+
+} // namespace rio::wl
+
+#endif // RIO_WL_MEMTEST_HH

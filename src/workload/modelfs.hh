@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A host-side model file system, used by memTest to know the correct
+ * contents of its test directory at every instant (paper section
+ * 3.2): the workload applies each completed operation both to the
+ * simulated kernel and to this model, then after a crash + reboot
+ * the verifier compares the recovered file system against the model.
+ * The model lives in host memory, playing the role of the paper's
+ * status file "across the network" — it trivially survives the
+ * simulated crash.
+ */
+
+#ifndef RIO_WL_MODELFS_HH
+#define RIO_WL_MODELFS_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace rio::wl
+{
+
+class ModelFs
+{
+  public:
+    void
+    mkdir(const std::string &path)
+    {
+        dirs_.insert(path);
+    }
+
+    void
+    rmdir(const std::string &path)
+    {
+        dirs_.erase(path);
+    }
+
+    bool
+    dirExists(const std::string &path) const
+    {
+        return dirs_.count(path) > 0;
+    }
+
+    void
+    writeFile(const std::string &path, u64 off,
+              const std::vector<u8> &data)
+    {
+        auto &file = files_[path];
+        if (file.size() < off + data.size())
+            file.resize(off + data.size(), 0);
+        std::copy(data.begin(), data.end(), file.begin() + off);
+    }
+
+    void
+    truncateFile(const std::string &path, u64 size)
+    {
+        files_[path].resize(size, 0);
+    }
+
+    void
+    removeFile(const std::string &path)
+    {
+        files_.erase(path);
+    }
+
+    void
+    renameFile(const std::string &from, const std::string &to)
+    {
+        auto it = files_.find(from);
+        if (it == files_.end())
+            return;
+        files_[to] = std::move(it->second);
+        files_.erase(it);
+    }
+
+    bool
+    fileExists(const std::string &path) const
+    {
+        return files_.count(path) > 0;
+    }
+
+    const std::vector<u8> *
+    contents(const std::string &path) const
+    {
+        auto it = files_.find(path);
+        return it == files_.end() ? nullptr : &it->second;
+    }
+
+    const std::map<std::string, std::vector<u8>> &
+    files() const
+    {
+        return files_;
+    }
+
+    const std::set<std::string> &
+    dirs() const
+    {
+        return dirs_;
+    }
+
+    u64
+    totalBytes() const
+    {
+        u64 total = 0;
+        for (const auto &[path, data] : files_)
+            total += data.size();
+        return total;
+    }
+
+  private:
+    std::map<std::string, std::vector<u8>> files_;
+    std::set<std::string> dirs_;
+};
+
+} // namespace rio::wl
+
+#endif // RIO_WL_MODELFS_HH

@@ -1,0 +1,15 @@
+#include "workload/script.hh"
+
+#include "support/rng.hh"
+
+namespace rio::wl
+{
+
+void
+fillPattern(std::span<u8> out, u64 seed)
+{
+    support::Rng rng(seed);
+    rng.fill(out);
+}
+
+} // namespace rio::wl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Workload scripts and the round-robin "process" scheduler.
+ *
+ * Each Script models one user process issuing system calls; step()
+ * performs one operation. The scheduler interleaves scripts on the
+ * shared simulated clock — a reasonable model of a uniprocessor,
+ * where asynchronous disk writes (the Disk's write queue) provide the
+ * CPU/IO overlap the paper's asynchronous configurations rely on.
+ */
+
+#ifndef RIO_WL_SCRIPT_HH
+#define RIO_WL_SCRIPT_HH
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "support/types.hh"
+
+namespace rio::wl
+{
+
+class Script
+{
+  public:
+    virtual ~Script() = default;
+
+    /**
+     * Execute one operation.
+     * @return false when the script has finished its work.
+     */
+    virtual bool step() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+class Scheduler
+{
+  public:
+    void
+    add(Script &script)
+    {
+        scripts_.push_back(&script);
+    }
+
+    /**
+     * Hook run between steps (fault injection, deadline checks).
+     * Return false to stop the scheduler.
+     */
+    void
+    setBetweenSteps(std::function<bool()> hook)
+    {
+        hook_ = std::move(hook);
+    }
+
+    /**
+     * Round-robin all scripts until each has finished (or the hook
+     * stops the run).
+     * @return true if all scripts completed.
+     */
+    bool
+    run()
+    {
+        std::vector<bool> done(scripts_.size(), false);
+        std::size_t remaining = scripts_.size();
+        while (remaining > 0) {
+            for (std::size_t i = 0; i < scripts_.size(); ++i) {
+                if (done[i])
+                    continue;
+                if (hook_ && !hook_())
+                    return false;
+                if (!scripts_[i]->step()) {
+                    done[i] = true;
+                    --remaining;
+                }
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::vector<Script *> scripts_;
+    std::function<bool()> hook_;
+};
+
+/** Deterministic content for file bytes: version-tagged pattern. */
+void fillPattern(std::span<u8> out, u64 seed);
+
+} // namespace rio::wl
+
+#endif // RIO_WL_SCRIPT_HH

@@ -1,0 +1,152 @@
+#include "workload/sdet.hh"
+
+namespace rio::wl
+{
+
+SdetScript::SdetScript(os::Kernel &kernel, const SdetConfig &config,
+                       u32 scriptId)
+    : kernel_(kernel), config_(config), id_(scriptId),
+      rng_(config.seed * 131 + scriptId), proc_(300 + scriptId)
+{}
+
+std::string
+SdetScript::filePath(u32 index) const
+{
+    return config_.root + "/u" + std::to_string(id_) + "/f" +
+           std::to_string(iteration_) + "_" + std::to_string(index);
+}
+
+void
+SdetScript::nextStage()
+{
+    cursor_ = 0;
+    switch (stage_) {
+      case Stage::Setup: stage_ = Stage::Create; break;
+      case Stage::Create: stage_ = Stage::Edit; break;
+      case Stage::Edit: stage_ = Stage::Read; break;
+      case Stage::Read: stage_ = Stage::Compile; break;
+      case Stage::Compile: stage_ = Stage::Remove; break;
+      case Stage::Remove:
+        if (++iteration_ < config_.iterations) {
+            stage_ = Stage::Create;
+        } else {
+            stage_ = Stage::Teardown;
+        }
+        break;
+      case Stage::Teardown: stage_ = Stage::Done; break;
+      case Stage::Done: break;
+    }
+}
+
+bool
+SdetScript::step()
+{
+    auto &vfs = kernel_.vfs();
+    kernel_.machine().clock().advance(config_.userCpuNs);
+
+    switch (stage_) {
+      case Stage::Setup:
+        vfs.mkdir(config_.root); // First script wins; rest harmless.
+        vfs.mkdir(config_.root + "/u" + std::to_string(id_));
+        nextStage();
+        return true;
+      case Stage::Create: {
+        std::vector<u8> bytes(config_.avgFileBytes / 2 +
+                              rng_.below(config_.avgFileBytes));
+        fillPattern(bytes, rng_.next());
+        auto fd = vfs.open(proc_, filePath(cursor_),
+                           os::OpenFlags::writeOnly());
+        if (fd.ok()) {
+            for (u64 off = 0; off < bytes.size();
+                 off += config_.writeChunk) {
+                const u64 n = std::min<u64>(config_.writeChunk,
+                                            bytes.size() - off);
+                vfs.write(proc_, fd.value(),
+                          std::span<const u8>(bytes.data() + off, n));
+            }
+            vfs.close(proc_, fd.value());
+        }
+        if (++cursor_ >= config_.filesPerIteration)
+            nextStage();
+        return true;
+      }
+      case Stage::Edit: {
+        // Editor session: read, rewrite, stat.
+        const std::string path = filePath(cursor_);
+        auto st = vfs.stat(path);
+        if (st.ok()) {
+            auto fd = vfs.open(proc_, path,
+                               os::OpenFlags::readWrite());
+            if (fd.ok()) {
+                std::vector<u8> bytes(st.value().size);
+                vfs.read(proc_, fd.value(), bytes);
+                fillPattern(bytes, rng_.next());
+                for (u64 off = 0; off < bytes.size();
+                     off += config_.writeChunk) {
+                    const u64 n = std::min<u64>(
+                        config_.writeChunk, bytes.size() - off);
+                    vfs.pwrite(
+                        proc_, fd.value(), off,
+                        std::span<const u8>(bytes.data() + off, n));
+                }
+                vfs.close(proc_, fd.value());
+            }
+        }
+        if (++cursor_ >= config_.filesPerIteration)
+            nextStage();
+        return true;
+      }
+      case Stage::Read: {
+        const std::string path = filePath(cursor_);
+        auto st = vfs.stat(path);
+        if (st.ok()) {
+            auto fd =
+                vfs.open(proc_, path, os::OpenFlags::readOnly());
+            if (fd.ok()) {
+                std::vector<u8> bytes(st.value().size);
+                vfs.read(proc_, fd.value(), bytes);
+                vfs.close(proc_, fd.value());
+            }
+        }
+        if (++cursor_ >= config_.filesPerIteration)
+            nextStage();
+        return true;
+      }
+      case Stage::Compile:
+        kernel_.machine().clock().advance(
+            config_.compileNsPerIteration);
+        nextStage();
+        return true;
+      case Stage::Remove:
+        vfs.unlink(filePath(cursor_));
+        if (++cursor_ >= config_.filesPerIteration)
+            nextStage();
+        return true;
+      case Stage::Teardown:
+        vfs.rmdir(config_.root + "/u" + std::to_string(id_));
+        nextStage();
+        return true;
+      case Stage::Done:
+        return false;
+    }
+    return false;
+}
+
+double
+runSdet(os::Kernel &kernel, const SdetConfig &config)
+{
+    const double start = kernel.machine().clock().seconds();
+    std::vector<std::unique_ptr<SdetScript>> scripts;
+    Scheduler scheduler;
+    for (u32 i = 0; i < config.scripts; ++i) {
+        scripts.push_back(
+            std::make_unique<SdetScript>(kernel, config, i));
+        scheduler.add(*scripts.back());
+    }
+    scheduler.run();
+    // Like the SPEC harness, the score is script completion time;
+    // asynchronous writes still queued do not count against it.
+    return kernel.machine().clock().seconds() - start;
+}
+
+} // namespace rio::wl

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for fsck: each class of inconsistency it must detect and
+ * repair (orphaned inodes, dangling directory entries, bad block
+ * pointers, duplicate claims, wrong link counts, stale bitmaps), and
+ * that a healthy file system passes untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "os/fsck.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+
+using namespace rio;
+
+namespace
+{
+
+sim::MachineConfig
+machineConfig()
+{
+    sim::MachineConfig c;
+    c.physMemBytes = 16ull << 20;
+    c.kernelHeapBytes = 4ull << 20;
+    c.bufPoolBytes = 1ull << 20;
+    c.diskBytes = 32ull << 20;
+    c.swapBytes = 16ull << 20;
+    return c;
+}
+
+/** Boot, build a small tree, flush everything to disk, shut down. */
+struct DiskImage
+{
+    DiskImage() : machine(machineConfig())
+    {
+        auto kernel = std::make_unique<os::Kernel>(
+            machine, os::systemPreset(os::SystemPreset::UfsDelayAll));
+        kernel->boot(nullptr, true);
+        os::Process proc(1);
+        auto &vfs = kernel->vfs();
+        vfs.mkdir("/d");
+        for (int i = 0; i < 4; ++i) {
+            auto fd = vfs.open(proc, "/d/f" + std::to_string(i),
+                               os::OpenFlags::writeOnly());
+            std::vector<u8> data(9000, static_cast<u8>(i + 1));
+            vfs.write(proc, fd.value(), data);
+            vfs.close(proc, fd.value());
+        }
+        geo = kernel->ufs().geometry();
+        dirIno = kernel->ufs().namei("/d").value();
+        f0Ino = kernel->ufs().namei("/d/f0").value();
+        kernel->shutdown();
+    }
+
+    /** Direct on-disk access helpers. */
+    std::vector<u8>
+    readBlock(BlockNo block)
+    {
+        std::vector<u8> data(os::Ufs::kBlockSize);
+        machine.disk().read(static_cast<SectorNo>(block) *
+                                sim::kSectorsPerBlock,
+                            sim::kSectorsPerBlock, data, clock);
+        return data;
+    }
+
+    void
+    writeBlock(BlockNo block, const std::vector<u8> &data)
+    {
+        machine.disk().write(static_cast<SectorNo>(block) *
+                                 sim::kSectorsPerBlock,
+                             sim::kSectorsPerBlock, data, clock);
+    }
+
+    BlockNo
+    inodeBlock(InodeNo ino) const
+    {
+        return geo.itStart +
+               static_cast<BlockNo>(ino / os::Ufs::kInodesPerBlock);
+    }
+
+    u64
+    inodeOffset(InodeNo ino) const
+    {
+        return (ino % os::Ufs::kInodesPerBlock) * os::Ufs::kInodeSize;
+    }
+
+    /** Mark the fs dirty so the next boot runs fsck. */
+    void
+    markDirty()
+    {
+        auto sb = readBlock(0);
+        const u32 zero = 0;
+        std::memcpy(sb.data() + os::Ufs::kSbClean, &zero, 4);
+        writeBlock(0, sb);
+    }
+
+    sim::Machine machine;
+    sim::SimClock clock;
+    os::UfsGeometry geo;
+    InodeNo dirIno = 0;
+    InodeNo f0Ino = 0;
+};
+
+} // namespace
+
+TEST(FsckTest, CleanFilesystemNeedsNoRepairs)
+{
+    DiskImage image;
+    auto report = os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_TRUE(report.superblockOk);
+    EXPECT_TRUE(report.wasClean);
+    EXPECT_EQ(report.errorsFixed(), 0u);
+    EXPECT_GT(report.filesChecked, 0u);
+    EXPECT_GT(report.dirsChecked, 0u);
+}
+
+TEST(FsckTest, GarbageSuperblockReported)
+{
+    DiskImage image;
+    std::vector<u8> garbage(os::Ufs::kBlockSize, 0xdb);
+    image.writeBlock(0, garbage);
+    auto report = os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_FALSE(report.superblockOk);
+}
+
+TEST(FsckTest, OrphanInodeFreed)
+{
+    DiskImage image;
+    // Allocate-looking inode that no directory references.
+    const InodeNo orphan = 200;
+    auto itb = image.readBlock(image.inodeBlock(orphan));
+    const u16 type = 1, nlink = 1;
+    std::memcpy(itb.data() + image.inodeOffset(orphan), &type, 2);
+    std::memcpy(itb.data() + image.inodeOffset(orphan) + 2, &nlink, 2);
+    image.writeBlock(image.inodeBlock(orphan), itb);
+    image.markDirty();
+
+    auto report = os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_EQ(report.orphanInodes, 1u);
+    // The inode is free again on disk.
+    auto after = image.readBlock(image.inodeBlock(orphan));
+    u16 typeAfter;
+    std::memcpy(&typeAfter, after.data() + image.inodeOffset(orphan),
+                2);
+    EXPECT_EQ(typeAfter, 0);
+}
+
+TEST(FsckTest, DanglingDirentRemoved)
+{
+    DiskImage image;
+    // Find /d's data block and add an entry pointing at a free inode.
+    auto itb = image.readBlock(image.inodeBlock(image.dirIno));
+    u32 dirBlock;
+    std::memcpy(&dirBlock,
+                itb.data() + image.inodeOffset(image.dirIno) + 24, 4);
+    auto db = image.readBlock(dirBlock);
+    // Redirect the "f3" entry at a free inode: a dangling name.
+    bool found = false;
+    for (u64 slot = 0; slot + os::Ufs::kDirentSize <= os::Ufs::kBlockSize;
+         slot += os::Ufs::kDirentSize) {
+        if (db[slot + 5] == 2 && db[slot + 6] == 'f' &&
+            db[slot + 7] == '3') {
+            const u32 bogus = 500; // Free inode.
+            std::memcpy(db.data() + slot, &bogus, 4);
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+    image.writeBlock(dirBlock, db);
+    image.markDirty();
+
+    auto report = os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_EQ(report.badDirents, 1u);
+
+    // Remount and verify the tree is usable and 'f3' is gone. Its
+    // old inode becomes an orphan and was freed too.
+    os::Kernel kernel(image.machine,
+                      os::systemPreset(os::SystemPreset::UfsDelayAll));
+    kernel.boot(nullptr, false);
+    EXPECT_EQ(kernel.ufs().namei("/d/f3").status(),
+              support::OsStatus::NoEnt);
+    EXPECT_TRUE(kernel.ufs().namei("/d/f1").ok());
+    EXPECT_EQ(report.orphanInodes, 1u);
+}
+
+TEST(FsckTest, BadBlockPointerCleared)
+{
+    DiskImage image;
+    auto itb = image.readBlock(image.inodeBlock(image.f0Ino));
+    const u32 wild = image.geo.totalBlocks + 100;
+    std::memcpy(itb.data() + image.inodeOffset(image.f0Ino) + 24 + 4,
+                &wild, 4); // direct[1]
+    image.writeBlock(image.inodeBlock(image.f0Ino), itb);
+    image.markDirty();
+
+    auto report = os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_GE(report.badBlockPtrs, 1u);
+
+    os::Kernel kernel(image.machine,
+                      os::systemPreset(os::SystemPreset::UfsDelayAll));
+    kernel.boot(nullptr, false);
+    // The file is still readable (block 1 now reads as a hole).
+    std::vector<u8> out(9000);
+    EXPECT_TRUE(
+        kernel.ufs().readFile(image.f0Ino, 0, out).ok());
+}
+
+TEST(FsckTest, DuplicateBlockClaimDetached)
+{
+    DiskImage image;
+    // Point f0's direct[0] at f1's direct[0].
+    const InodeNo f0 = image.f0Ino;
+    auto itb = image.readBlock(image.inodeBlock(f0));
+    u32 f1block;
+    // f1 is ino f0+1 by construction order.
+    std::memcpy(&f1block,
+                itb.data() + image.inodeOffset(f0 + 1) + 24, 4);
+    std::memcpy(itb.data() + image.inodeOffset(f0) + 24, &f1block, 4);
+    image.writeBlock(image.inodeBlock(f0), itb);
+    image.markDirty();
+
+    auto report = os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_GE(report.dupBlocks, 1u);
+}
+
+TEST(FsckTest, WrongLinkCountFixed)
+{
+    DiskImage image;
+    auto itb = image.readBlock(image.inodeBlock(image.f0Ino));
+    const u16 wrong = 7;
+    std::memcpy(itb.data() + image.inodeOffset(image.f0Ino) + 2,
+                &wrong, 2);
+    image.writeBlock(image.inodeBlock(image.f0Ino), itb);
+    image.markDirty();
+
+    auto report = os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_EQ(report.nlinkFixed, 1u);
+    auto after = image.readBlock(image.inodeBlock(image.f0Ino));
+    u16 nlink;
+    std::memcpy(&nlink, after.data() + image.inodeOffset(image.f0Ino) + 2,
+                2);
+    EXPECT_EQ(nlink, 1);
+}
+
+TEST(FsckTest, StaleBitmapRebuilt)
+{
+    DiskImage image;
+    // Set a random free data block's bit (leaked block).
+    auto bm = image.readBlock(image.geo.dbmStart);
+    const u32 victim = image.geo.logStart - 3;
+    bm[victim / 8] |= static_cast<u8>(1u << (victim % 8));
+    image.writeBlock(image.geo.dbmStart, bm);
+    image.markDirty();
+
+    auto report = os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_GE(report.bitmapFixed, 1u);
+    auto after = image.readBlock(image.geo.dbmStart);
+    EXPECT_EQ(after[victim / 8] & (1u << (victim % 8)), 0);
+}
+
+TEST(FsckTest, MarksFilesystemClean)
+{
+    DiskImage image;
+    image.markDirty();
+    os::runFsck(image.machine.disk(), image.clock, true);
+    auto sb = image.readBlock(0);
+    u32 clean;
+    std::memcpy(&clean, sb.data() + os::Ufs::kSbClean, 4);
+    EXPECT_EQ(clean, 1u);
+}
+
+TEST(FsckTest, RepairFalseOnlyReports)
+{
+    DiskImage image;
+    const InodeNo orphan = 201;
+    auto itb = image.readBlock(image.inodeBlock(orphan));
+    const u16 type = 1;
+    std::memcpy(itb.data() + image.inodeOffset(orphan), &type, 2);
+    image.writeBlock(image.inodeBlock(orphan), itb);
+    image.markDirty();
+
+    auto report =
+        os::runFsck(image.machine.disk(), image.clock, false);
+    EXPECT_EQ(report.orphanInodes, 1u);
+    EXPECT_FALSE(report.repaired);
+    // Nothing was changed on disk.
+    auto after = image.readBlock(image.inodeBlock(orphan));
+    u16 typeAfter;
+    std::memcpy(&typeAfter, after.data() + image.inodeOffset(orphan),
+                2);
+    EXPECT_EQ(typeAfter, 1);
+}
+
+TEST(FsckTest, ChargesSimulatedTime)
+{
+    DiskImage image;
+    const SimNs before = image.clock.now();
+    os::runFsck(image.machine.disk(), image.clock, true);
+    EXPECT_GT(image.clock.now(), before);
+}

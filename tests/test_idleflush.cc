@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the Rio idle-flush extension (the paper's section 2.3
+ * future work): background writes under Rio shrink the warm reboot's
+ * restore work while changing nothing about reliability semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rio.hh"
+#include "core/warmreboot.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+
+using namespace rio;
+
+namespace
+{
+
+sim::MachineConfig
+machineConfig()
+{
+    sim::MachineConfig c;
+    c.physMemBytes = 16ull << 20;
+    c.kernelHeapBytes = 4ull << 20;
+    c.bufPoolBytes = 1ull << 20;
+    c.diskBytes = 64ull << 20;
+    c.swapBytes = 16ull << 20;
+    return c;
+}
+
+struct Rig
+{
+    explicit Rig(bool idleFlush) : machine(machineConfig())
+    {
+        config = os::systemPreset(os::SystemPreset::RioProtected);
+        config.rioIdleFlush = idleFlush;
+        core::RioOptions options;
+        options.protection = config.protection;
+        rio = std::make_unique<core::RioSystem>(machine, options);
+        kernel = std::make_unique<os::Kernel>(machine, config);
+        kernel->boot(rio.get(), true);
+        kernel->fsDisk().resetStats();
+    }
+
+    void
+    writeWorkload()
+    {
+        auto &vfs = kernel->vfs();
+        std::vector<u8> data(16 * 1024, 0x3e);
+        for (int i = 0; i < 20; ++i) {
+            auto fd = vfs.open(proc, "/f" + std::to_string(i),
+                               os::OpenFlags::writeOnly());
+            vfs.write(proc, fd.value(), data);
+            vfs.close(proc, fd.value());
+        }
+    }
+
+    void
+    idlePeriod()
+    {
+        machine.clock().advance(31ull * sim::kNsPerSec);
+        kernel->vfs().stat("/f0"); // Any syscall ticks the daemon.
+        kernel->fsDisk().drain(machine.clock());
+    }
+
+    sim::Machine machine;
+    os::KernelConfig config;
+    std::unique_ptr<core::RioSystem> rio;
+    std::unique_ptr<os::Kernel> kernel;
+    os::Process proc{1};
+};
+
+} // namespace
+
+TEST(RioIdleFlush, OffMeansZeroDiskWrites)
+{
+    Rig rig(false);
+    rig.writeWorkload();
+    rig.idlePeriod();
+    EXPECT_EQ(rig.kernel->fsDisk().stats().sectorsWritten, 0u);
+}
+
+TEST(RioIdleFlush, OnTricklesDirtyDataDuringIdle)
+{
+    Rig rig(true);
+    rig.writeWorkload();
+    rig.idlePeriod();
+    EXPECT_GT(rig.kernel->fsDisk().stats().sectorsWritten, 0u);
+}
+
+TEST(RioIdleFlush, SyncStillReturnsInstantly)
+{
+    Rig rig(true);
+    rig.writeWorkload();
+    auto fd = rig.kernel->vfs().open(rig.proc, "/f0",
+                                     os::OpenFlags::readOnly());
+    const SimNs before = rig.machine.clock().now();
+    rig.kernel->vfs().fsync(rig.proc, fd.value());
+    EXPECT_LT(rig.machine.clock().now() - before, 100'000u);
+}
+
+TEST(RioIdleFlush, ShrinksWarmRebootRestoreWork)
+{
+    auto restoredPages = [](bool idleFlush) {
+        Rig rig(idleFlush);
+        rig.writeWorkload();
+        rig.idlePeriod();
+        try {
+            rig.machine.crash(sim::CrashCause::KernelPanic, "x");
+        } catch (const sim::CrashException &) {
+        }
+        rig.rio->deactivate();
+        rig.rio.reset();
+        rig.kernel.reset();
+        rig.machine.reset(sim::ResetKind::Warm);
+        core::WarmReboot warm(rig.machine);
+        auto report = warm.dumpAndRestoreMetadata();
+        core::RioOptions options;
+        options.protection = rig.config.protection;
+        core::RioSystem rio2(rig.machine, options);
+        os::Kernel rebooted(rig.machine, rig.config);
+        rebooted.boot(&rio2, false);
+        warm.restoreData(rebooted.vfs(), report);
+
+        // Regardless of flushing, all files must be intact.
+        std::vector<u8> out(16 * 1024);
+        for (int i = 0; i < 20; ++i) {
+            os::Process proc(2);
+            auto fd = rebooted.vfs().open(proc,
+                                          "/f" + std::to_string(i),
+                                          os::OpenFlags::readOnly());
+            EXPECT_TRUE(fd.ok());
+            if (fd.ok()) {
+                auto n = rebooted.vfs().read(proc, fd.value(), out);
+                EXPECT_TRUE(n.ok());
+                EXPECT_EQ(out[0], 0x3e);
+            }
+        }
+        return report.dataPagesRestored;
+    };
+
+    const u64 without = restoredPages(false);
+    const u64 with = restoredPages(true);
+    EXPECT_GT(without, 0u);
+    EXPECT_LT(with, without); // Flushed pages need no restore.
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the kernel copy routines themselves (the fault hooks are
+ * covered in test_fault.cc): copyin/copyout fidelity, kernel-to-
+ * kernel copies, zeroing, and time charging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/kcopy.hh"
+#include "sim/machine.hh"
+
+using namespace rio;
+
+namespace
+{
+
+class KCopyTest : public ::testing::Test
+{
+  protected:
+    KCopyTest()
+        : machine_(config()), procs_(machine_, support::Rng(1)),
+          kcopy_(machine_, procs_)
+    {
+        machine_.pageTable().initIdentity();
+        heapBase_ =
+            machine_.mem().region(sim::RegionKind::KernelHeap).base;
+    }
+
+    static sim::MachineConfig
+    config()
+    {
+        sim::MachineConfig c;
+        c.physMemBytes = 8ull << 20;
+        c.kernelTextBytes = 1ull << 20;
+        c.kernelHeapBytes = 2ull << 20;
+        c.bufPoolBytes = 256ull << 10;
+        c.diskBytes = 16ull << 20;
+        c.swapBytes = 8ull << 20;
+        return c;
+    }
+
+    sim::Machine machine_;
+    os::KProcTable procs_;
+    os::KCopy kcopy_;
+    Addr heapBase_ = 0;
+};
+
+} // namespace
+
+TEST_F(KCopyTest, CopyInOutRoundTrip)
+{
+    std::vector<u8> in(5000);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<u8>(i * 17);
+    kcopy_.copyIn(heapBase_ + 128, in);
+    std::vector<u8> out(5000, 0);
+    kcopy_.copyOut(out, heapBase_ + 128);
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(kcopy_.calls(), 2u);
+}
+
+TEST_F(KCopyTest, KernelToKernelCopy)
+{
+    std::vector<u8> in(3000, 0x21);
+    kcopy_.copyIn(heapBase_, in);
+    kcopy_.copy(heapBase_ + 100000, heapBase_, 3000);
+    std::vector<u8> out(3000);
+    kcopy_.copyOut(out, heapBase_ + 100000);
+    EXPECT_EQ(out, in);
+}
+
+TEST_F(KCopyTest, ZeroClearsRange)
+{
+    std::vector<u8> in(1024, 0xff);
+    kcopy_.copyIn(heapBase_, in);
+    kcopy_.zero(heapBase_ + 100, 500);
+    std::vector<u8> out(1024);
+    kcopy_.copyOut(out, heapBase_);
+    EXPECT_EQ(out[99], 0xff);
+    EXPECT_EQ(out[100], 0);
+    EXPECT_EQ(out[599], 0);
+    EXPECT_EQ(out[600], 0xff);
+}
+
+TEST_F(KCopyTest, CopiesChargeTimeProportionally)
+{
+    std::vector<u8> small(1024), large(64 * 1024);
+    const SimNs t0 = machine_.clock().now();
+    kcopy_.copyIn(heapBase_, small);
+    const SimNs smallCost = machine_.clock().now() - t0;
+    const SimNs t1 = machine_.clock().now();
+    kcopy_.copyIn(heapBase_ + 131072, large);
+    const SimNs largeCost = machine_.clock().now() - t1;
+    EXPECT_GT(largeCost, smallCost * 20);
+}
+
+TEST_F(KCopyTest, CrossPageCopiesAreFaithful)
+{
+    // Span several pages with an unaligned start.
+    std::vector<u8> in(3 * sim::kPageSize);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<u8>((i * 31) ^ (i >> 7));
+    const Addr dst = heapBase_ + sim::kPageSize - 333;
+    kcopy_.copyIn(dst, in);
+    std::vector<u8> out(in.size());
+    kcopy_.copyOut(out, dst);
+    EXPECT_EQ(in, out);
+}
+
+TEST_F(KCopyTest, CopyInToInvalidAddressMachineChecks)
+{
+    std::vector<u8> in(64, 1);
+    EXPECT_THROW(kcopy_.copyIn(machine_.mem().size() + 4096, in),
+                 sim::CrashException);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the kernel lock table and its synchronization-fault
+ * behaviour (missed releases deadlock; missed acquires race).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/locks.hh"
+#include "sim/machine.hh"
+
+using namespace rio;
+
+namespace
+{
+
+class LocksTest : public ::testing::Test
+{
+  protected:
+    LocksTest()
+        : machine_(config()), procs_(machine_, support::Rng(1)),
+          locks_(machine_, procs_)
+    {
+        machine_.pageTable().initIdentity();
+    }
+
+    static sim::MachineConfig
+    config()
+    {
+        sim::MachineConfig c;
+        c.physMemBytes = 8ull << 20;
+        c.kernelTextBytes = 1ull << 20;
+        c.kernelHeapBytes = 2ull << 20;
+        c.bufPoolBytes = 256ull << 10;
+        c.diskBytes = 16ull << 20;
+        c.swapBytes = 8ull << 20;
+        return c;
+    }
+
+    sim::Machine machine_;
+    os::KProcTable procs_;
+    os::LockTable locks_;
+};
+
+} // namespace
+
+TEST_F(LocksTest, AcquireReleaseCycle)
+{
+    const os::LockId lock = locks_.add("test");
+    locks_.acquire(lock);
+    locks_.release(lock);
+    locks_.acquire(lock);
+    locks_.release(lock);
+    EXPECT_EQ(locks_.acquires(), 2u);
+}
+
+TEST_F(LocksTest, DoubleAcquireDeadlocks)
+{
+    const os::LockId lock = locks_.add("test");
+    locks_.acquire(lock);
+    EXPECT_THROW(locks_.acquire(lock), sim::CrashException);
+}
+
+TEST_F(LocksTest, GuardReleasesOnScopeExit)
+{
+    const os::LockId lock = locks_.add("test");
+    {
+        os::LockTable::Guard guard(locks_, lock);
+    }
+    EXPECT_NO_THROW(locks_.acquire(lock));
+}
+
+TEST_F(LocksTest, GuardReleasesQuietlyDuringUnwind)
+{
+    const os::LockId lock = locks_.add("test");
+    try {
+        os::LockTable::Guard guard(locks_, lock);
+        throw std::runtime_error("unwind");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_NO_THROW(locks_.acquire(lock));
+}
+
+TEST_F(LocksTest, SyncFaultEventuallyDeadlocksOrRaces)
+{
+    const auto &heap = machine_.mem().region(sim::RegionKind::KernelHeap);
+    const os::LockId lock = locks_.add("guarded", heap.base, 4096);
+    support::Rng rng(11);
+    locks_.armSyncFault(rng);
+
+    bool crashed = false;
+    u64 races = 0;
+    for (int i = 0; i < 20000 && !crashed; ++i) {
+        try {
+            locks_.acquire(lock);
+            locks_.release(lock);
+        } catch (const sim::CrashException &e) {
+            EXPECT_EQ(e.cause(), sim::CrashCause::Deadlock);
+            crashed = true;
+        }
+        races = locks_.racesInjected();
+    }
+    // A missed release must eventually deadlock; races may also have
+    // been injected along the way.
+    EXPECT_TRUE(crashed);
+    EXPECT_GE(races, 0u);
+}
+
+TEST_F(LocksTest, RaceCanScribbleGuardedBytes)
+{
+    const auto &heap = machine_.mem().region(sim::RegionKind::KernelHeap);
+    const os::LockId lock = locks_.add("guarded", heap.base, 4096);
+    support::Rng rng(13);
+    locks_.armSyncFault(rng);
+
+    bool corrupted = false;
+    for (int i = 0; i < 200000 && !corrupted; ++i) {
+        try {
+            locks_.acquire(lock);
+            locks_.release(lock);
+        } catch (const sim::CrashException &) {
+            // "Reboot": clear the stuck lock and keep hammering.
+            locks_.releaseQuiet(lock);
+        }
+        if (locks_.racesInjected() > 0) {
+            for (u64 off = 0; off < 4096 && !corrupted; ++off)
+                corrupted =
+                    machine_.mem().raw()[heap.base + off] != 0;
+        }
+    }
+    // Across enough missed acquires, the race model must scribble
+    // into the guarded range at least once.
+    EXPECT_TRUE(corrupted);
+}

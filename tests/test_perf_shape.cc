@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Small-scale end-to-end check that the Table 2 *shape* holds: the
+ * paper's ordering of the eight system configurations on cp+rm, and
+ * the headline relations (Rio ≈ MFS, Rio ≫ write-through, protection
+ * ≈ free). Runs at 2 MB so it stays test-sized; the bench binary
+ * regenerates the full-scale table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/perfrun.hh"
+
+using namespace rio;
+
+namespace
+{
+
+class PerfShape : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        harness::PerfConfig config;
+        config.cprmBytes = 2ull << 20;
+        config.andrewFiles = 12;
+        harness::PerfRun perf(config);
+        rows_ = new std::vector<harness::PerfRow>(perf.runAll());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete rows_;
+        rows_ = nullptr;
+    }
+
+    static const harness::PerfRow &
+    row(os::SystemPreset preset)
+    {
+        for (const auto &entry : *rows_) {
+            if (entry.preset == preset)
+                return entry;
+        }
+        throw std::logic_error("preset missing");
+    }
+
+    static std::vector<harness::PerfRow> *rows_;
+};
+
+std::vector<harness::PerfRow> *PerfShape::rows_ = nullptr;
+
+using os::SystemPreset;
+
+} // namespace
+
+TEST_F(PerfShape, CpRmOrderingMatchesPaper)
+{
+    EXPECT_LE(row(SystemPreset::MemoryFs).cprmTotal(),
+              row(SystemPreset::RioProtected).cprmTotal());
+    EXPECT_LE(row(SystemPreset::RioProtected).cprmTotal(),
+              row(SystemPreset::UfsDelayAll).cprmTotal() * 1.15);
+    EXPECT_LT(row(SystemPreset::UfsDelayAll).cprmTotal(),
+              row(SystemPreset::AdvFsJournal).cprmTotal());
+    EXPECT_LT(row(SystemPreset::AdvFsJournal).cprmTotal(),
+              row(SystemPreset::UfsDefault).cprmTotal());
+    EXPECT_LT(row(SystemPreset::UfsDefault).cprmTotal(),
+              row(SystemPreset::UfsWriteThroughClose).cprmTotal());
+    EXPECT_LT(row(SystemPreset::UfsWriteThroughClose).cprmTotal(),
+              row(SystemPreset::UfsWriteThroughWrite).cprmTotal());
+}
+
+TEST_F(PerfShape, RioBeatsWriteThroughByPaperBand)
+{
+    // Paper: 4-22x across workloads. At the tiny test scale the gap
+    // narrows; require at least 3x on cp+rm and 2x on Sdet.
+    EXPECT_GT(row(SystemPreset::UfsWriteThroughWrite).cprmTotal(),
+              row(SystemPreset::RioProtected).cprmTotal() * 3);
+    EXPECT_GT(row(SystemPreset::UfsWriteThroughWrite).sdetSeconds,
+              row(SystemPreset::RioProtected).sdetSeconds * 2);
+}
+
+TEST_F(PerfShape, ProtectionIsEssentiallyFree)
+{
+    const auto &with = row(SystemPreset::RioProtected);
+    const auto &without = row(SystemPreset::RioNoProtection);
+    EXPECT_LT(with.cprmTotal(), without.cprmTotal() * 1.05);
+    EXPECT_LT(with.sdetSeconds, without.sdetSeconds * 1.05);
+    EXPECT_LT(with.andrewSeconds, without.andrewSeconds * 1.05);
+}
+
+TEST_F(PerfShape, RioIsNearMemorySpeedOnComputeWorkloads)
+{
+    EXPECT_LT(row(SystemPreset::RioProtected).andrewSeconds,
+              row(SystemPreset::MemoryFs).andrewSeconds * 1.15);
+    EXPECT_LT(row(SystemPreset::RioProtected).sdetSeconds,
+              row(SystemPreset::MemoryFs).sdetSeconds * 1.25);
+}
+
+TEST_F(PerfShape, SdetOrderingMatchesPaper)
+{
+    EXPECT_LE(row(SystemPreset::UfsDelayAll).sdetSeconds,
+              row(SystemPreset::AdvFsJournal).sdetSeconds * 1.10);
+    EXPECT_LT(row(SystemPreset::AdvFsJournal).sdetSeconds,
+              row(SystemPreset::UfsDefault).sdetSeconds);
+    EXPECT_LT(row(SystemPreset::UfsDefault).sdetSeconds,
+              row(SystemPreset::UfsWriteThroughClose).sdetSeconds);
+    EXPECT_LT(row(SystemPreset::UfsWriteThroughClose).sdetSeconds,
+              row(SystemPreset::UfsWriteThroughWrite).sdetSeconds);
+}

@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Unit tests for the simulated hardware: physical memory regions,
+ * page table, TLB, the memory bus (translation, KSEG semantics,
+ * protection, machine checks), the disk model, and the machine's
+ * crash/reset behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "sim/machine.hh"
+
+using namespace rio;
+using namespace rio::sim;
+
+namespace
+{
+
+MachineConfig
+tinyConfig()
+{
+    MachineConfig config;
+    config.physMemBytes = 8ull << 20;
+    config.kernelTextBytes = 1ull << 20;
+    config.kernelHeapBytes = 2ull << 20;
+    config.bufPoolBytes = 512ull << 10;
+    config.diskBytes = 16ull << 20;
+    config.swapBytes = 8ull << 20;
+    return config;
+}
+
+} // namespace
+
+TEST(PhysMem, RegionsTileWithoutOverlap)
+{
+    PhysMem mem(tinyConfig());
+    Addr cursor = 0;
+    for (const Region &region : mem.regions()) {
+        EXPECT_EQ(region.base, cursor);
+        EXPECT_EQ(region.size % kPageSize, 0u);
+        cursor = region.end();
+    }
+    EXPECT_LE(cursor, mem.size());
+}
+
+TEST(PhysMem, RegistrySizedForFileCachePages)
+{
+    PhysMem mem(tinyConfig());
+    const auto &reg = mem.region(RegionKind::Registry);
+    const auto &buf = mem.region(RegionKind::BufPool);
+    const auto &ubc = mem.region(RegionKind::UbcPool);
+    // 64 bytes per file-cache page plus the 4 shadow pages.
+    EXPECT_GE(reg.size,
+              (buf.pages() + ubc.pages()) * 64 + 4 * kPageSize);
+}
+
+TEST(PhysMem, RegionForFindsOwner)
+{
+    PhysMem mem(tinyConfig());
+    const auto &heap = mem.region(RegionKind::KernelHeap);
+    const Region *found = mem.regionFor(heap.base + 100);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->kind, RegionKind::KernelHeap);
+    EXPECT_EQ(mem.regionFor(mem.size() + 10), nullptr);
+}
+
+TEST(PhysMem, ZeroAllClears)
+{
+    PhysMem mem(tinyConfig());
+    mem.raw()[1000] = 0x42;
+    mem.zeroAll();
+    EXPECT_EQ(mem.raw()[1000], 0);
+}
+
+TEST(Pte, EncodeDecodeRoundTrip)
+{
+    for (const bool valid : {false, true}) {
+        for (const bool writable : {false, true}) {
+            for (const u64 pfn : {0ull, 1ull, 1023ull, 65535ull}) {
+                Pte pte;
+                pte.valid = valid;
+                pte.writable = writable;
+                pte.pfn = pfn;
+                const Pte back = Pte::decode(pte.encode());
+                EXPECT_EQ(back.valid, valid);
+                EXPECT_EQ(back.writable, writable);
+                EXPECT_EQ(back.pfn, pfn);
+            }
+        }
+    }
+}
+
+TEST(PageTable, IdentityMapsAllButPageZero)
+{
+    PhysMem mem(tinyConfig());
+    PageTable pt(mem);
+    pt.initIdentity();
+    EXPECT_FALSE(pt.read(0).valid);
+    for (u64 vpn = 1; vpn < pt.numPages(); vpn += 37) {
+        const Pte pte = pt.read(vpn);
+        EXPECT_TRUE(pte.valid);
+        EXPECT_TRUE(pte.writable);
+        EXPECT_EQ(pte.pfn, vpn);
+    }
+}
+
+TEST(PageTable, LivesInSimulatedMemory)
+{
+    PhysMem mem(tinyConfig());
+    PageTable pt(mem);
+    pt.initIdentity();
+    // Corrupt a PTE through raw memory; the walker must see it.
+    const auto &ptRegion = mem.region(RegionKind::PageTables);
+    const u64 vpn = 5;
+    u64 word;
+    std::memcpy(&word, mem.raw() + ptRegion.base + vpn * 8, 8);
+    word &= ~Pte::kValidBit;
+    std::memcpy(mem.raw() + ptRegion.base + vpn * 8, &word, 8);
+    EXPECT_FALSE(pt.read(vpn).valid);
+}
+
+TEST(Tlb, CachesAndInvalidates)
+{
+    Tlb tlb;
+    Pte pte;
+    pte.valid = true;
+    pte.pfn = 7;
+    EXPECT_EQ(tlb.lookup(7), nullptr);
+    tlb.fill(7, pte);
+    ASSERT_NE(tlb.lookup(7), nullptr);
+    EXPECT_EQ(tlb.lookup(7)->pfn, 7u);
+    tlb.invalidatePage(7);
+    EXPECT_EQ(tlb.lookup(7), nullptr);
+}
+
+TEST(Tlb, FlushAllDropsEverything)
+{
+    Tlb tlb;
+    Pte pte;
+    pte.valid = true;
+    for (u64 vpn = 0; vpn < 50; ++vpn)
+        tlb.fill(vpn, pte);
+    tlb.flushAll();
+    for (u64 vpn = 0; vpn < 50; ++vpn)
+        EXPECT_EQ(tlb.lookup(vpn), nullptr);
+}
+
+class MemBusTest : public ::testing::Test
+{
+  protected:
+    MemBusTest() : machine_(tinyConfig())
+    {
+        machine_.pageTable().initIdentity();
+    }
+
+    Machine machine_;
+};
+
+TEST_F(MemBusTest, ScalarRoundTripAllWidths)
+{
+    auto &bus = machine_.bus();
+    const Addr base = machine_.mem().region(RegionKind::KernelHeap).base;
+    bus.store8(base + 0, 0xab);
+    bus.store16(base + 2, 0xcdef);
+    bus.store32(base + 4, 0x12345678);
+    bus.store64(base + 8, 0x0123456789abcdefull);
+    EXPECT_EQ(bus.load8(base + 0), 0xab);
+    EXPECT_EQ(bus.load16(base + 2), 0xcdef);
+    EXPECT_EQ(bus.load32(base + 4), 0x12345678u);
+    EXPECT_EQ(bus.load64(base + 8), 0x0123456789abcdefull);
+}
+
+TEST_F(MemBusTest, MachineCheckOnOutOfRangeAddress)
+{
+    EXPECT_THROW(machine_.bus().load64(machine_.mem().size() + 64),
+                 CrashException);
+    EXPECT_EQ(machine_.bus().stats().machineChecks, 1u);
+}
+
+TEST_F(MemBusTest, MachineCheckOnNullPage)
+{
+    // Page 0 is never mapped: low wild pointers trap.
+    EXPECT_THROW(machine_.bus().store64(0x100, 1), CrashException);
+}
+
+TEST_F(MemBusTest, MachineCheckOnWildPointer)
+{
+    EXPECT_THROW(machine_.bus().store64(0x7fffabcdeff8ull, 1),
+                 CrashException);
+}
+
+TEST_F(MemBusTest, KsegBypassesTlbByDefault)
+{
+    auto &bus = machine_.bus();
+    const Addr pa = machine_.mem().region(RegionKind::UbcPool).base;
+    // Protect the page; a KSEG store must bypass that protection
+    // while the CPU does not map KSEG through the TLB.
+    machine_.pageTable().setWritable(pa >> kPageShift, false);
+    EXPECT_NO_THROW(bus.store64(physToKseg(pa), 0x77));
+    EXPECT_EQ(bus.load64(physToKseg(pa)), 0x77u);
+}
+
+TEST_F(MemBusTest, AboxBitForcesKsegThroughProtection)
+{
+    auto &bus = machine_.bus();
+    const Addr pa = machine_.mem().region(RegionKind::UbcPool).base;
+    machine_.pageTable().setWritable(pa >> kPageShift, false);
+    machine_.tlb().flushAll();
+    machine_.cpu().setMapKsegThroughTlb(true);
+    EXPECT_THROW(bus.store64(physToKseg(pa), 0x77), CrashException);
+    EXPECT_EQ(bus.stats().protectionFaults, 1u);
+    // Reads are still fine.
+    EXPECT_NO_THROW(bus.load64(physToKseg(pa)));
+}
+
+TEST_F(MemBusTest, ProtectionFaultOnReadOnlyPage)
+{
+    auto &bus = machine_.bus();
+    const Addr pa = machine_.mem().region(RegionKind::BufPool).base;
+    machine_.pageTable().setWritable(pa >> kPageShift, false);
+    machine_.tlb().flushAll();
+    EXPECT_THROW(bus.store8(pa, 1), CrashException);
+    machine_.pageTable().setWritable(pa >> kPageShift, true);
+    machine_.tlb().invalidatePage(pa >> kPageShift);
+    EXPECT_NO_THROW(bus.store8(pa, 1));
+}
+
+TEST_F(MemBusTest, StaleTlbEntryHonoursCachedProtection)
+{
+    auto &bus = machine_.bus();
+    const Addr pa = machine_.mem().region(RegionKind::BufPool).base;
+    bus.store8(pa, 1); // Fill the TLB with a writable entry.
+    machine_.pageTable().setWritable(pa >> kPageShift, false);
+    // Without invalidation the stale TLB entry still allows writes —
+    // which is exactly why protection changes must shoot down.
+    EXPECT_NO_THROW(bus.store8(pa, 2));
+    machine_.tlb().invalidatePage(pa >> kPageShift);
+    EXPECT_THROW(bus.store8(pa, 3), CrashException);
+}
+
+TEST_F(MemBusTest, CorruptedPteRedirectsTranslation)
+{
+    auto &bus = machine_.bus();
+    const Addr heap = machine_.mem().region(RegionKind::KernelHeap).base;
+    const Addr text = machine_.mem().region(RegionKind::KernelText).base;
+    Pte pte = machine_.pageTable().read(heap >> kPageShift);
+    pte.pfn = text >> kPageShift; // Redirect heap page to text page.
+    machine_.pageTable().write(heap >> kPageShift, pte);
+    machine_.tlb().flushAll();
+    bus.store8(heap + 5, 0x99);
+    EXPECT_EQ(machine_.mem().raw()[text + 5], 0x99);
+}
+
+TEST_F(MemBusTest, BulkOpsCrossPages)
+{
+    auto &bus = machine_.bus();
+    const Addr base =
+        machine_.mem().region(RegionKind::KernelHeap).base + kPageSize -
+        100;
+    std::vector<u8> out(300), in(300);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<u8>(i);
+    bus.writeBytes(base, in);
+    bus.readBytes(base, out);
+    EXPECT_EQ(in, out);
+}
+
+TEST_F(MemBusTest, CopyMovesBytesAndChargesTime)
+{
+    auto &bus = machine_.bus();
+    const Addr heap = machine_.mem().region(RegionKind::KernelHeap).base;
+    std::vector<u8> data(1000, 0x3c);
+    bus.writeBytes(heap, data);
+    const SimNs before = machine_.clock().now();
+    bus.copy(heap + 20000, heap, 1000);
+    EXPECT_GT(machine_.clock().now(), before);
+    std::vector<u8> out(1000);
+    bus.readBytes(heap + 20000, out);
+    EXPECT_EQ(out, data);
+}
+
+namespace
+{
+
+/** Minimal policy for code-patching tests. */
+class TestPolicy : public ProtectionPolicy
+{
+  public:
+    bool
+    patchCheckBlocksStore(Addr pa) const override
+    {
+        return pa >= blockFrom && pa < blockTo;
+    }
+
+    void onProtectionStop(Addr) override { ++stops; }
+
+    Addr blockFrom = 0;
+    Addr blockTo = 0;
+    int stops = 0;
+};
+
+} // namespace
+
+TEST_F(MemBusTest, CodePatchingBlocksConfiguredRange)
+{
+    auto &bus = machine_.bus();
+    TestPolicy policy;
+    const auto &buf = machine_.mem().region(RegionKind::BufPool);
+    policy.blockFrom = buf.base;
+    policy.blockTo = buf.end();
+    bus.setPolicy(&policy);
+    bus.setCodePatching(true);
+
+    EXPECT_THROW(bus.store64(buf.base + 64, 1), CrashException);
+    EXPECT_EQ(policy.stops, 1);
+    // Outside the range, stores pass.
+    const Addr heap = machine_.mem().region(RegionKind::KernelHeap).base;
+    EXPECT_NO_THROW(bus.store64(heap, 1));
+    // KSEG form hits the same physical check.
+    EXPECT_THROW(bus.store64(physToKseg(buf.base + 128), 1),
+                 CrashException);
+}
+
+TEST(DiskTest, ReadBackWhatWasWritten)
+{
+    CostModel costs;
+    Disk disk(1 << 20, costs, support::Rng(1));
+    SimClock clock;
+    std::vector<u8> in(kSectorSize * 4, 0x5a), out(kSectorSize * 4);
+    disk.write(8, 4, in, clock);
+    disk.read(8, 4, out, clock);
+    EXPECT_EQ(in, out);
+    EXPECT_GT(clock.now(), 0u);
+}
+
+TEST(DiskTest, QueuedWriteAppliesAfterCompletion)
+{
+    CostModel costs;
+    Disk disk(1 << 20, costs, support::Rng(2));
+    SimClock clock;
+    std::vector<u8> in(kSectorSize, 0x77), out(kSectorSize, 0);
+    disk.queueWrite(100, 1, in, clock);
+    EXPECT_EQ(disk.queueDepth(), 1u);
+    disk.drain(clock);
+    EXPECT_EQ(disk.queueDepth(), 0u);
+    std::memcpy(out.data(), disk.peekSector(100).data(), kSectorSize);
+    EXPECT_EQ(out, in);
+}
+
+TEST(DiskTest, ReadWaitsForOverlappingQueuedWrite)
+{
+    CostModel costs;
+    Disk disk(1 << 20, costs, support::Rng(3));
+    SimClock clock;
+    std::vector<u8> in(kSectorSize, 0x11), out(kSectorSize, 0);
+    disk.queueWrite(50, 1, in, clock);
+    disk.read(50, 1, out, clock); // Must observe the queued data.
+    EXPECT_EQ(out, in);
+}
+
+TEST(DiskTest, CrashDropsQueuedWrites)
+{
+    CostModel costs;
+    Disk disk(1 << 20, costs, support::Rng(4));
+    SimClock clock;
+    std::vector<u8> in(kSectorSize, 0x22);
+    // Queue several writes; crash immediately: none had time to
+    // complete fully, later ones are entirely lost.
+    for (int i = 0; i < 5; ++i)
+        disk.queueWrite(200 + 10 * i, 1, in, clock);
+    const u64 lost = disk.crashDropQueue(clock.now());
+    EXPECT_EQ(lost, 5u);
+    EXPECT_EQ(disk.queueDepth(), 0u);
+    // The last queued target sector was never reached.
+    EXPECT_NE(disk.peekSector(240)[0], 0x22);
+}
+
+TEST(DiskTest, CrashAppliesCompletedWrites)
+{
+    CostModel costs;
+    Disk disk(1 << 20, costs, support::Rng(5));
+    SimClock clock;
+    std::vector<u8> in(kSectorSize, 0x33);
+    disk.queueWrite(300, 1, in, clock);
+    clock.advance(3600ull * kNsPerSec); // Plenty of time to land.
+    disk.crashDropQueue(clock.now());
+    EXPECT_EQ(disk.peekSector(300)[0], 0x33);
+}
+
+TEST(DiskTest, SequentialFasterThanRandom)
+{
+    CostModel costs;
+    Disk disk(64 << 20, costs, support::Rng(6));
+    SimClock seqClock, rndClock;
+    std::vector<u8> buf(kSectorSize * 16);
+    Disk disk2(64 << 20, costs, support::Rng(6));
+    for (int i = 0; i < 50; ++i)
+        disk.read(1000 + i * 16, 16, buf, seqClock);
+    support::Rng rng(7);
+    for (int i = 0; i < 50; ++i)
+        disk2.read(rng.below(100000), 16, buf, rndClock);
+    EXPECT_LT(seqClock.now(), rndClock.now() / 3);
+}
+
+TEST(DiskTest, OverlapReducesVisibleTime)
+{
+    CostModel costs;
+    Disk a(1 << 20, costs, support::Rng(8));
+    Disk b(1 << 20, costs, support::Rng(8));
+    SimClock ca, cb;
+    std::vector<u8> buf(kSectorSize);
+    a.read(500, 1, buf, ca);
+    b.read(500, 1, buf, cb, /*overlapNs=*/1ull << 62);
+    EXPECT_GT(ca.now(), 0u);
+    EXPECT_EQ(cb.now(), 0u);
+}
+
+TEST(MachineTest, CrashThrowsAndCountsOnce)
+{
+    Machine machine(tinyConfig());
+    EXPECT_THROW(machine.crash(CrashCause::KernelPanic, "boom"),
+                 CrashException);
+    EXPECT_TRUE(machine.crashed());
+    EXPECT_EQ(machine.crashCount(), 1u);
+    machine.noteCrash(machine.clock().now()); // Idempotent.
+    EXPECT_EQ(machine.crashCount(), 1u);
+}
+
+TEST(MachineTest, WarmResetPreservesMemory)
+{
+    Machine machine(tinyConfig());
+    const Addr probe =
+        machine.mem().region(RegionKind::UbcPool).base + 128;
+    machine.mem().raw()[probe] = 0x66;
+    machine.reset(ResetKind::Warm);
+    EXPECT_EQ(machine.mem().raw()[probe], 0x66);
+    // But the firmware scribbles low memory (page 0 area).
+    EXPECT_EQ(machine.mem().raw()[100], 0xdb);
+}
+
+TEST(MachineTest, ColdResetClearsMemory)
+{
+    Machine machine(tinyConfig());
+    const Addr probe =
+        machine.mem().region(RegionKind::UbcPool).base + 128;
+    machine.mem().raw()[probe] = 0x66;
+    machine.reset(ResetKind::Cold);
+    EXPECT_EQ(machine.mem().raw()[probe], 0);
+}
+
+TEST(MachineTest, PcStyleHardwareLosesMemoryEvenOnWarmReset)
+{
+    MachineConfig config = tinyConfig();
+    config.memorySurvivesReset = false;
+    Machine machine(config);
+    const Addr probe =
+        machine.mem().region(RegionKind::UbcPool).base + 128;
+    machine.mem().raw()[probe] = 0x66;
+    machine.reset(ResetKind::Warm);
+    EXPECT_EQ(machine.mem().raw()[probe], 0);
+}
+
+TEST(MachineTest, CrashCauseNamesDistinct)
+{
+    std::set<std::string> names;
+    for (int cause = 0; cause < 6; ++cause)
+        names.insert(crashCauseName(static_cast<CrashCause>(cause)));
+    EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(MachineTest, SwapMustHoldMemoryDump)
+{
+    MachineConfig config = tinyConfig();
+    config.swapBytes = config.physMemBytes / 2;
+    EXPECT_THROW(Machine machine(config), std::runtime_error);
+}

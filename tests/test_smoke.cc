@@ -1,0 +1,163 @@
+/**
+ * @file
+ * End-to-end smoke tests: boot a kernel, do file work, crash it,
+ * warm-reboot it. These cover the whole stack and run first; the
+ * per-module suites dig into details.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rio.hh"
+#include "core/warmreboot.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+
+using namespace rio;
+
+namespace
+{
+
+sim::MachineConfig
+smallMachine(u64 seed = 1)
+{
+    sim::MachineConfig config;
+    config.physMemBytes = 16ull << 20;
+    config.kernelHeapBytes = 4ull << 20;
+    config.bufPoolBytes = 1ull << 20;
+    config.diskBytes = 32ull << 20;
+    config.swapBytes = 16ull << 20;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace
+
+TEST(Smoke, BootFormatsAndMounts)
+{
+    sim::Machine machine(smallMachine());
+    os::Kernel kernel(machine,
+                      os::systemPreset(os::SystemPreset::UfsDefault));
+    kernel.boot(nullptr, true);
+    EXPECT_TRUE(kernel.ufs().mounted());
+    EXPECT_GT(kernel.ufs().freeBlocks(), 0u);
+}
+
+TEST(Smoke, WriteReadRoundTrip)
+{
+    sim::Machine machine(smallMachine());
+    os::Kernel kernel(machine,
+                      os::systemPreset(os::SystemPreset::UfsDefault));
+    kernel.boot(nullptr, true);
+    auto &vfs = kernel.vfs();
+    os::Process proc(1);
+
+    ASSERT_TRUE(vfs.mkdir("/dir").ok());
+    auto fd = vfs.open(proc, "/dir/hello", os::OpenFlags::writeOnly());
+    ASSERT_TRUE(fd.ok());
+    std::vector<u8> data(20000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<u8>(i * 13);
+    ASSERT_TRUE(vfs.write(proc, fd.value(), data).ok());
+    ASSERT_TRUE(vfs.close(proc, fd.value()).ok());
+
+    auto rfd = vfs.open(proc, "/dir/hello", os::OpenFlags::readOnly());
+    ASSERT_TRUE(rfd.ok());
+    std::vector<u8> back(data.size());
+    auto n = vfs.read(proc, rfd.value(), back);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), data.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Smoke, RioSurvivesCrash)
+{
+    sim::Machine machine(smallMachine());
+    const os::KernelConfig config =
+        os::systemPreset(os::SystemPreset::RioProtected);
+
+    core::RioOptions options;
+    options.protection = config.protection;
+    options.maintainChecksums = true;
+    core::RioSystem rio(machine, options);
+
+    auto kernel = std::make_unique<os::Kernel>(machine, config);
+    kernel->boot(&rio, true);
+    kernel->fsDisk().resetStats(); // Ignore mkfs/mount-marker writes.
+
+    os::Process proc(1);
+    auto &vfs = kernel->vfs();
+    std::vector<u8> data(50000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<u8>(i * 7 + 1);
+
+    ASSERT_TRUE(vfs.mkdir("/work").ok());
+    auto fd = vfs.open(proc, "/work/file", os::OpenFlags::writeOnly());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(vfs.write(proc, fd.value(), data).ok());
+    ASSERT_TRUE(vfs.close(proc, fd.value()).ok());
+
+    // Nothing was written to the disk by Rio.
+    EXPECT_EQ(kernel->fsDisk().stats().sectorsWritten, 0u);
+
+    // Crash without any sync.
+    try {
+        machine.crash(sim::CrashCause::KernelPanic, "test crash");
+        FAIL() << "crash must throw";
+    } catch (const sim::CrashException &) {
+    }
+
+    rio.deactivate();
+    kernel.reset();
+    machine.reset(sim::ResetKind::Warm);
+
+    core::WarmReboot warm(machine);
+    auto report = warm.dumpAndRestoreMetadata();
+    EXPECT_GT(report.metadataRestored, 0u);
+
+    core::RioSystem rio2(machine, options);
+    os::Kernel rebooted(machine, config);
+    rebooted.boot(&rio2, false);
+    warm.restoreData(rebooted.vfs(), report);
+    EXPECT_GT(report.dataPagesRestored, 0u);
+    EXPECT_EQ(report.staleInodes, 0u);
+
+    auto rfd = rebooted.vfs().open(proc, "/work/file",
+                                   os::OpenFlags::readOnly());
+    ASSERT_TRUE(rfd.ok());
+    std::vector<u8> back(data.size());
+    auto n = rebooted.vfs().read(proc, rfd.value(), back);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), data.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Smoke, DiskSystemLosesUnsyncedDataAfterCrash)
+{
+    sim::Machine machine(smallMachine());
+    const os::KernelConfig config =
+        os::systemPreset(os::SystemPreset::UfsDelayAll);
+    auto kernel = std::make_unique<os::Kernel>(machine, config);
+    kernel->boot(nullptr, true);
+
+    os::Process proc(1);
+    auto &vfs = kernel->vfs();
+    std::vector<u8> data(8192, 0x5a);
+    auto fd = vfs.open(proc, "/lost", os::OpenFlags::writeOnly());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(vfs.write(proc, fd.value(), data).ok());
+    ASSERT_TRUE(vfs.close(proc, fd.value()).ok());
+
+    try {
+        machine.crash(sim::CrashCause::KernelPanic, "test crash");
+    } catch (const sim::CrashException &) {
+    }
+    kernel.reset();
+    machine.reset(sim::ResetKind::Warm);
+
+    os::Kernel rebooted(machine, config);
+    rebooted.boot(nullptr, false);
+    // fsck ran (the fs was dirty) and the delayed data never made it.
+    ASSERT_TRUE(rebooted.lastFsck().has_value());
+    auto st = rebooted.vfs().stat("/lost");
+    EXPECT_FALSE(st.ok()); // The create was delayed too.
+}

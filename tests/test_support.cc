@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for rio::support: the deterministic RNG, checksums,
+ * Result, and helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/checksum.hh"
+#include "support/errors.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+using namespace rio;
+using support::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const u64 value = rng.between(5, 8);
+        EXPECT_GE(value, 5u);
+        EXPECT_LE(value, 8u);
+        sawLo |= value == 5;
+        sawHi |= value == 8;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BetweenDegenerateRange)
+{
+    Rng rng(13);
+    EXPECT_EQ(rng.between(42, 42), 42u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        const double value = rng.real();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+    }
+}
+
+TEST(Rng, FillCoversAllBytes)
+{
+    Rng rng(29);
+    std::vector<u8> buffer(4096, 0);
+    rng.fill(buffer);
+    std::set<u8> seen(buffer.begin(), buffer.end());
+    EXPECT_GT(seen.size(), 200u); // All byte values should appear.
+}
+
+TEST(Rng, FillOddSizes)
+{
+    Rng rng(31);
+    for (std::size_t n : {0u, 1u, 3u, 7u, 9u, 15u}) {
+        std::vector<u8> buffer(n, 0);
+        rng.fill(buffer); // Must not crash or overrun.
+    }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights)
+{
+    Rng rng(37);
+    const double weights[] = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.weighted(weights), 1u);
+}
+
+TEST(Rng, WeightedRoughProportions)
+{
+    Rng rng(41);
+    const double weights[] = {1.0, 3.0};
+    int counts[2] = {0, 0};
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.weighted(weights)];
+    EXPECT_NEAR(static_cast<double>(counts[1]) / trials, 0.75, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(43);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Checksum, NeverZero)
+{
+    std::vector<u8> zeros(8192, 0);
+    EXPECT_NE(support::checksum32(zeros), 0u);
+    EXPECT_NE(support::checksum32(std::span<const u8>{}), 0u);
+}
+
+TEST(Checksum, SensitiveToSingleBit)
+{
+    std::vector<u8> data(4096, 0xaa);
+    const u32 before = support::checksum32(data);
+    data[1234] ^= 1;
+    EXPECT_NE(support::checksum32(data), before);
+}
+
+TEST(Checksum, SensitiveToByteSwap)
+{
+    std::vector<u8> data(64, 0);
+    data[3] = 0x11;
+    data[40] = 0x22;
+    const u32 before = support::checksum32(data);
+    std::swap(data[3], data[40]);
+    EXPECT_NE(support::checksum32(data), before);
+}
+
+TEST(Checksum, DeterministicAcrossCalls)
+{
+    std::vector<u8> data(512, 0x5c);
+    EXPECT_EQ(support::checksum32(data), support::checksum32(data));
+}
+
+TEST(Result, ValueRoundTrip)
+{
+    support::Result<int> ok(42);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 42);
+    EXPECT_EQ(ok.status(), support::OsStatus::Ok);
+}
+
+TEST(Result, ErrorCarriesStatus)
+{
+    support::Result<int> err(support::OsStatus::NoEnt);
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.status(), support::OsStatus::NoEnt);
+}
+
+TEST(Result, VoidSpecialization)
+{
+    support::Result<void> ok;
+    EXPECT_TRUE(ok.ok());
+    support::Result<void> err(support::OsStatus::Io);
+    EXPECT_FALSE(err.ok());
+}
+
+TEST(Errors, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int i = 0; i <= static_cast<int>(support::OsStatus::RoFs);
+         ++i) {
+        names.insert(
+            support::osStatusName(static_cast<support::OsStatus>(i)));
+    }
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(support::OsStatus::RoFs) + 1);
+}
+
+TEST(Helpers, RoundUpDown)
+{
+    using support::roundDown;
+    using support::roundUp;
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+    EXPECT_EQ(roundDown(9, 8), 8u);
+    EXPECT_EQ(roundDown(7, 8), 0u);
+    EXPECT_TRUE(support::isPowerOfTwo(8192));
+    EXPECT_FALSE(support::isPowerOfTwo(0));
+    EXPECT_FALSE(support::isPowerOfTwo(12));
+}

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the warm reboot: the full dump / metadata-restore /
+ * fsck / user-level data-restore pipeline, its dirty-only policy,
+ * shadow handling for mid-update crashes, hardware that clears
+ * memory, and stale-inode accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rio.hh"
+#include "core/warmreboot.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+
+using namespace rio;
+
+namespace
+{
+
+sim::MachineConfig
+machineConfig(bool survives = true)
+{
+    sim::MachineConfig c;
+    c.physMemBytes = 16ull << 20;
+    c.kernelHeapBytes = 4ull << 20;
+    c.bufPoolBytes = 1ull << 20;
+    c.diskBytes = 64ull << 20;
+    c.swapBytes = 16ull << 20;
+    c.memorySurvivesReset = survives;
+    return c;
+}
+
+struct CrashRig
+{
+    explicit CrashRig(bool survives = true)
+        : machine(machineConfig(survives))
+    {
+        config = os::systemPreset(os::SystemPreset::RioNoProtection);
+        core::RioOptions options;
+        options.protection = config.protection;
+        options.maintainChecksums = true;
+        rio = std::make_unique<core::RioSystem>(machine, options);
+        kernel = std::make_unique<os::Kernel>(machine, config);
+        kernel->boot(rio.get(), true);
+    }
+
+    void
+    crashAndReset()
+    {
+        try {
+            machine.crash(sim::CrashCause::KernelPanic, "test");
+        } catch (const sim::CrashException &) {
+        }
+        rio->deactivate();
+        rio.reset();
+        kernel.reset();
+        machine.reset(sim::ResetKind::Warm);
+    }
+
+    /** Complete the standard recovery; returns the rebooted kernel. */
+    std::unique_ptr<os::Kernel>
+    recover(core::WarmRebootReport &report)
+    {
+        core::WarmReboot warm(machine);
+        report = warm.dumpAndRestoreMetadata();
+        core::RioOptions options;
+        options.protection = config.protection;
+        options.maintainChecksums = true;
+        rio = std::make_unique<core::RioSystem>(machine, options);
+        auto rebooted = std::make_unique<os::Kernel>(machine, config);
+        rebooted->boot(rio.get(), false);
+        warm.restoreData(rebooted->vfs(), report);
+        return rebooted;
+    }
+
+    sim::Machine machine;
+    os::KernelConfig config;
+    std::unique_ptr<core::RioSystem> rio;
+    std::unique_ptr<os::Kernel> kernel;
+    os::Process proc{1};
+};
+
+} // namespace
+
+TEST(WarmReboot, RecoversFilesAndDirectories)
+{
+    CrashRig rig;
+    auto &vfs = rig.kernel->vfs();
+    vfs.mkdir("/a");
+    vfs.mkdir("/a/b");
+    std::vector<u8> data(30000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<u8>(i * 11);
+    auto fd = vfs.open(rig.proc, "/a/b/f", os::OpenFlags::writeOnly());
+    vfs.write(rig.proc, fd.value(), data);
+    vfs.close(rig.proc, fd.value());
+
+    rig.crashAndReset();
+    core::WarmRebootReport report;
+    auto rebooted = rig.recover(report);
+
+    EXPECT_GT(report.metadataRestored, 0u);
+    EXPECT_GT(report.dataPagesRestored, 0u);
+    EXPECT_EQ(report.staleInodes, 0u);
+    EXPECT_EQ(report.corruptEntries, 0u);
+
+    std::vector<u8> out(30000);
+    auto rfd = rebooted->vfs().open(rig.proc, "/a/b/f",
+                                    os::OpenFlags::readOnly());
+    ASSERT_TRUE(rfd.ok());
+    ASSERT_TRUE(rebooted->vfs().read(rig.proc, rfd.value(), out).ok());
+    EXPECT_EQ(out, data);
+}
+
+TEST(WarmReboot, DeletionsSurviveTheCrashToo)
+{
+    CrashRig rig;
+    auto &vfs = rig.kernel->vfs();
+    auto fd = vfs.open(rig.proc, "/doomed", os::OpenFlags::writeOnly());
+    std::vector<u8> data(5000, 0x13);
+    vfs.write(rig.proc, fd.value(), data);
+    vfs.close(rig.proc, fd.value());
+    vfs.unlink("/doomed");
+
+    rig.crashAndReset();
+    core::WarmRebootReport report;
+    auto rebooted = rig.recover(report);
+    // The file was deleted before the crash; it must stay deleted.
+    EXPECT_EQ(rebooted->vfs().stat("/doomed").status(),
+              support::OsStatus::NoEnt);
+    EXPECT_EQ(report.staleInodes, 0u);
+}
+
+TEST(WarmReboot, OverwritesSurvive)
+{
+    CrashRig rig;
+    auto &vfs = rig.kernel->vfs();
+    std::vector<u8> v1(8192, 0x01), v2(8192, 0x02);
+    auto fd = vfs.open(rig.proc, "/ver", os::OpenFlags::writeOnly());
+    vfs.write(rig.proc, fd.value(), v1);
+    vfs.close(rig.proc, fd.value());
+    auto fd2 = vfs.open(rig.proc, "/ver", os::OpenFlags::readWrite());
+    vfs.pwrite(rig.proc, fd2.value(), 0, v2);
+    vfs.close(rig.proc, fd2.value());
+
+    rig.crashAndReset();
+    core::WarmRebootReport report;
+    auto rebooted = rig.recover(report);
+    std::vector<u8> out(8192);
+    auto rfd = rebooted->vfs().open(rig.proc, "/ver",
+                                    os::OpenFlags::readOnly());
+    rebooted->vfs().read(rig.proc, rfd.value(), out);
+    EXPECT_EQ(out, v2);
+}
+
+TEST(WarmReboot, CleanPagesAreNotRestored)
+{
+    CrashRig rig;
+    auto &vfs = rig.kernel->vfs();
+    std::vector<u8> data(40000, 0x27);
+    auto fd = vfs.open(rig.proc, "/flushed",
+                       os::OpenFlags::writeOnly());
+    vfs.write(rig.proc, fd.value(), data);
+    vfs.close(rig.proc, fd.value());
+    // Force everything to disk outside the policy (admin action).
+    rig.kernel->ufs().syncAll(true);
+
+    rig.crashAndReset();
+    core::WarmRebootReport report;
+    auto rebooted = rig.recover(report);
+    // Nothing was dirty: nothing to restore, yet the data is there.
+    EXPECT_EQ(report.dataPagesRestored, 0u);
+    std::vector<u8> out(40000);
+    auto rfd = rebooted->vfs().open(rig.proc, "/flushed",
+                                    os::OpenFlags::readOnly());
+    ASSERT_TRUE(rfd.ok());
+    rebooted->vfs().read(rig.proc, rfd.value(), out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(WarmReboot, DumpLandsOnSwapPartition)
+{
+    CrashRig rig;
+    rig.crashAndReset();
+    core::WarmReboot warm(rig.machine);
+    rig.machine.swap().resetStats();
+    auto report = warm.dumpAndRestoreMetadata();
+    EXPECT_EQ(report.dumpBytes, rig.machine.mem().size());
+    EXPECT_GE(rig.machine.swap().stats().sectorsWritten,
+              rig.machine.mem().size() / sim::kSectorSize);
+}
+
+TEST(WarmReboot, PcStyleMemoryLossMeansNothingRecovered)
+{
+    CrashRig rig(/*survives=*/false);
+    auto &vfs = rig.kernel->vfs();
+    std::vector<u8> data(10000, 0x09);
+    auto fd = vfs.open(rig.proc, "/lost", os::OpenFlags::writeOnly());
+    vfs.write(rig.proc, fd.value(), data);
+    vfs.close(rig.proc, fd.value());
+
+    rig.crashAndReset(); // Memory is cleared by the reset.
+    core::WarmReboot warm(rig.machine);
+    auto report = warm.dumpAndRestoreMetadata();
+    EXPECT_EQ(report.entriesSeen, 0u);
+    EXPECT_EQ(report.metadataRestored, 0u);
+}
+
+TEST(WarmReboot, MidUpdateCrashRestoresShadowCopy)
+{
+    CrashRig rig;
+    auto &vfs = rig.kernel->vfs();
+    for (int i = 0; i < 3; ++i) {
+        vfs.open(rig.proc, "/pre" + std::to_string(i),
+                 os::OpenFlags::writeOnly());
+    }
+    // Open a write window on the root directory block and crash
+    // inside it.
+    auto &ufs = rig.kernel->ufs();
+    auto rootInode = ufs.iget(os::Ufs::kRootIno);
+    auto block = ufs.bmap(os::Ufs::kRootIno, rootInode.value(), 0,
+                          false);
+    auto &buf = rig.kernel->bufferCache();
+    auto ref = buf.bread(1, block.value());
+    try {
+        os::BufferCache::WriteWindow window(buf, ref);
+        window.store32(0, 0xdeadbeef); // Half-smashed dirent.
+        throw sim::CrashException(sim::CrashCause::KernelPanic,
+                                  "mid-update",
+                                  rig.machine.clock().now());
+    } catch (const sim::CrashException &) {
+        rig.machine.noteCrash(rig.machine.clock().now());
+    }
+    rig.rio->deactivate();
+    rig.rio.reset();
+    rig.kernel.reset();
+    rig.machine.reset(sim::ResetKind::Warm);
+
+    core::WarmRebootReport report;
+    auto rebooted = rig.recover(report);
+    EXPECT_EQ(report.metadataFromShadow, 1u);
+    // All three files are reachable: the torn dirent never became
+    // visible.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(rebooted->vfs()
+                        .stat("/pre" + std::to_string(i))
+                        .ok());
+    }
+    ASSERT_TRUE(rebooted->lastFsck().has_value());
+    EXPECT_EQ(rebooted->lastFsck()->badDirents, 0u);
+}
+
+TEST(WarmReboot, StaleInodeCounted)
+{
+    CrashRig rig;
+    auto &vfs = rig.kernel->vfs();
+    std::vector<u8> data(5000, 0x31);
+    auto fd = vfs.open(rig.proc, "/ghost", os::OpenFlags::writeOnly());
+    vfs.write(rig.proc, fd.value(), data);
+    vfs.close(rig.proc, fd.value());
+    const InodeNo ino = vfs.stat("/ghost").value().ino;
+
+    rig.crashAndReset();
+
+    // Sabotage: free the inode on disk between the crash and the
+    // data restore (as if its metadata never survived).
+    core::WarmReboot warm(rig.machine);
+    auto report = warm.dumpAndRestoreMetadata();
+    {
+        // Zero the inode directly on disk, then fix the tree.
+        sim::SimClock clock;
+        std::vector<u8> itb(os::Ufs::kBlockSize);
+        // Recompute geometry from a fresh boot later; here we just
+        // clear every inode-table block copy of that inode type.
+        os::Kernel probe(rig.machine, rig.config);
+        // (boot runs fsck; afterwards remove the file's dirent so
+        // the inode becomes orphaned and is freed on the NEXT fsck)
+        core::RioOptions options;
+        options.protection = rig.config.protection;
+        core::RioSystem rio2(rig.machine, options);
+        probe.boot(&rio2, false);
+        probe.ufs().remove("/ghost");
+        (void)itb;
+        (void)clock;
+        (void)ino;
+        // Now run the data restore against the fs without the file.
+        warm.restoreData(probe.vfs(), report);
+        EXPECT_GT(report.staleInodes, 0u);
+    }
+}
