@@ -4,15 +4,26 @@
  * for the disk-based write-through system, Rio without protection,
  * and Rio with protection.
  *
+ * The campaign fans out over a worker pool (one task per trial, all
+ * machines private) and is bit-identical at any thread count; this
+ * binary also emits machine-readable results: per-trial records to
+ * `<dir>/trials.jsonl` and a summary to `<dir>/table1.json`.
+ *
  * Scale knobs (environment):
  *   RIO_T1_CRASHES   crashes per cell (paper: 50)
  *   RIO_T1_WINDOW_S  observation window in simulated seconds
+ *   RIO_T1_JOBS      worker threads (0 = all hardware threads)
+ *   RIO_T1_JSON      output directory for JSON results (default ".")
+ *   RIO_T1_SPEEDUP   also run at 1 job and report the speedup
  *   RIO_SEED         campaign seed
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "harness/crashcampaign.hh"
+#include "harness/pool.hh"
+#include "harness/sink.hh"
 
 int
 main()
@@ -20,13 +31,32 @@ main()
     using namespace rio;
 
     harness::CampaignConfig config;
+    if (config.jsonDir.empty())
+        config.jsonDir = ".";
     harness::CrashCampaign campaign(config);
 
     std::printf("Table 1: Comparing Disk and Memory Reliability\n");
-    std::printf("(corruptions per %u crashes per cell; blank = none)\n\n",
+    std::printf("(corruptions per %u crashes per cell; blank = none)\n",
                 config.crashesPerCell);
+    std::printf("workers: %u\n\n",
+                harness::resolveJobs(config.jobs));
 
-    const harness::CampaignResult result = campaign.runAll();
+    const std::string jsonlPath = config.jsonDir + "/trials.jsonl";
+    const std::string jsonPath = config.jsonDir + "/table1.json";
+    std::ofstream jsonl(jsonlPath);
+    if (!jsonl) {
+        std::fprintf(stderr,
+                     "table1_reliability: cannot write %s "
+                     "(RIO_T1_JSON=%s); structured output disabled\n",
+                     jsonlPath.c_str(), config.jsonDir.c_str());
+    }
+    harness::JsonlSink sink(jsonl);
+
+    harness::CampaignStats stats;
+    const harness::CampaignResult result =
+        campaign.runAll(&sink, &stats);
+    jsonl.close();
+
     std::fputs(
         harness::CrashCampaign::renderTable1(result, config).c_str(),
         stdout);
@@ -39,6 +69,42 @@ main()
         std::printf("  %-18s %llu\n", kCauseNames[cause],
                     static_cast<unsigned long long>(
                         result.crashCauseCounts[cause]));
+    }
+
+    std::printf("\nthroughput: %llu trials (%llu runs) in %.1f s "
+                "with %u workers = %.2f trials/s\n",
+                static_cast<unsigned long long>(stats.trials),
+                static_cast<unsigned long long>(stats.attempts),
+                stats.wallSeconds, stats.jobs,
+                stats.trialsPerSecond());
+
+    if (harness::envBool("RIO_T1_SPEEDUP", false) && stats.jobs > 1) {
+        harness::CampaignConfig serialConfig = config;
+        serialConfig.jobs = 1;
+        harness::CrashCampaign serial(serialConfig);
+        harness::CampaignStats serialStats;
+        const harness::CampaignResult serialResult =
+            serial.runAll(nullptr, &serialStats);
+        std::printf("1-worker reference: %.1f s; speedup at %u "
+                    "workers: %.2fx; results identical: %s\n",
+                    serialStats.wallSeconds, stats.jobs,
+                    serialStats.wallSeconds > 0
+                        ? serialStats.wallSeconds / stats.wallSeconds
+                        : 0.0,
+                    serialResult == result ? "yes" : "NO (BUG)");
+    }
+
+    std::ofstream json(jsonPath);
+    json << harness::campaignToJson(result, config, &stats);
+    json.close();
+    if (json.fail() || !jsonl.good()) {
+        std::fprintf(stderr,
+                     "table1_reliability: failed writing JSON "
+                     "results under %s\n",
+                     config.jsonDir.c_str());
+    } else {
+        std::printf("wrote %s and %s\n", jsonPath.c_str(),
+                    jsonlPath.c_str());
     }
 
     std::printf(

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "harness/perfrun.hh"
+#include "harness/pool.hh"
 #include "harness/report.hh"
 
 int
@@ -24,8 +25,9 @@ main()
     harness::PerfRun perf(config);
 
     std::printf("Table 2: Performance Comparison (simulated seconds)\n");
-    std::printf("cp+rm tree size: %llu MB\n\n",
-                static_cast<unsigned long long>(config.cprmBytes >> 20));
+    std::printf("cp+rm tree size: %llu MB; workers: %u\n\n",
+                static_cast<unsigned long long>(config.cprmBytes >> 20),
+                harness::resolveJobs(config.jobs));
 
     const std::vector<harness::PerfRow> rows = perf.runAll();
     std::fputs(harness::PerfRun::renderTable2(rows).c_str(), stdout);

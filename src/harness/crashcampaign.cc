@@ -1,9 +1,13 @@
 #include "harness/crashcampaign.hh"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include "core/rio.hh"
 #include "core/warmreboot.hh"
+#include "harness/pool.hh"
 #include "harness/report.hh"
 #include "support/log.hh"
 #include "workload/andrew.hh"
@@ -49,6 +53,16 @@ isRio(SystemKind kind)
 }
 
 } // namespace
+
+std::vector<fault::FaultType>
+CampaignConfig::allFaultTypes()
+{
+    std::vector<fault::FaultType> types;
+    types.reserve(fault::kNumFaultTypes);
+    for (std::size_t type = 0; type < fault::kNumFaultTypes; ++type)
+        types.push_back(static_cast<fault::FaultType>(type));
+    return types;
+}
 
 CrashCampaign::CrashCampaign(const CampaignConfig &config)
     : config_(config)
@@ -178,56 +192,148 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
     return result;
 }
 
-CampaignCell
-CrashCampaign::runCell(SystemKind kind, fault::FaultType type,
-                       CampaignResult &campaign)
+TrialRecord
+CrashCampaign::runTrial(SystemKind kind, fault::FaultType type,
+                        u32 trial)
 {
-    CampaignCell cell;
-    u64 seed = config_.seed * 1000003 +
-               static_cast<u64>(kind) * 131071 +
-               static_cast<u64>(type) * 8191;
-    u32 sinceLastCrash = 0;
-    while (cell.crashes < config_.crashesPerCell) {
-        ++cell.attempts;
-        const CrashRunResult run = runOne(kind, type, ++seed);
+    TrialRecord record;
+    record.system = static_cast<u32>(kind);
+    record.fault = static_cast<u32>(type);
+    record.trial = trial;
+    record.trialSeed = trialSeed(config_.seed, kind, type, trial);
+
+    for (u32 attempt = 0; attempt < config_.maxAttemptsPerCrash;
+         ++attempt) {
+        const u64 seed = attemptSeed(record.trialSeed, attempt);
+        ++record.attempts;
+        const CrashRunResult run = runOne(kind, type, seed);
         if (run.discarded) {
-            ++cell.discards;
-            if (++sinceLastCrash >= config_.maxAttemptsPerCrash) {
-                // This fault type simply is not crashing this system
-                // configuration often enough; count what we have.
-                break;
-            }
+            ++record.discards;
             continue;
         }
-        sinceLastCrash = 0;
-        ++cell.crashes;
-        campaign.uniqueErrorMessages.insert(run.message);
-        ++campaign.crashCauseCounts[static_cast<u8>(run.cause)];
-        if (run.corrupt)
-            ++cell.corruptions;
-        if (run.protectionSaves > 0)
-            ++cell.savesRuns;
+        record.crashed = true;
+        record.crashSeed = seed;
+        record.cause = static_cast<u32>(run.cause);
+        record.crashAfterNs = run.crashAfterNs;
+        record.corrupt = run.corrupt;
+        record.checksumDetected = run.checksumDetected;
+        record.memtestDetected = run.memtestDetected;
+        record.corruptFiles = run.corruptFiles;
+        record.protectionSaves = run.protectionSaves;
+        record.message = run.message;
         if (config_.verbose) {
             RIO_LOG_INFO << systemKindName(kind) << " / "
                          << fault::faultTypeName(type) << ": "
                          << run.message
                          << (run.corrupt ? "  [CORRUPT]" : "");
         }
+        break;
     }
-    return cell;
+    return record;
+}
+
+void
+CrashCampaign::mergeTrial(CampaignResult &result,
+                          const TrialRecord &record) const
+{
+    CampaignCell &cell = result.cells[record.system][record.fault];
+    cell.attempts += record.attempts;
+    cell.discards += record.discards;
+    if (!record.crashed)
+        return;
+    ++cell.crashes;
+    if (record.corrupt)
+        ++cell.corruptions;
+    if (record.protectionSaves > 0)
+        ++cell.savesRuns;
+    result.uniqueErrorMessages.insert(record.message);
+    ++result.crashCauseCounts[record.cause];
+}
+
+CampaignCell
+CrashCampaign::runCell(SystemKind kind, fault::FaultType type,
+                       CampaignResult &campaign)
+{
+    // Serial reference path: the same per-trial tasks the parallel
+    // engine fans out, merged in the same order.
+    for (u32 trial = 0; trial < config_.crashesPerCell; ++trial)
+        mergeTrial(campaign, runTrial(kind, type, trial));
+    return campaign.cells[static_cast<int>(kind)]
+                        [static_cast<std::size_t>(type)];
 }
 
 CampaignResult
-CrashCampaign::runAll()
+CrashCampaign::runAll(CampaignSink *sink, CampaignStats *stats)
 {
-    CampaignResult result;
-    for (int system = 0; system < 3; ++system) {
-        for (std::size_t type = 0; type < fault::kNumFaultTypes;
-             ++type) {
-            result.cells[system][type] =
-                runCell(static_cast<SystemKind>(system),
-                        static_cast<fault::FaultType>(type), result);
+    struct Task
+    {
+        SystemKind kind;
+        fault::FaultType type;
+        u32 trial;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(config_.systems.size() * config_.faults.size() *
+                  config_.crashesPerCell);
+    for (const SystemKind kind : config_.systems) {
+        for (const fault::FaultType type : config_.faults) {
+            for (u32 trial = 0; trial < config_.crashesPerCell;
+                 ++trial)
+                tasks.push_back({kind, type, trial});
         }
+    }
+
+    const u32 jobs = resolveJobs(config_.jobs);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<TrialRecord> records(tasks.size());
+    std::atomic<u64> done{0};
+
+    {
+        WorkerPool pool(jobs);
+        parallelFor(pool, tasks.size(), [&](u64 index) {
+            const Task &task = tasks[index];
+            records[index] =
+                runTrial(task.kind, task.type, task.trial);
+            const u64 finished = done.fetch_add(1) + 1;
+            if (config_.progress) {
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                // One whole line per write; stderr is unbuffered and
+                // \r keeps it to a single live line on a tty.
+                std::fprintf(
+                    stderr,
+                    "\r[table1] %llu/%zu trials  %.1f trials/s ",
+                    static_cast<unsigned long long>(finished),
+                    tasks.size(),
+                    elapsed > 0
+                        ? static_cast<double>(finished) / elapsed
+                        : 0.0);
+            }
+        });
+    }
+    if (config_.progress)
+        std::fputc('\n', stderr);
+
+    // Deterministic merge: cell-major task order, never completion
+    // order. The sink sees the same stream at any thread count.
+    CampaignResult result;
+    u64 attempts = 0;
+    for (const TrialRecord &record : records) {
+        mergeTrial(result, record);
+        attempts += record.attempts;
+        if (sink != nullptr)
+            sink->onTrial(record);
+    }
+
+    if (stats != nullptr) {
+        stats->jobs = jobs;
+        stats->trials = records.size();
+        stats->attempts = attempts;
+        stats->wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
     }
     return result;
 }

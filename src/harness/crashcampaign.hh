@@ -12,6 +12,12 @@
  * discarded and retried; corruption is detected by the registry
  * checksums (direct corruption) and by memTest's replay comparison
  * (direct and indirect corruption).
+ *
+ * The campaign fans out over a worker pool: each (system, fault,
+ * trial) task owns a private sim::Machine and a seed derived purely
+ * from its coordinates (splitmix64 chain, no shared RNG state), and
+ * discard-retries stay inside the task, so the merged result and
+ * every per-trial record are bit-identical at any thread count.
  */
 
 #ifndef RIO_HARNESS_CRASHCAMPAIGN_HH
@@ -20,10 +26,12 @@
 #include <array>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/warmreboot.hh"
 #include "fault/injector.hh"
 #include "harness/hconfig.hh"
+#include "harness/sink.hh"
 #include "workload/memtest.hh"
 
 namespace rio::harness
@@ -38,6 +46,41 @@ enum class SystemKind : u8
 };
 
 const char *systemKindName(SystemKind kind);
+
+/** One stateless round of splitmix64 (Vigna's finalizer). */
+constexpr u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Pure per-trial seed: a splitmix64 chain over the campaign seed and
+ * the trial coordinates. No shared RNG, no iteration-order
+ * dependence — the parallel determinism guarantee rests on this
+ * being a function of its arguments only.
+ */
+constexpr u64
+trialSeed(u64 campaignSeed, SystemKind kind, fault::FaultType type,
+          u32 trialIndex)
+{
+    u64 s = mix64(campaignSeed ^ 0x52696f543162ull); // "RioT1b"
+    s = mix64(s ^ static_cast<u64>(kind));
+    s = mix64(s ^ static_cast<u64>(type));
+    s = mix64(s ^ static_cast<u64>(trialIndex));
+    return s;
+}
+
+/** Seed for retry @p attempt of a trial (attempt 0 = first run). */
+constexpr u64
+attemptSeed(u64 trialSeedValue, u32 attempt)
+{
+    return mix64(trialSeedValue ^
+                 (static_cast<u64>(attempt) * 0xd1342543de82ef95ull));
+}
 
 struct CrashRunResult
 {
@@ -64,6 +107,8 @@ struct CampaignCell
     u64 discards = 0;
     u64 attempts = 0;
     u64 savesRuns = 0; ///< Runs where protection stopped a store.
+
+    bool operator==(const CampaignCell &) const = default;
 };
 
 struct CampaignConfig
@@ -82,6 +127,22 @@ struct CampaignConfig
     bool backgroundAndrew = true;
     u32 andrewCopies = 4;
     bool verbose = envBool("RIO_VERBOSE", false);
+
+    /** Worker threads; 0 = all hardware threads (RIO_T1_JOBS). */
+    u32 jobs = static_cast<u32>(envU64("RIO_T1_JOBS", 0));
+    /** Live progress line on stderr (RIO_T1_PROGRESS). */
+    bool progress = envBool("RIO_T1_PROGRESS", false);
+    /** Structured-output directory; empty = off (RIO_T1_JSON). */
+    std::string jsonDir = envStr("RIO_T1_JSON", "");
+
+    /** Campaign slice; defaults cover the paper's full 3 x 13 grid.
+     *  Reduced slices keep the determinism tests fast. */
+    std::vector<SystemKind> systems{SystemKind::DiskWriteThrough,
+                                    SystemKind::RioNoProtection,
+                                    SystemKind::RioWithProtection};
+    std::vector<fault::FaultType> faults = allFaultTypes();
+
+    static std::vector<fault::FaultType> allFaultTypes();
 };
 
 struct CampaignResult
@@ -94,6 +155,8 @@ struct CampaignResult
     u64 totalCrashes(SystemKind kind) const;
     u64 totalCorruptions(SystemKind kind) const;
     u64 totalSaves(SystemKind kind) const;
+
+    bool operator==(const CampaignResult &) const = default;
 };
 
 class CrashCampaign
@@ -105,18 +168,36 @@ class CrashCampaign
     CrashRunResult runOne(SystemKind kind, fault::FaultType type,
                           u64 seed);
 
+    /**
+     * One trial: retry runOne with attemptSeed(trialSeed, n) until a
+     * crash or the attempt budget runs out. Pure in (config, kind,
+     * type, trial) — safe to run from any worker thread.
+     */
+    TrialRecord runTrial(SystemKind kind, fault::FaultType type,
+                         u32 trial);
+
     /** Collect crashesPerCell crashes for one (system, fault) cell. */
     CampaignCell runCell(SystemKind kind, fault::FaultType type,
                          CampaignResult &result);
 
-    /** The full 3 x 13 campaign. */
-    CampaignResult runAll();
+    /**
+     * The full campaign (config.systems x config.faults), fanned out
+     * over config.jobs workers and merged by cell index. @p sink, if
+     * given, receives every trial record in deterministic order
+     * after the merge; @p stats, if given, receives host wall-clock
+     * accounting.
+     */
+    CampaignResult runAll(CampaignSink *sink = nullptr,
+                          CampaignStats *stats = nullptr);
 
     /** Render the result in the paper's Table 1 shape. */
     static std::string renderTable1(const CampaignResult &result,
                                     const CampaignConfig &config);
 
   private:
+    void mergeTrial(CampaignResult &result,
+                    const TrialRecord &record) const;
+
     CampaignConfig config_;
 };
 

@@ -7,8 +7,20 @@
  *   RIO_SEED         campaign seed                (default 1)
  *   RIO_T1_CRASHES   crashes per Table 1 cell     (default 50)
  *   RIO_T1_WINDOW_S  crash observation window     (default 10 s)
+ *   RIO_T1_JOBS      worker threads for campaign  (default 0 = all
+ *                    hardware threads); also drives the Table 2
+ *                    preset sweep and the ablation macro loops
+ *   RIO_T1_JSON      directory for table1.json + trials.jsonl
+ *                    (default: unset = no structured output; the
+ *                    table1_reliability bench defaults it to ".")
+ *   RIO_T1_PROGRESS  live progress line on stderr (default 0)
  *   RIO_PERF_MB      cp+rm source tree megabytes  (default 40)
  *   RIO_VERBOSE      print per-run details        (default 0)
+ *
+ * Same seed + same config produce bit-identical campaign results and
+ * JSONL records at any RIO_T1_JOBS value: every trial derives its
+ * own seed purely from (seed, system, fault, trial) and results are
+ * merged by cell index, never by completion order.
  */
 
 #ifndef RIO_HARNESS_HCONFIG_HH
@@ -39,6 +51,15 @@ envBool(const char *name, bool fallback)
     if (value == nullptr || *value == '\0')
         return fallback;
     return std::string(value) != "0";
+}
+
+inline std::string
+envStr(const char *name, const char *fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return value;
 }
 
 /** Machine used for crash testing (paper: DEC 3000/600, 128 MB). */

@@ -43,6 +43,11 @@ struct PerfConfig
     /** Andrew scale: number of source files. */
     u32 andrewFiles = 50;
     bool verbose = envBool("RIO_VERBOSE", false);
+    /** Worker threads for the preset sweep; 0 = all hardware
+     *  threads. Shares the campaign's RIO_T1_JOBS knob: each preset
+     *  row is an independent machine, so the sweep fans out the same
+     *  way the crash campaign does. */
+    u32 jobs = static_cast<u32>(envU64("RIO_T1_JOBS", 0));
 };
 
 class PerfRun

@@ -1,0 +1,88 @@
+#include "harness/pool.hh"
+
+namespace rio::harness
+{
+
+u32
+resolveJobs(u32 requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<u32>(hw) : 1;
+}
+
+WorkerPool::WorkerPool(u32 threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (u32 i = 0; i < threads; ++i) {
+        workers_.emplace_back(
+            [this](std::stop_token stop) { workerMain(stop); });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    for (auto &worker : workers_)
+        worker.request_stop();
+    workCv_.notify_all();
+    // std::jthread joins on destruction; workers drain the queue
+    // before honouring the stop request.
+}
+
+void
+WorkerPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+void
+WorkerPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock,
+                 [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+WorkerPool::workerMain(std::stop_token stop)
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [&] {
+                return !queue_.empty() || stop.stop_requested();
+            });
+            if (queue_.empty())
+                return; // Stop requested and nothing left to do.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(WorkerPool &pool, u64 count,
+            const std::function<void(u64)> &fn)
+{
+    for (u64 i = 0; i < count; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace rio::harness

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A small worker pool for embarrassingly parallel experiment fan-out.
+ *
+ * Every crash-campaign trial and every Table 2 configuration builds
+ * its own private sim::Machine, so the only shared state between
+ * tasks is the queue itself. The pool makes no ordering promises;
+ * callers that need deterministic output index their results by task
+ * number and merge after wait() returns (see CrashCampaign::runAll).
+ */
+
+#ifndef RIO_HARNESS_POOL_HH
+#define RIO_HARNESS_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace rio::harness
+{
+
+/**
+ * Resolve a job-count knob: 0 means "all hardware threads", anything
+ * else is taken literally. Never returns 0.
+ */
+u32 resolveJobs(u32 requested);
+
+/**
+ * Fixed-size pool of std::jthread workers draining a FIFO work
+ * queue. Destruction joins the workers after the queue drains.
+ */
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(u32 threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue one task; runs on some worker, some time. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void wait();
+
+    u32 threads() const { return static_cast<u32>(workers_.size()); }
+
+  private:
+    void workerMain(std::stop_token stop);
+
+    std::mutex mutex_;
+    std::condition_variable workCv_; ///< Signals workers: work/stop.
+    std::condition_variable idleCv_; ///< Signals wait(): all done.
+    std::deque<std::function<void()>> queue_;
+    u32 active_ = 0; ///< Tasks currently executing.
+    std::vector<std::jthread> workers_; ///< Last member: joins first.
+};
+
+/**
+ * Run fn(0) .. fn(count-1) across the pool and block until all have
+ * finished. Exceptions escaping fn terminate (tasks must catch their
+ * own); results should be written to caller-owned slots indexed by
+ * the argument so that output order is independent of scheduling.
+ */
+void parallelFor(WorkerPool &pool, u64 count,
+                 const std::function<void(u64)> &fn);
+
+} // namespace rio::harness
+
+#endif // RIO_HARNESS_POOL_HH

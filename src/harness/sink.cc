@@ -1,0 +1,176 @@
+#include "harness/sink.hh"
+
+#include <cstdio>
+
+#include "fault/models.hh"
+#include "harness/crashcampaign.hh"
+#include "harness/report.hh"
+#include "sim/crash.hh"
+
+namespace rio::harness
+{
+
+namespace
+{
+
+std::string
+num(u64 value)
+{
+    return std::to_string(value);
+}
+
+std::string
+boolean(bool value)
+{
+    return value ? "true" : "false";
+}
+
+} // namespace
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+trialToJson(const TrialRecord &record)
+{
+    std::string out = "{";
+    out += "\"system\":\"" +
+           jsonEscape(systemKindName(
+               static_cast<SystemKind>(record.system))) +
+           "\"";
+    out += ",\"systemIndex\":" + num(record.system);
+    out += ",\"fault\":\"" +
+           jsonEscape(fault::faultTypeName(
+               static_cast<fault::FaultType>(record.fault))) +
+           "\"";
+    out += ",\"faultIndex\":" + num(record.fault);
+    out += ",\"trial\":" + num(record.trial);
+    out += ",\"trialSeed\":" + num(record.trialSeed);
+    out += ",\"crashSeed\":" + num(record.crashSeed);
+    out += ",\"attempts\":" + num(record.attempts);
+    out += ",\"discards\":" + num(record.discards);
+    out += ",\"crashed\":" + boolean(record.crashed);
+    if (record.crashed) {
+        out += ",\"cause\":\"" +
+               jsonEscape(sim::crashCauseName(
+                   static_cast<sim::CrashCause>(record.cause))) +
+               "\"";
+        out += ",\"crashAfterNs\":" + num(record.crashAfterNs);
+    }
+    out += ",\"corrupt\":" + boolean(record.corrupt);
+    out += ",\"checksumDetected\":" + boolean(record.checksumDetected);
+    out += ",\"memtestDetected\":" + boolean(record.memtestDetected);
+    out += ",\"corruptFiles\":" + num(record.corruptFiles);
+    out += ",\"protectionSaves\":" + num(record.protectionSaves);
+    out += ",\"message\":\"" + jsonEscape(record.message) + "\"";
+    out += "}";
+    return out;
+}
+
+void
+JsonlSink::onTrial(const TrialRecord &record)
+{
+    out_ << trialToJson(record) << '\n';
+}
+
+std::string
+campaignToJson(const CampaignResult &result,
+               const CampaignConfig &config,
+               const CampaignStats *stats)
+{
+    std::string out = "{\n";
+    out += "  \"experiment\": \"table1\",\n";
+    out += "  \"seed\": " + num(config.seed) + ",\n";
+    out += "  \"crashesPerCell\": " + num(config.crashesPerCell) +
+           ",\n";
+    out += "  \"faultsPerRun\": " + num(config.faultsPerRun) + ",\n";
+    out += "  \"observationNs\": " + num(config.observationNs) +
+           ",\n";
+
+    out += "  \"systems\": [";
+    for (int system = 0; system < 3; ++system) {
+        const auto kind = static_cast<SystemKind>(system);
+        if (system)
+            out += ", ";
+        out += "{\"name\": \"" + jsonEscape(systemKindName(kind)) +
+               "\", \"crashes\": " + num(result.totalCrashes(kind)) +
+               ", \"corruptions\": " +
+               num(result.totalCorruptions(kind)) +
+               ", \"saveRuns\": " + num(result.totalSaves(kind)) +
+               "}";
+    }
+    out += "],\n";
+
+    out += "  \"cells\": [\n";
+    bool firstCell = true;
+    for (int system = 0; system < 3; ++system) {
+        for (std::size_t type = 0; type < fault::kNumFaultTypes;
+             ++type) {
+            const CampaignCell &cell = result.cells[system][type];
+            if (!firstCell)
+                out += ",\n";
+            firstCell = false;
+            out += "    {\"system\": " + num(system) +
+                   ", \"fault\": \"" +
+                   jsonEscape(fault::faultTypeName(
+                       static_cast<fault::FaultType>(type))) +
+                   "\", \"crashes\": " + num(cell.crashes) +
+                   ", \"corruptions\": " + num(cell.corruptions) +
+                   ", \"discards\": " + num(cell.discards) +
+                   ", \"attempts\": " + num(cell.attempts) +
+                   ", \"saveRuns\": " + num(cell.savesRuns) + "}";
+        }
+    }
+    out += "\n  ],\n";
+
+    out += "  \"crashCauses\": {";
+    for (std::size_t cause = 0; cause < result.crashCauseCounts.size();
+         ++cause) {
+        if (cause)
+            out += ", ";
+        out += "\"" +
+               jsonEscape(sim::crashCauseName(
+                   static_cast<sim::CrashCause>(cause))) +
+               "\": " + num(result.crashCauseCounts[cause]);
+    }
+    out += "},\n";
+    out += "  \"uniqueErrorMessages\": " +
+           num(result.uniqueErrorMessages.size());
+
+    if (stats != nullptr) {
+        out += ",\n  \"host\": {\"jobs\": " + num(stats->jobs) +
+               ", \"trials\": " + num(stats->trials) +
+               ", \"attempts\": " + num(stats->attempts) +
+               ", \"wallSeconds\": " + fmt(stats->wallSeconds, 3) +
+               ", \"trialsPerSecond\": " +
+               fmt(stats->trialsPerSecond(), 2) + "}";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+} // namespace rio::harness

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Structured observability for the crash campaign: a sink interface
+ * fed one record per trial, a JSONL writer for those records, and a
+ * machine-readable summary (`table1.json`) mirroring the text table.
+ *
+ * Records are emitted in deterministic (cell-major, trial-minor)
+ * order after the parallel merge, never in completion order, so a
+ * JSONL file is byte-identical for a given (seed, config) no matter
+ * how many worker threads produced it. Any trial can be replayed
+ * serially from its record: `runOne(system, fault, crashSeed)`.
+ */
+
+#ifndef RIO_HARNESS_SINK_HH
+#define RIO_HARNESS_SINK_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace rio::harness
+{
+
+struct CampaignConfig;
+struct CampaignResult;
+
+/** Everything recorded about one (system, fault, trial) task. */
+struct TrialRecord
+{
+    u32 system = 0; ///< SystemKind index.
+    u32 fault = 0;  ///< FaultType index.
+    u32 trial = 0;  ///< Trial index within the cell.
+
+    u64 trialSeed = 0; ///< Pure derivation; see trialSeed().
+    u64 crashSeed = 0; ///< Seed of the attempt that crashed (0: none).
+    u32 attempts = 0;
+    u32 discards = 0;
+
+    bool crashed = false;
+    bool corrupt = false;
+    bool checksumDetected = false;
+    bool memtestDetected = false;
+    u32 cause = 0; ///< sim::CrashCause index (valid when crashed).
+    SimNs crashAfterNs = 0;
+    u64 corruptFiles = 0;
+    u64 protectionSaves = 0;
+    std::string message;
+
+    bool operator==(const TrialRecord &) const = default;
+};
+
+/** Receives merged trial records in deterministic order. */
+class CampaignSink
+{
+  public:
+    virtual ~CampaignSink() = default;
+    virtual void onTrial(const TrialRecord &record) = 0;
+};
+
+/** One JSON object per line, in trial order. */
+class JsonlSink : public CampaignSink
+{
+  public:
+    explicit JsonlSink(std::ostream &out) : out_(out) {}
+    void onTrial(const TrialRecord &record) override;
+
+  private:
+    std::ostream &out_;
+};
+
+/** Fans each record out to several sinks. */
+class MultiSink : public CampaignSink
+{
+  public:
+    void add(CampaignSink &sink) { sinks_.push_back(&sink); }
+    void
+    onTrial(const TrialRecord &record) override
+    {
+        for (CampaignSink *sink : sinks_)
+            sink->onTrial(record);
+    }
+
+  private:
+    std::vector<CampaignSink *> sinks_;
+};
+
+/** Wall-clock accounting for one runAll() (host time, not sim). */
+struct CampaignStats
+{
+    u32 jobs = 1;
+    u64 trials = 0;
+    u64 attempts = 0;
+    double wallSeconds = 0;
+
+    double
+    trialsPerSecond() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(trials) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/** Escape for embedding in a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/** The JSONL line for one record (no trailing newline). */
+std::string trialToJson(const TrialRecord &record);
+
+/**
+ * Machine-readable Table 1: per-cell counts, totals, crash causes.
+ * @p stats may be null; when present a "host" section with wall-clock
+ * throughput is included (host timing is *not* deterministic).
+ */
+std::string campaignToJson(const CampaignResult &result,
+                           const CampaignConfig &config,
+                           const CampaignStats *stats);
+
+} // namespace rio::harness
+
+#endif // RIO_HARNESS_SINK_HH

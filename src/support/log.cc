@@ -1,6 +1,8 @@
 #include "support/log.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace rio::support
 {
@@ -8,7 +10,11 @@ namespace rio::support
 namespace
 {
 
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/** Guards the sink: one whole message per acquisition. */
+std::mutex g_sinkMutex;
+LogSink g_sink; // Empty = default stderr sink.
 
 const char *
 levelName(LogLevel level)
@@ -28,20 +34,33 @@ levelName(LogLevel level)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(g_sinkMutex);
+    g_sink = std::move(sink);
 }
 
 void
 logMessage(LogLevel level, const std::string &message)
 {
-    if (level < g_level || g_level == LogLevel::Off)
+    const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+    if (level < threshold || threshold == LogLevel::Off)
         return;
+    std::lock_guard<std::mutex> lock(g_sinkMutex);
+    if (g_sink) {
+        g_sink(level, message);
+        return;
+    }
     std::fprintf(stderr, "[rio:%s] %s\n", levelName(level),
                  message.c_str());
 }

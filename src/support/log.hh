@@ -6,11 +6,16 @@
  * reports) goes through os::Kernel; this logger is for host-side
  * diagnostics of the simulation itself. Default level is Warn so that
  * test and bench output stays clean.
+ *
+ * Thread-safe: the campaign worker pool logs from many threads, so
+ * the sink is guarded by a mutex (one whole line per acquisition —
+ * lines never tear) and the level is atomic.
  */
 
 #ifndef RIO_SUPPORT_LOG_HH
 #define RIO_SUPPORT_LOG_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -31,6 +36,14 @@ void setLogLevel(LogLevel level);
 
 /** Current global log threshold. */
 LogLevel logLevel();
+
+/**
+ * Redirect log output. The sink receives one complete message per
+ * call, serialized under the log mutex; it must not log itself.
+ * Pass nullptr to restore the default stderr sink.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+void setLogSink(LogSink sink);
 
 /** Emit a message at @p level if it passes the threshold. */
 void logMessage(LogLevel level, const std::string &message);

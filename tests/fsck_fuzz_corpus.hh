@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regression corpus for the fsck fuzz sweep (test_fsck_fuzz.cc).
+ *
+ * These seeds were promoted from larger offline sweeps of the same
+ * scribble procedure because they drive fsck through every repair
+ * path at least once — bad dirents, out-of-range block pointers,
+ * multiply-claimed blocks, orphan inodes, nlink, bitmap and size
+ * fixes — or repair unusually large damage. They are replayed by
+ * ctest on every run, so behaviour found by fuzzing stays pinned as
+ * a permanent regression test. When a parallel crash campaign or a
+ * future sweep finds a new interesting seed, append it here with a
+ * note of what it exercises.
+ *
+ * Repair profile per seed (dirents / ptrs / dup / orphan / nlink /
+ * bitmap / sizes), from the sweep that promoted it:
+ *
+ *   48   1 /  9 / 0 /  3 / 1 /   5 / 2  (every path but dup)
+ *   72   2 /  0 / 0 /  3 / 0 /   2 / 0  (dirent removal)
+ *   95   2 /  0 / 0 /  3 / 0 /  52 / 0  (dirents + bitmap)
+ *   110  0 /  0 / 0 /  2 / 0 / 143 / 0  (heavy bitmap damage)
+ *   164  1 /  0 / 0 / 16 / 0 /   7 / 0  (orphan-inode storm)
+ *   172  1 / 12 / 0 /  3 / 1 /  29 / 2  (block-pointer clearing)
+ *   179  0 /  0 / 0 /  4 / 0 / 160 / 0  (largest total repair)
+ *   189  2 /  1 / 0 / 13 / 0 /  12 / 0  (orphans + dirents)
+ *   210  1 / 10 / 2 /  5 / 0 /   6 / 2  (multiply-claimed blocks)
+ */
+
+#ifndef RIO_TESTS_FSCK_FUZZ_CORPUS_HH
+#define RIO_TESTS_FSCK_FUZZ_CORPUS_HH
+
+#include "support/types.hh"
+
+namespace rio::tests
+{
+
+inline constexpr u64 kFsckFuzzCorpus[] = {
+    48, 72, 95, 110, 164, 172, 179, 189, 210,
+};
+
+} // namespace rio::tests
+
+#endif // RIO_TESTS_FSCK_FUZZ_CORPUS_HH

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <memory>
 
+#include "fsck_fuzz_corpus.hh"
 #include "os/fsck.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
@@ -149,3 +150,9 @@ TEST_P(FsckFuzz, RepairedFilesystemIsAlwaysUsable)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FsckFuzz,
                          ::testing::Range<u64>(1, 21));
+
+// Promoted regression corpus: seeds from larger offline sweeps that
+// exercise every fsck repair path (see fsck_fuzz_corpus.hh for the
+// per-seed repair profile).
+INSTANTIATE_TEST_SUITE_P(Corpus, FsckFuzz,
+                         ::testing::ValuesIn(tests::kFsckFuzzCorpus));
