@@ -10,7 +10,7 @@
  * `<dir>/trials.jsonl` and a summary to `<dir>/table1.json`.
  *
  * Scale knobs (environment):
- *   RIO_T1_CRASHES   crashes per cell (paper: 50)
+ *   RIO_T1_CRASHES   trials per cell (paper: 50 crashes)
  *   RIO_T1_WINDOW_S  observation window in simulated seconds
  *   RIO_T1_JOBS      worker threads (0 = all hardware threads)
  *   RIO_T1_JSON      output directory for JSON results (default ".")
@@ -36,7 +36,8 @@ main()
     harness::CrashCampaign campaign(config);
 
     std::printf("Table 1: Comparing Disk and Memory Reliability\n");
-    std::printf("(corruptions per %u crashes per cell; blank = none)\n",
+    std::printf("(corruptions per cell over %u trials; blank = "
+                "none)\n",
                 config.crashesPerCell);
     std::printf("workers: %u\n\n",
                 harness::resolveJobs(config.jobs));
@@ -44,7 +45,8 @@ main()
     const std::string jsonlPath = config.jsonDir + "/trials.jsonl";
     const std::string jsonPath = config.jsonDir + "/table1.json";
     std::ofstream jsonl(jsonlPath);
-    if (!jsonl) {
+    const bool jsonlOpened = static_cast<bool>(jsonl);
+    if (!jsonlOpened) {
         std::fprintf(stderr,
                      "table1_reliability: cannot write %s "
                      "(RIO_T1_JSON=%s); structured output disabled\n",
@@ -97,14 +99,19 @@ main()
     std::ofstream json(jsonPath);
     json << harness::campaignToJson(result, config, &stats);
     json.close();
-    if (json.fail() || !jsonl.good()) {
+    if (json.fail()) {
         std::fprintf(stderr,
-                     "table1_reliability: failed writing JSON "
-                     "results under %s\n",
-                     config.jsonDir.c_str());
+                     "table1_reliability: failed writing %s\n",
+                     jsonPath.c_str());
     } else {
-        std::printf("wrote %s and %s\n", jsonPath.c_str(),
-                    jsonlPath.c_str());
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    if (jsonlOpened && jsonl.good()) {
+        std::printf("wrote %s\n", jsonlPath.c_str());
+    } else if (jsonlOpened) {
+        std::fprintf(stderr,
+                     "table1_reliability: failed writing %s\n",
+                     jsonlPath.c_str());
     }
 
     std::printf(

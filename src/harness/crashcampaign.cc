@@ -1,5 +1,6 @@
 #include "harness/crashcampaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -420,8 +421,28 @@ CrashCampaign::renderTable1(const CampaignResult &result,
                         : 0.0,
                0) +
            "%; paper: ~50%)";
-    out += "\ncrashes per cell: " +
+    // A trial can exhaust its attempt budget without crashing, so
+    // cells may hold fewer than crashesPerCell crashes; report the
+    // actual range instead of implying the target was always met.
+    u64 minCrashes = ~0ull, maxCrashes = 0;
+    for (const SystemKind kind : config.systems) {
+        for (const fault::FaultType type : config.faults) {
+            const CampaignCell &cell =
+                result.cells[static_cast<int>(kind)]
+                            [static_cast<std::size_t>(type)];
+            minCrashes = std::min(minCrashes, cell.crashes);
+            maxCrashes = std::max(maxCrashes, cell.crashes);
+        }
+    }
+    out += "\ntrials per cell: " +
            std::to_string(config.crashesPerCell);
+    if (minCrashes <= maxCrashes) {
+        out += "; crashes collected per cell: " +
+               (minCrashes == maxCrashes
+                    ? std::to_string(minCrashes)
+                    : std::to_string(minCrashes) + "-" +
+                          std::to_string(maxCrashes));
+    }
     out += "\nunique error messages: " +
            std::to_string(result.uniqueErrorMessages.size());
     out += "\nprotection-mechanism saves (runs): " +

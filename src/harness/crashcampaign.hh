@@ -176,7 +176,8 @@ class CrashCampaign
     TrialRecord runTrial(SystemKind kind, fault::FaultType type,
                          u32 trial);
 
-    /** Collect crashesPerCell crashes for one (system, fault) cell. */
+    /** Run crashesPerCell trials for one (system, fault) cell; a
+     *  trial that exhausts its attempt budget yields no crash. */
     CampaignCell runCell(SystemKind kind, fault::FaultType type,
                          CampaignResult &result);
 

@@ -25,8 +25,15 @@ WorkerPool::WorkerPool(u32 threads)
 
 WorkerPool::~WorkerPool()
 {
-    for (auto &worker : workers_)
-        worker.request_stop();
+    {
+        // The stop flag must be published under the same mutex the
+        // workers' wait predicate reads, or a worker that saw "no
+        // work, no stop" but has not yet blocked misses the wake-up
+        // and the jthread join below deadlocks.
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &worker : workers_)
+            worker.request_stop();
+    }
     workCv_.notify_all();
     // std::jthread joins on destruction; workers drain the queue
     // before honouring the stop request.

@@ -105,7 +105,7 @@ campaignToJson(const CampaignResult &result,
     std::string out = "{\n";
     out += "  \"experiment\": \"table1\",\n";
     out += "  \"seed\": " + num(config.seed) + ",\n";
-    out += "  \"crashesPerCell\": " + num(config.crashesPerCell) +
+    out += "  \"trialsPerCell\": " + num(config.crashesPerCell) +
            ",\n";
     out += "  \"faultsPerRun\": " + num(config.faultsPerRun) + ",\n";
     out += "  \"observationNs\": " + num(config.observationNs) +
