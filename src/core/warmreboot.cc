@@ -1,6 +1,7 @@
 #include "core/warmreboot.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "support/checksum.hh"
 
@@ -9,7 +10,9 @@ namespace rio::core
 
 using L = RegistryLayout;
 
-WarmReboot::WarmReboot(sim::Machine &machine) : machine_(machine) {}
+WarmReboot::WarmReboot(sim::Machine &machine, RestorePolicy policy)
+    : machine_(machine), policy_(policy)
+{}
 
 WarmRebootReport
 WarmReboot::dumpAndRestoreMetadata()
@@ -22,10 +25,31 @@ WarmReboot::dumpAndRestoreMetadata()
     auto &clock = machine_.clock();
 
     // --- Dump all of physical memory to the swap partition. -------
-    // Performed by the (healthy) booting kernel, so it always works.
+    // Performed by the (healthy) booting kernel, so it always works —
+    // provided the dump actually fits. A partial tail sector is
+    // padded out (round up, never down), and a dump larger than the
+    // swap partition is refused outright: a partial dump would make
+    // the user-level data restore replay pages that were never
+    // written, so the failure is recorded instead.
     const auto image = mem.image();
     report.dumpBytes = image.size();
-    swap.write(0, image.size() / sim::kSectorSize, image, clock);
+    const u64 fullSectors = image.size() / sim::kSectorSize;
+    const u64 tailBytes = image.size() % sim::kSectorSize;
+    const u64 dumpSectors = fullSectors + (tailBytes != 0 ? 1 : 0);
+    if (dumpSectors > swap.numSectors()) {
+        report.recovery.dumpOk = false;
+        report.recovery.dumpShortfallBytes =
+            image.size() - swap.numSectors() * sim::kSectorSize;
+    } else {
+        if (fullSectors > 0)
+            swap.write(0, fullSectors, image, clock);
+        if (tailBytes != 0) {
+            std::vector<u8> pad(sim::kSectorSize, 0);
+            std::copy(image.end() - tailBytes, image.end(),
+                      pad.begin());
+            swap.write(fullSectors, 1, pad, clock);
+        }
+    }
     dump_.assign(image.begin(), image.end());
 
     // --- Scan the registry out of the dump. -----------------------
@@ -33,31 +57,84 @@ WarmReboot::dumpAndRestoreMetadata()
     report.entriesSeen = image_.entries.size();
     report.corruptEntries = image_.corruptEntries;
 
+    // A contested disk block — claimed by more than one dirty
+    // metadata entry — can only come from corruption; at most one
+    // claimant is right and the registry no longer says which.
+    std::unordered_map<u64, u32> claims;
+    auto restorable = [](const RegistryEntry &entry) {
+        return entry.kind == L::kKindMetadata && entry.dirty;
+    };
+    for (const RegistryEntry &entry : image_.entries) {
+        if (restorable(entry))
+            ++claims[entry.diskBlock];
+    }
+
     // --- Restore dirty metadata to its disk address. ---------------
+    // This reads the host-side copy of the surviving image, so it
+    // proceeds even when the swap dump failed.
     auto &disk = machine_.disk();
     const u64 diskBlocks = disk.numSectors() / sim::kSectorsPerBlock;
     for (const RegistryEntry &entry : image_.entries) {
-        if (entry.kind != L::kKindMetadata || !entry.dirty)
+        if (!restorable(entry))
             continue;
-        if (entry.diskBlock >= diskBlocks)
-            continue; // Unrestorable: block address is insane.
+        if (entry.diskBlock >= diskBlocks) {
+            // Unrestorable: block address is insane.
+            ++report.metadataUnrestorable;
+            continue;
+        }
+        if (policy_.rejectDuplicateClaims &&
+            claims[entry.diskBlock] > 1) {
+            // Leave the contested block to the on-disk copy + fsck.
+            ++report.recovery.duplicateClaims;
+            continue;
+        }
 
         Addr source = entry.physAddr;
+        const u64 n = std::min<u64>(entry.size, sim::kPageSize);
         if (entry.state == L::kStateChanging) {
             // The crash hit mid-update: the shadow holds the last
             // consistent contents.
-            if (entry.shadowAddr == 0 ||
-                entry.shadowAddr + sim::kPageSize > dump_.size()) {
+            if (entry.shadowAddr == 0) {
+                ++report.metadataUnrestorable;
+                continue;
+            }
+            if (entry.shadowAddr + sim::kPageSize > dump_.size()) {
+                ++report.recovery.boundsViolations;
+                ++report.metadataUnrestorable;
                 continue;
             }
             source = entry.shadowAddr;
+            // The entry checksum covers the pre-update contents —
+            // exactly what the shadow must hold.
+            if (policy_.verifyShadowChecksums && entry.checksum != 0) {
+                const u32 actual = support::checksum32(
+                    std::span<const u8>(dump_.data() + source, n));
+                if (actual != entry.checksum) {
+                    ++report.recovery.shadowChecksumBad;
+                    ++report.recovery.metadataQuarantined;
+                    continue;
+                }
+            }
             ++report.metadataFromShadow;
-        } else if (entry.checksum != 0) {
-            const u64 n = std::min<u64>(entry.size, sim::kPageSize);
-            const u32 actual = support::checksum32(
-                std::span<const u8>(dump_.data() + source, n));
-            if (actual != entry.checksum)
-                ++report.metadataChecksumBad;
+        } else {
+            if (source + sim::kPageSize > dump_.size()) {
+                ++report.recovery.boundsViolations;
+                ++report.metadataUnrestorable;
+                continue;
+            }
+            if (entry.checksum != 0) {
+                const u32 actual = support::checksum32(
+                    std::span<const u8>(dump_.data() + source, n));
+                if (actual != entry.checksum) {
+                    ++report.metadataChecksumBad;
+                    if (policy_.quarantineBadChecksums) {
+                        // Never restore known-bad metadata: the disk
+                        // still holds a consistent (if stale) copy.
+                        ++report.recovery.metadataQuarantined;
+                        continue;
+                    }
+                }
+            }
         }
         disk.write(static_cast<SectorNo>(entry.diskBlock) *
                        sim::kSectorsPerBlock,
@@ -73,6 +150,13 @@ WarmReboot::dumpAndRestoreMetadata()
 void
 WarmReboot::restoreData(os::Vfs &vfs, WarmRebootReport &report)
 {
+    if (!report.recovery.dumpOk) {
+        // Step 2 reads pages off the swap-partition dump; without a
+        // complete dump there is nothing trustworthy to replay.
+        report.recovery.dataRestoreSkipped = true;
+        return;
+    }
+
     auto &swap = machine_.swap();
     auto &clock = machine_.clock();
 
@@ -93,6 +177,10 @@ WarmReboot::restoreData(os::Vfs &vfs, WarmRebootReport &report)
 
     std::vector<u8> page(sim::kPageSize, 0);
     for (const RegistryEntry *entry : dataEntries) {
+        if (entry->physAddr + sim::kPageSize > report.dumpBytes) {
+            ++report.recovery.boundsViolations;
+            continue;
+        }
         // The user-level process reads the page out of the dump on
         // the swap partition...
         swap.read(entry->physAddr / sim::kSectorSize,
@@ -103,8 +191,13 @@ WarmReboot::restoreData(os::Vfs &vfs, WarmRebootReport &report)
             const u64 n = std::min<u64>(entry->size, sim::kPageSize);
             const u32 actual = support::checksum32(
                 std::span<const u8>(page.data(), n));
-            if (actual != entry->checksum)
+            if (actual != entry->checksum) {
                 ++report.dataChecksumBad;
+                if (policy_.quarantineBadData) {
+                    ++report.recovery.dataQuarantined;
+                    continue;
+                }
+            }
         }
         // ...and writes it back through ordinary system calls.
         auto written = vfs.restoreDataByIno(

@@ -10,9 +10,19 @@
  *  2. After the system is fully booted, a user-level process analyzes
  *     the dump and restores file data through ordinary system calls.
  *
+ * The crashed OS left memory in an *arbitrary* state (section 3), so
+ * the restore path treats the surviving image as adversarial input:
+ * a RestorePolicy decides whether checksum-mismatched metadata is
+ * quarantined rather than pushed to disk, whether contested disk
+ * blocks (two registry entries claiming the same block) are rejected,
+ * and whether shadow copies are verified before use. Every dump and
+ * swap access is bounds-checked regardless of policy. What the
+ * policy did is accounted in a RecoveryReport so experiment harnesses
+ * can measure the hardening (see bench/ablation_recovery.cc).
+ *
  * The caller sequence is:
  *     machine.reset(Warm);
- *     WarmReboot wr(machine);
+ *     WarmReboot wr(machine);      // RestorePolicy::hardened()
  *     auto report = wr.dumpAndRestoreMetadata();
  *     rio.activate();               // fresh registry + protection
  *     kernel.boot(&rio, false);     // journal/fsck/mount
@@ -31,6 +41,63 @@
 namespace rio::core
 {
 
+/**
+ * How much the restore path trusts the surviving memory image.
+ * hardened() is the default; trusting() reproduces the pre-hardening
+ * behaviour (restore whatever the registry points at) and exists so
+ * the value of each check can be measured.
+ */
+struct RestorePolicy
+{
+    /** Never push a checksum-mismatched metadata page to disk; the
+     *  on-disk copy (older but consistent) plus fsck is safer. */
+    bool quarantineBadChecksums = true;
+
+    /** Reject dirty metadata entries whose diskBlock is claimed by
+     *  more than one surviving entry — at most one claimant can be
+     *  right, and the registry no longer says which. */
+    bool rejectDuplicateClaims = true;
+
+    /** Verify a shadow copy against the entry checksum (the checksum
+     *  of the last consistent contents) before restoring from it. */
+    bool verifyShadowChecksums = true;
+
+    /** Skip the user-level restore of checksum-mismatched data pages
+     *  instead of writing garbage into the file. Off even in
+     *  hardened(): a bad data page cannot crash the rebooted kernel
+     *  the way bad metadata can, the on-disk copy of *data* is no
+     *  more trustworthy than the damaged one, and the paper's §3.2
+     *  apparatus restores anyway and lets user-level memTest judge.
+     *  Opt in when the downstream consumer prefers a hole to
+     *  plausible garbage. */
+    bool quarantineBadData = false;
+
+    static RestorePolicy
+    hardened()
+    {
+        return {};
+    }
+
+    static RestorePolicy
+    trusting()
+    {
+        return {false, false, false, false};
+    }
+};
+
+/** What the restore policy did with suspect input (per reboot). */
+struct RecoveryReport
+{
+    bool dumpOk = true;         ///< Dump written completely to swap.
+    u64 dumpShortfallBytes = 0; ///< Dump bytes the swap cannot hold.
+    u64 metadataQuarantined = 0;///< Bad-checksum pages not restored.
+    u64 duplicateClaims = 0;    ///< Entries rejected: contested block.
+    u64 boundsViolations = 0;   ///< Source ranges outside the dump.
+    u64 shadowChecksumBad = 0;  ///< Shadow copies failing verification.
+    u64 dataQuarantined = 0;    ///< Bad-checksum data pages skipped.
+    bool dataRestoreSkipped = false; ///< Step 2 impossible: no dump.
+};
+
 struct WarmRebootReport
 {
     bool memoryPreserved = false;
@@ -40,37 +107,47 @@ struct WarmRebootReport
     u64 metadataRestored = 0;
     u64 metadataFromShadow = 0; ///< Crash mid-update: shadow used.
     u64 metadataChecksumBad = 0;
+    u64 metadataUnrestorable = 0; ///< No usable source for the block.
     u64 dataPagesRestored = 0;
     u64 dataBytesRestored = 0;
     u64 dataChanging = 0; ///< Page was mid-write at the crash.
     u64 dataChecksumBad = 0;
     u64 staleInodes = 0; ///< Data pages whose inode did not survive.
+    RecoveryReport recovery;
 };
 
 class WarmReboot
 {
   public:
-    explicit WarmReboot(sim::Machine &machine);
+    explicit WarmReboot(sim::Machine &machine,
+                        RestorePolicy policy = RestorePolicy::hardened());
 
     /**
      * Step 1: dump memory to swap and push dirty metadata back to
      * its disk blocks. Call after Machine::reset(ResetKind::Warm)
-     * and before the kernel boots.
+     * and before the kernel boots. If the dump does not fit the swap
+     * partition the failure is recorded (recovery.dumpOk) and no
+     * partial dump is written; metadata restore still runs, straight
+     * from the surviving image.
      */
     WarmRebootReport dumpAndRestoreMetadata();
 
     /**
      * Step 2: the user-level restore. Replays every dirty data page
      * from the dump into the freshly mounted file system via normal
-     * write calls.
+     * write calls. A no-op (recorded as dataRestoreSkipped) when the
+     * dump never made it to the swap partition.
      */
     void restoreData(os::Vfs &vfs, WarmRebootReport &report);
 
     /** The memory image captured by the dump (for inspection). */
     std::span<const u8> dumpImage() const { return dump_; }
 
+    const RestorePolicy &policy() const { return policy_; }
+
   private:
     sim::Machine &machine_;
+    RestorePolicy policy_;
     std::vector<u8> dump_;
     RegistryImage image_;
 };

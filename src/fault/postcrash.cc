@@ -1,0 +1,191 @@
+#include "fault/postcrash.hh"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/registry.hh"
+
+namespace rio::fault
+{
+
+namespace
+{
+
+using L = core::RegistryLayout;
+
+template <typename T>
+T
+getField(const u8 *slot, u64 off)
+{
+    T value;
+    std::memcpy(&value, slot + off, sizeof(T));
+    return value;
+}
+
+template <typename T>
+void
+putField(u8 *slot, u64 off, T value)
+{
+    std::memcpy(slot + off, &value, sizeof(T));
+}
+
+} // namespace
+
+PostCrashCorruptor::PostCrashCorruptor(sim::Machine &machine,
+                                       support::Rng rng,
+                                       PostCrashConfig config)
+    : machine_(machine), rng_(rng), config_(config)
+{}
+
+PostCrashStats
+PostCrashCorruptor::corrupt()
+{
+    PostCrashStats stats;
+    if (config_.intensity <= 0.0 ||
+        !machine_.config().memorySurvivesReset) {
+        return stats;
+    }
+
+    auto &mem = machine_.mem();
+    u8 *raw = mem.raw();
+    const auto &reg = mem.region(sim::RegionKind::Registry);
+    const auto &buf = mem.region(sim::RegionKind::BufPool);
+    const auto &ubc = mem.region(sim::RegionKind::UbcPool);
+    const u64 slotCount = buf.pages() + ubc.pages();
+
+    auto slotAt = [&](u64 i) {
+        return raw + reg.base + i * L::kEntrySize;
+    };
+
+    // Index the live slots, plus the subsets the targeted mutations
+    // need: dirty metadata (what the warm reboot will push to disk)
+    // and mid-update entries (whose shadow copy will be used).
+    std::vector<u64> live;
+    std::vector<u64> dirtyMeta;
+    std::vector<u64> changing;
+    for (u64 i = 0; i < slotCount; ++i) {
+        const Addr base = reg.base + i * L::kEntrySize;
+        if (base + L::kEntrySize > mem.size())
+            break;
+        const u8 *slot = raw + base;
+        if (getField<u32>(slot, L::kOffMagic) != L::kMagic)
+            continue;
+        live.push_back(i);
+        if (getField<u32>(slot, L::kOffKind) == L::kKindMetadata &&
+            getField<u32>(slot, L::kOffDirty) != 0) {
+            dirtyMeta.push_back(i);
+        }
+        if (getField<u32>(slot, L::kOffState) == L::kStateChanging &&
+            getField<u64>(slot, L::kOffShadow) != 0) {
+            changing.push_back(i);
+        }
+    }
+
+    auto rounds = [&](double base) {
+        return static_cast<u64>(
+            std::llround(config_.intensity * base));
+    };
+    // Pick two distinct indices out of a pool of >= 2.
+    auto pickPair = [&](const std::vector<u64> &pool, u64 &a, u64 &b) {
+        const u64 ia = rng_.below(pool.size());
+        const u64 ib = (ia + 1 + rng_.below(pool.size() - 1)) %
+                       pool.size();
+        a = pool[ia];
+        b = pool[ib];
+    };
+
+    if (config_.flipRegistryBits && !live.empty()) {
+        for (u64 k = rounds(4.0); k > 0; --k) {
+            u8 *slot = slotAt(live[rng_.below(live.size())]);
+            slot[rng_.below(L::kEntrySize)] ^=
+                static_cast<u8>(1u << rng_.below(8));
+            ++stats.registryBitsFlipped;
+            ++stats.ops;
+        }
+    }
+
+    if (config_.smashMagics && !live.empty()) {
+        for (u64 k = rounds(1.0); k > 0; --k) {
+            u8 *slot = slotAt(live[rng_.below(live.size())]);
+            u32 garbage = static_cast<u32>(rng_.next());
+            if (garbage == L::kMagic || garbage == 0)
+                garbage ^= 0x5a5a5a5au;
+            putField(slot, L::kOffMagic, garbage);
+            ++stats.magicsSmashed;
+            ++stats.ops;
+        }
+    }
+
+    if (config_.crossLinkClaims && dirtyMeta.size() >= 2) {
+        for (u64 k = rounds(1.0); k > 0; --k) {
+            u64 a = 0;
+            u64 b = 0;
+            pickPair(dirtyMeta, a, b);
+            putField(slotAt(b), L::kOffDiskBlock,
+                     getField<u32>(slotAt(a), L::kOffDiskBlock));
+            ++stats.claimsCrossLinked;
+            ++stats.ops;
+        }
+    }
+
+    if (config_.crossLinkPages && dirtyMeta.size() >= 2) {
+        for (u64 k = rounds(1.0); k > 0; --k) {
+            u64 a = 0;
+            u64 b = 0;
+            pickPair(dirtyMeta, a, b);
+            // b now points at a's page: still a valid, aligned pool
+            // address, so only the checksum can tell it is wrong.
+            putField(slotAt(b), L::kOffPhysAddr,
+                     getField<u64>(slotAt(a), L::kOffPhysAddr));
+            ++stats.pagesCrossLinked;
+            ++stats.ops;
+        }
+    }
+
+    if (config_.smashPageBytes && !dirtyMeta.empty()) {
+        for (u64 k = rounds(2.0); k > 0; --k) {
+            const u8 *slot =
+                slotAt(dirtyMeta[rng_.below(dirtyMeta.size())]);
+            const Addr pa = getField<u64>(slot, L::kOffPhysAddr);
+            if ((buf.contains(pa) || ubc.contains(pa)) &&
+                pa + sim::kPageSize <= mem.size()) {
+                // The whole page is gone — the model is "this memory
+                // was scribbled over during the outage", not a
+                // correctable single-bit error.
+                rng_.fill(
+                    std::span<u8>(raw + pa, sim::kPageSize));
+                stats.pageBytesSmashed += sim::kPageSize;
+                ++stats.ops;
+            }
+        }
+    }
+
+    if (config_.smashShadows && !changing.empty()) {
+        for (u64 k = rounds(1.0); k > 0; --k) {
+            const u8 *slot =
+                slotAt(changing[rng_.below(changing.size())]);
+            const Addr sh = getField<u64>(slot, L::kOffShadow);
+            constexpr u64 kSmashBytes = 64;
+            if (reg.contains(sh) && sh + kSmashBytes <= mem.size()) {
+                rng_.fill(std::span<u8>(raw + sh, kSmashBytes));
+                ++stats.shadowsSmashed;
+                ++stats.ops;
+            }
+        }
+    }
+
+    if (config_.zeroTail &&
+        rng_.chance(std::min(1.0, 0.25 * config_.intensity))) {
+        const u64 pages = rng_.between(1, 4);
+        const u64 bytes =
+            std::min<u64>(pages * sim::kPageSize, mem.size());
+        std::memset(raw + mem.size() - bytes, 0, bytes);
+        stats.tailBytesZeroed += bytes;
+        ++stats.ops;
+    }
+
+    return stats;
+}
+
+} // namespace rio::fault

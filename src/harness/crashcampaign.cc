@@ -77,7 +77,11 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
     sim::MachineConfig machineConfig = crashMachineConfig(seed);
     sim::Machine machine(machineConfig);
 
-    const os::KernelConfig kernelConfig = kernelConfigFor(kind);
+    os::KernelConfig kernelConfig = kernelConfigFor(kind);
+    if (isRio(kind) && config_.rioIdleFlushNs > 0) {
+        kernelConfig.rioIdleFlush = true;
+        kernelConfig.updateIntervalNs = config_.rioIdleFlushNs;
+    }
 
     std::unique_ptr<core::RioSystem> rio;
     if (isRio(kind)) {
@@ -157,7 +161,23 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
     kernel.reset();
     machine.reset(sim::ResetKind::Warm);
 
-    core::WarmReboot warmReboot(machine);
+    // Post-crash corruption stage: damage the surviving image before
+    // the warm reboot looks at it. Seeded purely from the run seed so
+    // a JSONL record replays with identical damage.
+    if (isRio(kind) && config_.postCrashIntensity > 0.0) {
+        fault::PostCrashConfig postConfig;
+        postConfig.intensity = config_.postCrashIntensity;
+        fault::PostCrashCorruptor corruptor(
+            machine,
+            support::Rng(mix64(seed ^ 0x506f737443727Eull)),
+            postConfig);
+        result.postCrash = corruptor.corrupt();
+    }
+
+    const core::RestorePolicy policy =
+        config_.hardenedRecovery ? core::RestorePolicy::hardened()
+                                 : core::RestorePolicy::trusting();
+    core::WarmReboot warmReboot(machine, policy);
     std::unique_ptr<core::RioSystem> rio2;
     if (isRio(kind)) {
         result.warm = warmReboot.dumpAndRestoreMetadata();
@@ -177,8 +197,13 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
         result.verify = memtest.verify(rebooted);
     } catch (const sim::CrashException &crash) {
         // The recovered state was so damaged that even the verifier
-        // tripped kernel checks: unambiguous corruption.
+        // tripped kernel checks: the volume is unusable, which is
+        // worse than any count of individually stale files. Score it
+        // as total loss — otherwise a restore that renders the fs
+        // unbootable out-scores one that keeps stale-but-valid
+        // copies.
         result.verify.readErrors += 1;
+        result.verify.missingFiles += memtest.model().files().size();
         result.verify.details.push_back(
             std::string("verifier crashed: ") + crash.what());
     }
@@ -221,6 +246,16 @@ CrashCampaign::runTrial(SystemKind kind, fault::FaultType type,
         record.memtestDetected = run.memtestDetected;
         record.corruptFiles = run.corruptFiles;
         record.protectionSaves = run.protectionSaves;
+        record.postCrashOps = run.postCrash.ops;
+        record.dumpOk = run.warm.recovery.dumpOk;
+        record.metadataQuarantined =
+            run.warm.recovery.metadataQuarantined;
+        record.duplicateClaims = run.warm.recovery.duplicateClaims;
+        record.boundsViolations = run.warm.recovery.boundsViolations;
+        record.shadowChecksumBad =
+            run.warm.recovery.shadowChecksumBad;
+        record.dataQuarantined = run.warm.recovery.dataQuarantined;
+        record.metadataUnrestorable = run.warm.metadataUnrestorable;
         record.message = run.message;
         if (config_.verbose) {
             RIO_LOG_INFO << systemKindName(kind) << " / "
@@ -370,14 +405,31 @@ std::string
 CrashCampaign::renderTable1(const CampaignResult &result,
                             const CampaignConfig &config)
 {
-    Table table({"Fault Type", "Disk-Based", "Rio w/o Protection",
-                 "Rio w/ Protection"});
-    for (std::size_t type = 0; type < fault::kNumFaultTypes; ++type) {
+    // Only configured systems and faults get columns/rows: an
+    // ablation slice must not print "0 of 0 (0.0%)" for systems it
+    // never ran.
+    auto columnTitle = [](SystemKind kind) {
+        switch (kind) {
+          case SystemKind::DiskWriteThrough: return "Disk-Based";
+          case SystemKind::RioNoProtection:
+            return "Rio w/o Protection";
+          case SystemKind::RioWithProtection:
+            return "Rio w/ Protection";
+        }
+        return "?";
+    };
+    std::vector<std::string> header{"Fault Type"};
+    for (const SystemKind kind : config.systems)
+        header.emplace_back(columnTitle(kind));
+    Table table(std::move(header));
+
+    for (const fault::FaultType type : config.faults) {
         std::vector<std::string> row;
-        row.push_back(fault::faultTypeName(
-            static_cast<fault::FaultType>(type)));
-        for (int system = 0; system < 3; ++system) {
-            const CampaignCell &cell = result.cells[system][type];
+        row.push_back(fault::faultTypeName(type));
+        for (const SystemKind kind : config.systems) {
+            const CampaignCell &cell =
+                result.cells[static_cast<int>(kind)]
+                            [static_cast<std::size_t>(type)];
             row.push_back(cell.corruptions == 0
                               ? ""
                               : std::to_string(cell.corruptions));
@@ -387,8 +439,7 @@ CrashCampaign::renderTable1(const CampaignResult &result,
     table.addSeparator();
 
     std::vector<std::string> totals{"Total"};
-    for (int system = 0; system < 3; ++system) {
-        const auto kind = static_cast<SystemKind>(system);
+    for (const SystemKind kind : config.systems) {
         const u64 crashes = result.totalCrashes(kind);
         const u64 corruptions = result.totalCorruptions(kind);
         const double pct =
@@ -445,9 +496,13 @@ CrashCampaign::renderTable1(const CampaignResult &result,
     }
     out += "\nunique error messages: " +
            std::to_string(result.uniqueErrorMessages.size());
-    out += "\nprotection-mechanism saves (runs): " +
-           std::to_string(
-               result.totalSaves(SystemKind::RioWithProtection));
+    if (std::find(config.systems.begin(), config.systems.end(),
+                  SystemKind::RioWithProtection) !=
+        config.systems.end()) {
+        out += "\nprotection-mechanism saves (runs): " +
+               std::to_string(
+                   result.totalSaves(SystemKind::RioWithProtection));
+    }
     out += "\n";
     return out;
 }

@@ -30,6 +30,7 @@
 
 #include "core/warmreboot.hh"
 #include "fault/injector.hh"
+#include "fault/postcrash.hh"
 #include "harness/hconfig.hh"
 #include "harness/sink.hh"
 #include "workload/memtest.hh"
@@ -97,6 +98,7 @@ struct CrashRunResult
     u64 protectionSaves = 0;
 
     core::WarmRebootReport warm;
+    fault::PostCrashStats postCrash; ///< Corruption-stage damage.
     wl::MemTest::VerifyResult verify;
 };
 
@@ -134,6 +136,21 @@ struct CampaignConfig
     bool progress = envBool("RIO_T1_PROGRESS", false);
     /** Structured-output directory; empty = off (RIO_T1_JSON). */
     std::string jsonDir = envStr("RIO_T1_JSON", "");
+
+    /** Post-crash corruption stage (fault/postcrash.hh) applied to
+     *  the surviving image of the Rio systems before warm reboot;
+     *  0 = off, preserving the paper's Table 1 semantics
+     *  (RIO_T1_POSTCRASH). */
+    double postCrashIntensity = envF64("RIO_T1_POSTCRASH", 0.0);
+    /** Warm-reboot RestorePolicy: hardened() when true, trusting()
+     *  when false (RIO_T1_HARDENED). */
+    bool hardenedRecovery = envBool("RIO_T1_HARDENED", true);
+    /** When > 0, enable Rio's idle-period write-back with this
+     *  period. The short simulated runs never age metadata to disk
+     *  the way hours of real uptime would, so recovery-hardening
+     *  experiments use this to give the quarantine path a disk copy
+     *  of realistic freshness (RIO_T1_IDLEFLUSH_NS). */
+    SimNs rioIdleFlushNs = envU64("RIO_T1_IDLEFLUSH_NS", 0);
 
     /** Campaign slice; defaults cover the paper's full 3 x 13 grid.
      *  Reduced slices keep the determinism tests fast. */

@@ -14,6 +14,11 @@
  *                    (default: unset = no structured output; the
  *                    table1_reliability bench defaults it to ".")
  *   RIO_T1_PROGRESS  live progress line on stderr (default 0)
+ *   RIO_T1_POSTCRASH post-crash corruption-stage intensity for the
+ *                    Rio systems (default 0 = off; 1.0 = the
+ *                    ablation_recovery default)
+ *   RIO_T1_HARDENED  hardened RestorePolicy for warm reboot
+ *                    (default 1; 0 = pre-hardening trusting restore)
  *   RIO_PERF_MB      cp+rm source tree megabytes  (default 40)
  *   RIO_VERBOSE      print per-run details        (default 0)
  *
@@ -51,6 +56,15 @@ envBool(const char *name, bool fallback)
     if (value == nullptr || *value == '\0')
         return fallback;
     return std::string(value) != "0";
+}
+
+inline double
+envF64(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::strtod(value, nullptr);
 }
 
 inline std::string

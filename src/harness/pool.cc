@@ -1,5 +1,7 @@
 #include "harness/pool.hh"
 
+#include <utility>
+
 namespace rio::harness
 {
 
@@ -55,6 +57,13 @@ WorkerPool::wait()
     std::unique_lock<std::mutex> lock(mutex_);
     idleCv_.wait(lock,
                  [this] { return queue_.empty() && active_ == 0; });
+    if (firstError_) {
+        // Hand the stored exception to exactly one waiter and leave
+        // the pool ready for the next batch.
+        std::exception_ptr error = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -73,9 +82,18 @@ WorkerPool::workerMain(std::stop_token stop)
             queue_.pop_front();
             ++active_;
         }
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            // A throwing task must not unwind a jthread (terminate)
+            // or leave active_ stuck; stash the error for wait().
+            error = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !firstError_)
+                firstError_ = error;
             --active_;
             if (queue_.empty() && active_ == 0)
                 idleCv_.notify_all();

@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -46,7 +47,11 @@ class WorkerPool
     /** Enqueue one task; runs on some worker, some time. */
     void submit(std::function<void()> task);
 
-    /** Block until the queue is empty and no task is running. */
+    /**
+     * Block until the queue is empty and no task is running. If any
+     * task threw, the first exception (in completion order) is
+     * rethrown here and the rest are dropped; the pool stays usable.
+     */
     void wait();
 
     u32 threads() const { return static_cast<u32>(workers_.size()); }
@@ -59,14 +64,15 @@ class WorkerPool
     std::condition_variable idleCv_; ///< Signals wait(): all done.
     std::deque<std::function<void()>> queue_;
     u32 active_ = 0; ///< Tasks currently executing.
+    std::exception_ptr firstError_; ///< First task exception, if any.
     std::vector<std::jthread> workers_; ///< Last member: joins first.
 };
 
 /**
  * Run fn(0) .. fn(count-1) across the pool and block until all have
- * finished. Exceptions escaping fn terminate (tasks must catch their
- * own); results should be written to caller-owned slots indexed by
- * the argument so that output order is independent of scheduling.
+ * finished. An exception escaping fn is rethrown from the wait();
+ * results should be written to caller-owned slots indexed by the
+ * argument so that output order is independent of scheduling.
  */
 void parallelFor(WorkerPool &pool, u64 count,
                  const std::function<void(u64)> &fn);

@@ -86,6 +86,16 @@ trialToJson(const TrialRecord &record)
     out += ",\"memtestDetected\":" + boolean(record.memtestDetected);
     out += ",\"corruptFiles\":" + num(record.corruptFiles);
     out += ",\"protectionSaves\":" + num(record.protectionSaves);
+    out += ",\"dumpOk\":" + boolean(record.dumpOk);
+    out += ",\"metadataQuarantined\":" +
+           num(record.metadataQuarantined);
+    out += ",\"duplicateClaims\":" + num(record.duplicateClaims);
+    out += ",\"boundsViolations\":" + num(record.boundsViolations);
+    out += ",\"shadowChecksumBad\":" + num(record.shadowChecksumBad);
+    out += ",\"dataQuarantined\":" + num(record.dataQuarantined);
+    out += ",\"metadataUnrestorable\":" +
+           num(record.metadataUnrestorable);
+    out += ",\"postCrashOps\":" + num(record.postCrashOps);
     out += ",\"message\":\"" + jsonEscape(record.message) + "\"";
     out += "}";
     return out;
@@ -110,12 +120,18 @@ campaignToJson(const CampaignResult &result,
     out += "  \"faultsPerRun\": " + num(config.faultsPerRun) + ",\n";
     out += "  \"observationNs\": " + num(config.observationNs) +
            ",\n";
+    out += "  \"postCrashIntensity\": " +
+           fmt(config.postCrashIntensity, 2) + ",\n";
+    out += "  \"hardenedRecovery\": " +
+           std::string(config.hardenedRecovery ? "true" : "false") +
+           ",\n";
 
     out += "  \"systems\": [";
-    for (int system = 0; system < 3; ++system) {
-        const auto kind = static_cast<SystemKind>(system);
-        if (system)
+    bool firstSystem = true;
+    for (const SystemKind kind : config.systems) {
+        if (!firstSystem)
             out += ", ";
+        firstSystem = false;
         out += "{\"name\": \"" + jsonEscape(systemKindName(kind)) +
                "\", \"crashes\": " + num(result.totalCrashes(kind)) +
                ", \"corruptions\": " +
@@ -127,7 +143,8 @@ campaignToJson(const CampaignResult &result,
 
     out += "  \"cells\": [\n";
     bool firstCell = true;
-    for (int system = 0; system < 3; ++system) {
+    for (const SystemKind configured : config.systems) {
+        const int system = static_cast<int>(configured);
         for (std::size_t type = 0; type < fault::kNumFaultTypes;
              ++type) {
             const CampaignCell &cell = result.cells[system][type];

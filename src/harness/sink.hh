@@ -47,6 +47,19 @@ struct TrialRecord
     SimNs crashAfterNs = 0;
     u64 corruptFiles = 0;
     u64 protectionSaves = 0;
+
+    /** @{ Warm-reboot recovery accounting (core::RecoveryReport);
+     *  meaningful for the Rio systems only. */
+    bool dumpOk = true;
+    u64 metadataQuarantined = 0;
+    u64 duplicateClaims = 0;
+    u64 boundsViolations = 0;
+    u64 shadowChecksumBad = 0;
+    u64 dataQuarantined = 0;
+    u64 metadataUnrestorable = 0;
+    /** @} */
+    u64 postCrashOps = 0; ///< Corruption-stage mutations applied.
+
     std::string message;
 
     bool operator==(const TrialRecord &) const = default;

@@ -111,6 +111,15 @@ struct MachineConfig
     u64 swapBytes = 64ull << 20;
 
     /**
+     * Refuse configurations whose swap partition cannot hold a full
+     * memory dump. Recovery-hardening tests disable this to exercise
+     * the warm reboot's own dump-failure path (a mis-sized swap on a
+     * real machine is an admin error the recovery must survive, not
+     * assume away).
+     */
+    bool requireSwapHoldsDump = true;
+
+    /**
      * Whether the platform preserves memory across a reset, like the
      * DEC Alphas in section 5. PCs of the era cleared memory, making
      * warm reboot impossible (the Harp experience, section 6).

@@ -24,7 +24,8 @@ Machine::Machine(const MachineConfig &config)
       disk_(config.diskBytes, config_.costs, rng_.fork()),
       swap_(config.swapBytes, config_.costs, rng_.fork())
 {
-    if (config.swapBytes < config.physMemBytes) {
+    if (config.requireSwapHoldsDump &&
+        config.swapBytes < config.physMemBytes) {
         throw std::runtime_error(
             "Machine: swap partition cannot hold a memory dump");
     }

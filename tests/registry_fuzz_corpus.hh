@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regression corpus for the registry-corruption recovery sweep
+ * (test_registry_fuzz.cc).
+ *
+ * These seeds were promoted from a wider offline sweep (seeds
+ * 16-200) of the same corruption procedure because their damage
+ * drives the hardened RestorePolicy through specific decisions —
+ * checksum quarantine, contested-block rejection, insane block
+ * addresses, tail truncation — at above-typical rates. They replay
+ * on every ctest run, so recovery behaviour found by fuzzing stays
+ * pinned. When a campaign or a future sweep finds a new interesting
+ * seed, append it here with a note of what it exercises.
+ *
+ * Decision profile per seed (quarantined / contested / unrestorable
+ * / frozen blocks / tail bytes zeroed), from the sweep that promoted
+ * it:
+ *
+ *   28   4 / 2 / 0 / 6 / 32768  (heaviest combined damage)
+ *   34   2 / 2 / 1 / 4 / 24576  (insane block address + tail loss)
+ *   70   0 / 2 / 0 / 2 / 0      (pure claim contest, checksums ok)
+ *   97   3 / 2 / 0 / 5 / 0      (quarantine + contest, no tail loss)
+ *   175  2 / 3 / 0 / 5 / 16384  (three-way block contest)
+ *
+ * The same sweep measured the residual risk the policy cannot close:
+ * 3 of 184 seeds (56, 68, 130) flip a diskBlock field into another
+ * *valid* block while the page checksum still matches, so the
+ * restore lands content in the wrong place. fsck repairs most such
+ * redirects; those three hit unrepairable spots (root inode /
+ * superblock neighbourhood). A checksum covers content, not
+ * location — closing this would need a block-location authenticator,
+ * noted in EXPERIMENTS.md as future work.
+ */
+
+#ifndef RIO_TESTS_REGISTRY_FUZZ_CORPUS_HH
+#define RIO_TESTS_REGISTRY_FUZZ_CORPUS_HH
+
+#include "support/types.hh"
+
+namespace rio::tests
+{
+
+inline constexpr u64 kRegistryFuzzCorpus[] = {
+    28, 34, 70, 97, 175,
+};
+
+} // namespace rio::tests
+
+#endif // RIO_TESTS_REGISTRY_FUZZ_CORPUS_HH

@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_set>
 #include <vector>
 
@@ -124,6 +126,46 @@ TEST(WorkerPoolTest, ResolveJobsNeverZero)
 {
     EXPECT_GE(resolveJobs(0), 1u);
     EXPECT_EQ(resolveJobs(5), 5u);
+}
+
+TEST(WorkerPoolTest, ThrowingTaskPropagatesFromWait)
+{
+    WorkerPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&ran, i] {
+            ++ran;
+            if (i == 5)
+                throw std::runtime_error("task failed");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Every other task still ran: the failure neither deadlocked the
+    // pool nor leaked the active count.
+    EXPECT_EQ(ran.load(), 16);
+
+    // The error was consumed; the pool is reusable afterwards.
+    std::atomic<int> more{0};
+    parallelFor(pool, 64, [&more](u64) { ++more; });
+    EXPECT_EQ(more.load(), 64);
+}
+
+TEST(WorkerPoolTest, FirstOfSeveralErrorsIsReported)
+{
+    WorkerPool pool(2);
+    for (int i = 0; i < 8; ++i)
+        pool.submit([] { throw std::runtime_error("boom"); });
+    bool threw = false;
+    try {
+        pool.wait();
+    } catch (const std::runtime_error &error) {
+        threw = true;
+        EXPECT_STREQ(error.what(), "boom");
+    }
+    EXPECT_TRUE(threw);
+    // Exactly one rethrow: a second wait() on the drained pool is
+    // clean, not a double report of a stale exception.
+    pool.wait();
 }
 
 // ---------------------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 
 #include "core/rio.hh"
@@ -36,7 +37,10 @@ machineConfig(bool survives = true)
 struct CrashRig
 {
     explicit CrashRig(bool survives = true)
-        : machine(machineConfig(survives))
+        : CrashRig(machineConfig(survives))
+    {}
+
+    explicit CrashRig(const sim::MachineConfig &mc) : machine(mc)
     {
         config = os::systemPreset(os::SystemPreset::RioNoProtection);
         core::RioOptions options;
@@ -82,6 +86,122 @@ struct CrashRig
     std::unique_ptr<os::Kernel> kernel;
     os::Process proc{1};
 };
+
+// --- Raw access to the surviving registry image. -------------------
+// The hardening tests damage the image the way a crashed OS would:
+// by scribbling on the raw bytes, not through any API.
+
+using Layout = core::RegistryLayout;
+
+template <typename T>
+T
+getField(const u8 *slot, u64 off)
+{
+    T value;
+    std::memcpy(&value, slot + off, sizeof(T));
+    return value;
+}
+
+template <typename T>
+void
+putField(u8 *slot, u64 off, T value)
+{
+    std::memcpy(slot + off, &value, sizeof(T));
+}
+
+u64
+registrySlotCount(sim::Machine &machine)
+{
+    return machine.mem().region(sim::RegionKind::BufPool).pages() +
+           machine.mem().region(sim::RegionKind::UbcPool).pages();
+}
+
+u8 *
+registrySlot(sim::Machine &machine, u64 index)
+{
+    const auto &reg =
+        machine.mem().region(sim::RegionKind::Registry);
+    return machine.mem().raw() + reg.base +
+           index * Layout::kEntrySize;
+}
+
+/** Indices of live, dirty, active metadata entries. */
+std::vector<u64>
+dirtyMetadataSlots(sim::Machine &machine)
+{
+    std::vector<u64> slots;
+    for (u64 i = 0; i < registrySlotCount(machine); ++i) {
+        const u8 *slot = registrySlot(machine, i);
+        if (getField<u32>(slot, Layout::kOffMagic) ==
+                Layout::kMagic &&
+            getField<u32>(slot, Layout::kOffState) ==
+                Layout::kStateActive &&
+            getField<u32>(slot, Layout::kOffKind) ==
+                Layout::kKindMetadata &&
+            getField<u32>(slot, Layout::kOffDirty) != 0) {
+            slots.push_back(i);
+        }
+    }
+    return slots;
+}
+
+/** Index of the mid-update dirty metadata entry, or ~0 if none. */
+u64
+changingSlot(sim::Machine &machine)
+{
+    for (u64 i = 0; i < registrySlotCount(machine); ++i) {
+        const u8 *slot = registrySlot(machine, i);
+        if (getField<u32>(slot, Layout::kOffMagic) ==
+                Layout::kMagic &&
+            getField<u32>(slot, Layout::kOffState) ==
+                Layout::kStateChanging &&
+            getField<u32>(slot, Layout::kOffKind) ==
+                Layout::kKindMetadata &&
+            getField<u32>(slot, Layout::kOffDirty) != 0)
+            return i;
+    }
+    return ~0ull;
+}
+
+/** Snapshot the current on-disk bytes of one file-system block. */
+std::vector<u8>
+diskBlockBytes(sim::Machine &machine, u64 block)
+{
+    std::vector<u8> bytes;
+    bytes.reserve(sim::kSectorsPerBlock * sim::kSectorSize);
+    for (u64 s = 0; s < sim::kSectorsPerBlock; ++s) {
+        const auto sector = machine.disk().peekSector(
+            static_cast<SectorNo>(block * sim::kSectorsPerBlock + s));
+        bytes.insert(bytes.end(), sector.begin(), sector.end());
+    }
+    return bytes;
+}
+
+/** Crash inside a metadata write window (leaves one Changing entry
+ *  with a shadow copy), then warm-reset the machine. */
+void
+midUpdateCrash(CrashRig &rig)
+{
+    auto &ufs = rig.kernel->ufs();
+    auto rootInode = ufs.iget(os::Ufs::kRootIno);
+    auto block = ufs.bmap(os::Ufs::kRootIno, rootInode.value(), 0,
+                          false);
+    auto &buf = rig.kernel->bufferCache();
+    auto ref = buf.bread(1, block.value());
+    try {
+        os::BufferCache::WriteWindow window(buf, ref);
+        window.store32(0, 0xdeadbeef); // Half-smashed dirent.
+        throw sim::CrashException(sim::CrashCause::KernelPanic,
+                                  "mid-update",
+                                  rig.machine.clock().now());
+    } catch (const sim::CrashException &) {
+        rig.machine.noteCrash(rig.machine.clock().now());
+    }
+    rig.rio->deactivate();
+    rig.rio.reset();
+    rig.kernel.reset();
+    rig.machine.reset(sim::ResetKind::Warm);
+}
 
 } // namespace
 
@@ -219,25 +339,7 @@ TEST(WarmReboot, MidUpdateCrashRestoresShadowCopy)
     }
     // Open a write window on the root directory block and crash
     // inside it.
-    auto &ufs = rig.kernel->ufs();
-    auto rootInode = ufs.iget(os::Ufs::kRootIno);
-    auto block = ufs.bmap(os::Ufs::kRootIno, rootInode.value(), 0,
-                          false);
-    auto &buf = rig.kernel->bufferCache();
-    auto ref = buf.bread(1, block.value());
-    try {
-        os::BufferCache::WriteWindow window(buf, ref);
-        window.store32(0, 0xdeadbeef); // Half-smashed dirent.
-        throw sim::CrashException(sim::CrashCause::KernelPanic,
-                                  "mid-update",
-                                  rig.machine.clock().now());
-    } catch (const sim::CrashException &) {
-        rig.machine.noteCrash(rig.machine.clock().now());
-    }
-    rig.rio->deactivate();
-    rig.rio.reset();
-    rig.kernel.reset();
-    rig.machine.reset(sim::ResetKind::Warm);
+    midUpdateCrash(rig);
 
     core::WarmRebootReport report;
     auto rebooted = rig.recover(report);
@@ -251,6 +353,189 @@ TEST(WarmReboot, MidUpdateCrashRestoresShadowCopy)
     }
     ASSERT_TRUE(rebooted->lastFsck().has_value());
     EXPECT_EQ(rebooted->lastFsck()->badDirents, 0u);
+}
+
+// --- Adversarial-image hardening (RestorePolicy). ------------------
+
+TEST(WarmReboot, BadChecksumMetadataNeverReachesDisk)
+{
+    CrashRig rig;
+    auto &vfs = rig.kernel->vfs();
+    for (int i = 0; i < 4; ++i) {
+        const std::string dir = "/q" + std::to_string(i);
+        vfs.mkdir(dir);
+        auto fd = vfs.open(rig.proc, dir + "/f",
+                           os::OpenFlags::writeOnly());
+        std::vector<u8> data(4096, static_cast<u8>(i + 1));
+        vfs.write(rig.proc, fd.value(), data);
+        vfs.close(rig.proc, fd.value());
+    }
+    rig.crashAndReset();
+
+    auto slots = dirtyMetadataSlots(rig.machine);
+    ASSERT_FALSE(slots.empty());
+    u8 *victim = registrySlot(rig.machine, slots[0]);
+    const Addr page = getField<u64>(victim, Layout::kOffPhysAddr);
+    const u32 block = getField<u32>(victim, Layout::kOffDiskBlock);
+    ASSERT_NE(getField<u32>(victim, Layout::kOffChecksum), 0u);
+    // Scribble the registered page: its checksum no longer matches.
+    std::memset(rig.machine.mem().raw() + page, 0xAB, sim::kPageSize);
+
+    const std::vector<u8> before = diskBlockBytes(rig.machine, block);
+    core::WarmReboot hardened(rig.machine);
+    auto report = hardened.dumpAndRestoreMetadata();
+    EXPECT_GE(report.metadataChecksumBad, 1u);
+    EXPECT_GE(report.recovery.metadataQuarantined, 1u);
+    // The invariant: a known-bad page must never reach the disk. The
+    // stale on-disk copy is byte-identical to before the restore.
+    EXPECT_EQ(diskBlockBytes(rig.machine, block), before);
+
+    // Contrast: the trusting policy pushes the garbage to disk.
+    core::WarmReboot trusting(rig.machine,
+                              core::RestorePolicy::trusting());
+    auto report2 = trusting.dumpAndRestoreMetadata();
+    EXPECT_GE(report2.metadataChecksumBad, 1u);
+    EXPECT_EQ(report2.recovery.metadataQuarantined, 0u);
+    const std::vector<u8> after = diskBlockBytes(rig.machine, block);
+    EXPECT_NE(after, before);
+    EXPECT_EQ(after[0], 0xAB);
+}
+
+TEST(WarmReboot, ContestedDiskBlockIsLeftToFsck)
+{
+    CrashRig rig;
+    auto &vfs = rig.kernel->vfs();
+    for (int i = 0; i < 4; ++i)
+        vfs.mkdir("/dup" + std::to_string(i));
+    rig.crashAndReset();
+
+    auto slots = dirtyMetadataSlots(rig.machine);
+    ASSERT_GE(slots.size(), 2u);
+    u8 *first = registrySlot(rig.machine, slots[0]);
+    const u32 block = getField<u32>(first, Layout::kOffDiskBlock);
+    u8 *thief = nullptr;
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+        u8 *slot = registrySlot(rig.machine, slots[i]);
+        if (getField<u32>(slot, Layout::kOffDiskBlock) != block) {
+            thief = slot;
+            break;
+        }
+    }
+    ASSERT_NE(thief, nullptr);
+    // Cross-link: two surviving entries now claim the same block.
+    putField<u32>(thief, Layout::kOffDiskBlock, block);
+
+    const std::vector<u8> before = diskBlockBytes(rig.machine, block);
+    core::WarmReboot hardened(rig.machine);
+    auto report = hardened.dumpAndRestoreMetadata();
+    // Both claimants are rejected; the contested block stays at the
+    // on-disk copy for fsck to sort out.
+    EXPECT_EQ(report.recovery.duplicateClaims, 2u);
+    EXPECT_EQ(diskBlockBytes(rig.machine, block), before);
+
+    // Trusting restores both claimants (last writer wins).
+    core::WarmReboot trusting(rig.machine,
+                              core::RestorePolicy::trusting());
+    auto report2 = trusting.dumpAndRestoreMetadata();
+    EXPECT_EQ(report2.recovery.duplicateClaims, 0u);
+    EXPECT_EQ(report2.metadataRestored, report.metadataRestored + 2);
+}
+
+TEST(WarmReboot, TruncatedDumpFailsSafe)
+{
+    // A swap partition half the size of memory: the dump cannot fit.
+    sim::MachineConfig small = machineConfig();
+    small.swapBytes = 8ull << 20;
+    small.requireSwapHoldsDump = false;
+    CrashRig rig(small);
+    auto &vfs = rig.kernel->vfs();
+    std::vector<u8> data(20000, 0x44);
+    auto fd = vfs.open(rig.proc, "/f", os::OpenFlags::writeOnly());
+    vfs.write(rig.proc, fd.value(), data);
+    vfs.close(rig.proc, fd.value());
+    rig.crashAndReset();
+
+    core::WarmReboot warm(rig.machine);
+    rig.machine.swap().resetStats();
+    auto report = warm.dumpAndRestoreMetadata();
+    // The failure is recorded and no partial dump is written...
+    EXPECT_FALSE(report.recovery.dumpOk);
+    EXPECT_EQ(report.recovery.dumpShortfallBytes, 8ull << 20);
+    EXPECT_EQ(rig.machine.swap().stats().sectorsWritten, 0u);
+    // ...but the metadata restore still runs from the host image.
+    EXPECT_GT(report.metadataRestored, 0u);
+
+    // Step 2 has no dump to replay: skipped, not fabricated.
+    core::RioOptions options;
+    options.protection = rig.config.protection;
+    options.maintainChecksums = true;
+    rig.rio = std::make_unique<core::RioSystem>(rig.machine, options);
+    auto rebooted =
+        std::make_unique<os::Kernel>(rig.machine, rig.config);
+    rebooted->boot(rig.rio.get(), false);
+    warm.restoreData(rebooted->vfs(), report);
+    EXPECT_TRUE(report.recovery.dataRestoreSkipped);
+    EXPECT_EQ(report.dataPagesRestored, 0u);
+}
+
+TEST(WarmReboot, MidUpdateEntryWithoutShadowIsUnrestorable)
+{
+    CrashRig rig;
+    // Dirty the root directory so beginWrite makes a shadow copy.
+    for (int i = 0; i < 3; ++i) {
+        rig.kernel->vfs().open(rig.proc, "/pre" + std::to_string(i),
+                               os::OpenFlags::writeOnly());
+    }
+    midUpdateCrash(rig);
+
+    const u64 index = changingSlot(rig.machine);
+    ASSERT_NE(index, ~0ull);
+    // The shadow pointer did not survive: no consistent source left.
+    putField<u64>(registrySlot(rig.machine, index),
+                  Layout::kOffShadow, 0);
+
+    core::WarmReboot warm(rig.machine);
+    auto report = warm.dumpAndRestoreMetadata();
+    EXPECT_EQ(report.metadataFromShadow, 0u);
+    EXPECT_EQ(report.metadataUnrestorable, 1u);
+}
+
+TEST(WarmReboot, CorruptedShadowCopyIsQuarantined)
+{
+    CrashRig rig;
+    // Dirty the root directory so beginWrite makes a shadow copy.
+    for (int i = 0; i < 3; ++i) {
+        rig.kernel->vfs().open(rig.proc, "/pre" + std::to_string(i),
+                               os::OpenFlags::writeOnly());
+    }
+    midUpdateCrash(rig);
+
+    const u64 index = changingSlot(rig.machine);
+    ASSERT_NE(index, ~0ull);
+    u8 *slot = registrySlot(rig.machine, index);
+    ASSERT_NE(getField<u32>(slot, Layout::kOffChecksum), 0u);
+    const Addr shadow = getField<u64>(slot, Layout::kOffShadow);
+    const u32 block = getField<u32>(slot, Layout::kOffDiskBlock);
+    ASSERT_NE(shadow, 0u);
+    // The shadow page was scribbled over during the outage: it no
+    // longer holds the last consistent contents.
+    std::memset(rig.machine.mem().raw() + shadow, 0xCD,
+                sim::kPageSize);
+
+    const std::vector<u8> before = diskBlockBytes(rig.machine, block);
+    core::WarmReboot hardened(rig.machine);
+    auto report = hardened.dumpAndRestoreMetadata();
+    EXPECT_EQ(report.recovery.shadowChecksumBad, 1u);
+    EXPECT_GE(report.recovery.metadataQuarantined, 1u);
+    EXPECT_EQ(report.metadataFromShadow, 0u);
+    EXPECT_EQ(diskBlockBytes(rig.machine, block), before);
+
+    // Trusting uses the smashed shadow anyway.
+    core::WarmReboot trusting(rig.machine,
+                              core::RestorePolicy::trusting());
+    auto report2 = trusting.dumpAndRestoreMetadata();
+    EXPECT_EQ(report2.metadataFromShadow, 1u);
+    EXPECT_EQ(diskBlockBytes(rig.machine, block)[0], 0xCD);
 }
 
 TEST(WarmReboot, StaleInodeCounted)
