@@ -93,8 +93,8 @@ runSweep(SimNs updatePeriod, bool rioMode, u64 seed)
         wl::fillPattern(data, rng.next());
         auto fd = vfs.open(proc, path, os::OpenFlags::writeOnly());
         if (fd.ok()) {
-            vfs.write(proc, fd.value(), data);
-            vfs.close(proc, fd.value());
+            rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+            rio::wl::tolerate(vfs.close(proc, fd.value()));
             live.push_back({path, machine.clock().now() + lifetime});
             result.bytesWritten += data.size();
             ++result.filesCreated;
@@ -107,7 +107,7 @@ runSweep(SimNs updatePeriod, bool rioMode, u64 seed)
         // Delete expired files.
         for (std::size_t i = 0; i < live.size();) {
             if (live[i].dieAt <= machine.clock().now()) {
-                vfs.unlink(live[i].path);
+                rio::wl::tolerate(vfs.unlink(live[i].path));
                 live[i] = live.back();
                 live.pop_back();
             } else {

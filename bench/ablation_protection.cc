@@ -22,6 +22,7 @@
 #include "os/kernel.hh"
 #include "sim/machine.hh"
 #include "workload/cprm.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -69,7 +70,7 @@ protectedWriteCycle(benchmark::State &state, os::ProtectionMode mode)
     u64 simNsTotal = 0;
     for (auto _ : state) {
         const SimNs before = rig.machine->clock().now();
-        rig.kernel->vfs().pwrite(proc, fd.value(), 0, block);
+        rio::wl::tolerate(rig.kernel->vfs().pwrite(proc, fd.value(), 0, block));
         simNsTotal += rig.machine->clock().now() - before;
     }
     state.counters["sim_ns_per_write"] = benchmark::Counter(

@@ -20,6 +20,7 @@
 #include "harness/hconfig.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -59,14 +60,14 @@ runTrials(bool shadow, u64 trials, u64 seedBase)
         // A directory with known contents, pushed through the cache.
         os::Process proc(1);
         auto &vfs = kernel->vfs();
-        vfs.mkdir("/d");
+        rio::wl::tolerate(vfs.mkdir("/d"));
         for (int i = 0; i < 5; ++i) {
             auto fd = vfs.open(proc, "/d/keep" + std::to_string(i),
                                os::OpenFlags::writeOnly());
             if (fd.ok()) {
                 std::vector<u8> tiny(64, static_cast<u8>(i));
-                vfs.write(proc, fd.value(), tiny);
-                vfs.close(proc, fd.value());
+                rio::wl::tolerate(vfs.write(proc, fd.value(), tiny));
+                rio::wl::tolerate(vfs.close(proc, fd.value()));
             }
         }
 

@@ -14,6 +14,7 @@
 #include "core/rio.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -111,7 +112,7 @@ BM_SyscallWrite8K(benchmark::State &state)
                                 os::OpenFlags::writeOnly());
     std::vector<u8> block(8192, 0x11);
     for (auto _ : state)
-        kernel.vfs().pwrite(proc, fd.value(), 0, block);
+        rio::wl::tolerate(kernel.vfs().pwrite(proc, fd.value(), 0, block));
     state.SetBytesProcessed(
         static_cast<i64>(state.iterations()) * 8192);
 }
@@ -132,7 +133,7 @@ BM_RegistryGuardedWrite(benchmark::State &state)
                                 os::OpenFlags::writeOnly());
     std::vector<u8> block(8192, 0x11);
     for (auto _ : state)
-        kernel.vfs().pwrite(proc, fd.value(), 0, block);
+        rio::wl::tolerate(kernel.vfs().pwrite(proc, fd.value(), 0, block));
     state.SetBytesProcessed(
         static_cast<i64>(state.iterations()) * 8192);
 }

@@ -53,7 +53,7 @@ class Clients
                     const auto *old = model.contents(box);
                     model.writeFile(box, old ? old->size() : 0, mail);
                 }
-                vfs.close(proc, fd.value());
+                rio::wl::tolerate(vfs.close(proc, fd.value()));
             }
         } else if (roll < 0.8) {
             // Save a document.
@@ -69,7 +69,7 @@ class Clients
                     model.removeFile(doc);
                     model.writeFile(doc, 0, text);
                 }
-                vfs.close(proc, fd.value());
+                rio::wl::tolerate(vfs.close(proc, fd.value()));
             }
         } else {
             // Read something back (client fetch).
@@ -82,8 +82,8 @@ class Clients
                     vfs.open(proc, doc, os::OpenFlags::readOnly());
                 if (fd.ok()) {
                     std::vector<u8> bytes(st.value().size);
-                    vfs.read(proc, fd.value(), bytes);
-                    vfs.close(proc, fd.value());
+                    rio::wl::tolerate(vfs.read(proc, fd.value(), bytes));
+                    rio::wl::tolerate(vfs.close(proc, fd.value()));
                 }
             }
         }
@@ -112,9 +112,9 @@ main()
     auto rio = std::make_unique<core::RioSystem>(machine, rioOptions);
     auto kernel = std::make_unique<os::Kernel>(machine, kernelConfig);
     kernel->boot(rio.get(), true);
-    kernel->vfs().mkdir("/server");
-    kernel->vfs().mkdir("/server/mail");
-    kernel->vfs().mkdir("/server/docs");
+    rio::wl::tolerate(kernel->vfs().mkdir("/server"));
+    rio::wl::tolerate(kernel->vfs().mkdir("/server/mail"));
+    rio::wl::tolerate(kernel->vfs().mkdir("/server/docs"));
 
     wl::ModelFs model;
     Clients clients(42);
@@ -169,7 +169,7 @@ main()
         }
         std::vector<u8> bytes(expected.size());
         auto n = kernel->vfs().read(auditor, fd.value(), bytes);
-        kernel->vfs().close(auditor, fd.value());
+        rio::wl::tolerate(kernel->vfs().close(auditor, fd.value()));
         if (n.ok() && n.value() == expected.size() &&
             std::equal(expected.begin(), expected.end(),
                        bytes.begin())) {

@@ -18,6 +18,7 @@
 #include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -45,18 +46,18 @@ main()
     // --- 2. Write a file. Rio makes it permanent instantly. --------
     os::Process shell(1);
     auto &vfs = kernel->vfs();
-    vfs.mkdir("/home");
+    rio::wl::tolerate(vfs.mkdir("/home"));
 
     const std::string message =
         "This paper, the kernel source tree, and the authors' mail "
         "are stored on a Rio file server.";
     auto fd = vfs.open(shell, "/home/important.txt",
                        os::OpenFlags::writeOnly());
-    vfs.write(shell, fd.value(),
+    rio::wl::tolerate(vfs.write(shell, fd.value(),
               std::span<const u8>(
                   reinterpret_cast<const u8 *>(message.data()),
-                  message.size()));
-    vfs.close(shell, fd.value());
+                  message.size())));
+    rio::wl::tolerate(vfs.close(shell, fd.value()));
 
     std::printf("wrote %zu bytes; disk writes so far: %llu "
                 "(write-back performance)\n",
@@ -100,7 +101,7 @@ main()
         return 1;
     }
     std::vector<u8> back(message.size());
-    rebooted.vfs().read(shell, rfd.value(), back);
+    rio::wl::tolerate(rebooted.vfs().read(shell, rfd.value(), back));
     const std::string recovered(back.begin(), back.end());
     std::printf("recovered: \"%s\"\n", recovered.c_str());
     std::puts(recovered == message

@@ -18,6 +18,7 @@
 #include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -119,13 +120,13 @@ main()
 
     os::Process proc(1);
     auto &vfs = kernel->vfs();
-    vfs.mkdir("/projects");
+    rio::wl::tolerate(vfs.mkdir("/projects"));
     std::vector<u8> data(20000, 0x41);
     for (int i = 0; i < 4; ++i) {
         auto fd = vfs.open(proc, "/projects/doc" + std::to_string(i),
                            os::OpenFlags::writeOnly());
-        vfs.write(proc, fd.value(), data);
-        vfs.close(proc, fd.value());
+        rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+        rio::wl::tolerate(vfs.close(proc, fd.value()));
     }
 
     std::puts("\n=== live registry (running system) ===");

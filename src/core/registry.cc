@@ -1,6 +1,6 @@
 #include "core/registry.hh"
 
-#include <cstring>
+#include "support/bytes.hh"
 
 namespace rio::core
 {
@@ -12,9 +12,7 @@ template <typename T>
 T
 get(std::span<const u8> raw, u64 off)
 {
-    T value;
-    std::memcpy(&value, raw.data() + off, sizeof(T));
-    return value;
+    return support::loadLE<T>(raw, off);
 }
 
 } // namespace

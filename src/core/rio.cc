@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
 
+#include "sim/audit.hh"
+#include "support/bytes.hh"
 #include "support/checksum.hh"
 
 namespace rio::core
@@ -73,6 +74,8 @@ void
 RioSystem::openPage(Addr page)
 {
     ++stats_.pageOpens;
+    if (auto *audit = machine_.audit())
+        audit->openWindow(page);
     switch (options_.protection) {
       case os::ProtectionMode::Off:
         return; // No mechanism, no cost.
@@ -95,6 +98,8 @@ RioSystem::openPage(Addr page)
 void
 RioSystem::closePage(Addr page)
 {
+    if (auto *audit = machine_.audit())
+        audit->closeWindow(page);
     switch (options_.protection) {
       case os::ProtectionMode::Off:
         return;
@@ -117,19 +122,15 @@ RioSystem::closePage(Addr page)
 u32
 RioSystem::readEntryField32(u64 index, u64 off) const
 {
-    u32 value;
-    std::memcpy(&value, machine_.mem().raw() + entryAddr(index) + off,
-                4);
-    return value;
+    return support::loadLE<u32>(machine_.mem().image(),
+                                entryAddr(index) + off);
 }
 
 u64
 RioSystem::readEntryField64(u64 index, u64 off) const
 {
-    u64 value;
-    std::memcpy(&value, machine_.mem().raw() + entryAddr(index) + off,
-                8);
-    return value;
+    return support::loadLE<u64>(machine_.mem().image(),
+                                entryAddr(index) + off);
 }
 
 void
@@ -153,7 +154,12 @@ RioSystem::activate()
     // Fresh registry. (A warm reboot scans the old registry out of
     // the memory dump before this runs.)
     const auto &reg = machine_.mem().region(sim::RegionKind::Registry);
-    bus.set(reg.base, 0, reg.size);
+    {
+        // Wholesale registry initialisation is a sanctioned write.
+        sim::StoreAudit::Scope scope(machine_.audit(),
+                                     sim::RegionKind::Registry);
+        bus.set(reg.base, 0, reg.size);
+    }
 
     switch (options_.protection) {
       case os::ProtectionMode::Off:
@@ -356,7 +362,7 @@ RioSystem::endWrite(Addr page, u32 validBytes)
     if (options_.maintainChecksums) {
         const u64 n = std::min<u64>(validBytes, sim::kPageSize);
         checksum = support::checksum32(
-            std::span<const u8>(machine_.mem().raw() + page, n));
+            machine_.mem().image().subspan(page, n));
     }
 
     const Addr shadow = readEntryField64(index, L::kOffShadow);
@@ -398,9 +404,8 @@ std::optional<RegistryEntry>
 RioSystem::entryFor(Addr page) const
 {
     const u64 index = entryIndexFor(page);
-    const u8 *raw = machine_.mem().raw() + entryAddr(index);
-    return decodeRegistryEntry(
-        std::span<const u8>(raw, L::kEntrySize));
+    return decodeRegistryEntry(machine_.mem().image().subspan(
+        entryAddr(index), L::kEntrySize));
 }
 
 RioSystem::ChecksumSweep
@@ -409,9 +414,8 @@ RioSystem::verifyChecksums() const
     ChecksumSweep sweep;
     const u64 entries = bufPages_ + ubcPages_;
     for (u64 index = 0; index < entries; ++index) {
-        const u8 *raw = machine_.mem().raw() + entryAddr(index);
-        auto entry = decodeRegistryEntry(
-            std::span<const u8>(raw, L::kEntrySize));
+        auto entry = decodeRegistryEntry(machine_.mem().image().subspan(
+            entryAddr(index), L::kEntrySize));
         if (!entry || entry->checksum == 0)
             continue;
         if (entry->state == L::kStateChanging) {
@@ -420,8 +424,8 @@ RioSystem::verifyChecksums() const
         }
         ++sweep.checked;
         const u64 n = std::min<u64>(entry->size, sim::kPageSize);
-        const u32 actual = support::checksum32(std::span<const u8>(
-            machine_.mem().raw() + entry->physAddr, n));
+        const u32 actual = support::checksum32(
+            machine_.mem().image().subspan(entry->physAddr, n));
         if (actual != entry->checksum) {
             ++sweep.mismatches;
             sweep.badPages.push_back(entry->physAddr);

@@ -16,6 +16,8 @@ FaultInjector::flipBitIn(sim::RegionKind regionKind)
     auto &mem = kernel_.machine().mem();
     const auto &region = mem.region(regionKind);
     const u64 byte = region.base + rng_.below(region.size);
+    // riolint:allow(R1) hardware fault model: bit flips corrupt the
+    // physical array beneath the kernel, bypassing every check.
     mem.raw()[byte] ^= static_cast<u8>(1u << rng_.below(8));
 }
 
@@ -54,12 +56,16 @@ FaultInjector::corruptPointer()
             u64 garbage;
             if (rng_.chance(0.5)) {
                 // Offset the existing value (stale pointer).
+                // riolint:allow(R1) fault model reads the live header
+                // behind the kernel's back.
                 std::memcpy(&garbage, mem.raw() + header + field, 8);
                 garbage += (rng_.below(2) ? 8 : static_cast<u64>(-8)) *
                            (1 + rng_.below(512));
             } else {
                 garbage = rng_.next();
             }
+            // riolint:allow(R1) injected pointer corruption must not
+            // be stopped by the bus checks it exists to defeat.
             std::memcpy(mem.raw() + header + field, &garbage, 8);
             ++stats_.headersCorrupted;
             return;
@@ -104,6 +110,7 @@ FaultInjector::inject(FaultType type)
             std::max<u64>(64 << 10,
                           kernel_.heap().allocatedBytes() * 5 / 4));
         const u64 byte = region.base + rng_.below(occupied);
+        // riolint:allow(R1) hardware fault model, as above.
         mem.raw()[byte] ^= static_cast<u8>(1u << rng_.below(8));
         ++stats_.heapBitsFlipped;
         return;

@@ -19,6 +19,7 @@ T
 getField(const u8 *slot, u64 off)
 {
     T value;
+    // riolint:allow(R1) reads a registry slot in the damaged image.
     std::memcpy(&value, slot + off, sizeof(T));
     return value;
 }
@@ -27,6 +28,7 @@ template <typename T>
 void
 putField(u8 *slot, u64 off, T value)
 {
+    // riolint:allow(R1) writes corruption into the damaged image.
     std::memcpy(slot + off, &value, sizeof(T));
 }
 
@@ -48,6 +50,9 @@ PostCrashCorruptor::corrupt()
     }
 
     auto &mem = machine_.mem();
+    // riolint:allow(R1) the post-crash corruptor damages the surviving
+    // image before recovery looks at it; it deliberately bypasses the
+    // checked bus (the machine is down).
     u8 *raw = mem.raw();
     const auto &reg = mem.region(sim::RegionKind::Registry);
     const auto &buf = mem.region(sim::RegionKind::BufPool);
@@ -180,6 +185,7 @@ PostCrashCorruptor::corrupt()
         const u64 pages = rng_.between(1, 4);
         const u64 bytes =
             std::min<u64>(pages * sim::kPageSize, mem.size());
+        // riolint:allow(R1) tail-of-memory zeroing damage model.
         std::memset(raw + mem.size() - bytes, 0, bytes);
         stats.tailBytesZeroed += bytes;
         ++stats.ops;

@@ -24,7 +24,7 @@ BufferCache::init(CacheGuard &guard, sim::Disk &disk)
     poolBase_ = pool.base;
     numBufs_ = pool.pages();
     arena_ = heap_.alloc(numBufs_ * kHeaderSize);
-    lock_ = locks_.add("bufcache", arena_, numBufs_ * kHeaderSize);
+    bufLock_ = locks_.add("bufcache", arena_, numBufs_ * kHeaderSize);
     staging_.assign(sim::kPageSize, 0);
 
     auto &bus = machine_.bus();
@@ -157,7 +157,7 @@ BufferCache::Ref
 BufferCache::getblk(DevNo dev, BlockNo block)
 {
     procs_.enter(ProcId::BufGetblk);
-    LockTable::Guard guard(locks_, lock_);
+    LockTable::Guard guard(locks_, bufLock_);
     auto it = index_.find(key(dev, block));
     if (it != index_.end()) {
         ++stats_.hits;
@@ -389,7 +389,7 @@ void
 BufferCache::flushDelwri(bool sync)
 {
     procs_.enter(ProcId::BufFlush);
-    LockTable::Guard guard(locks_, lock_);
+    LockTable::Guard guard(locks_, bufLock_);
     std::vector<Ref> dirty;
     for (auto &[k, ref] : index_) {
         const u32 f = flags(ref);
@@ -422,7 +422,7 @@ BufferCache::delwriCount()
 void
 BufferCache::invalidateDev(DevNo dev)
 {
-    LockTable::Guard guard(locks_, lock_);
+    LockTable::Guard guard(locks_, bufLock_);
     for (auto it = index_.begin(); it != index_.end();) {
         const Ref ref = it->second;
         if (machine_.bus().load32(headerAddr(ref) + kOffDev) == dev) {

@@ -213,7 +213,7 @@ class BufferCache
     Addr arena_ = 0;
     Addr poolBase_ = 0;
     u64 numBufs_ = 0;
-    LockId lock_ = 0;
+    LockId bufLock_ = 0;
 
     std::unordered_map<u64, Ref> index_; ///< (dev,block) -> ref.
     std::vector<Ref> freeList_;

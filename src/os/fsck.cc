@@ -1,12 +1,12 @@
 #include "os/fsck.hh"
 
-#include <cstring>
 #include <deque>
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "os/ufs.hh"
+#include "support/bytes.hh"
 
 namespace rio::os
 {
@@ -60,43 +60,37 @@ class BlockIo
 u16
 getU16(const std::vector<u8> &block, u64 off)
 {
-    u16 value;
-    std::memcpy(&value, block.data() + off, 2);
-    return value;
+    return support::loadLE<u16>(block, off);
 }
 
 u32
 getU32(const std::vector<u8> &block, u64 off)
 {
-    u32 value;
-    std::memcpy(&value, block.data() + off, 4);
-    return value;
+    return support::loadLE<u32>(block, off);
 }
 
 u64
 getU64(const std::vector<u8> &block, u64 off)
 {
-    u64 value;
-    std::memcpy(&value, block.data() + off, 8);
-    return value;
+    return support::loadLE<u64>(block, off);
 }
 
 void
 putU16(std::vector<u8> &block, u64 off, u16 value)
 {
-    std::memcpy(block.data() + off, &value, 2);
+    support::storeLE<u16>(block, off, value);
 }
 
 void
 putU32(std::vector<u8> &block, u64 off, u32 value)
 {
-    std::memcpy(block.data() + off, &value, 4);
+    support::storeLE<u32>(block, off, value);
 }
 
 void
 putU64(std::vector<u8> &block, u64 off, u64 value)
 {
-    std::memcpy(block.data() + off, &value, 8);
+    support::storeLE<u64>(block, off, value);
 }
 
 struct InodeLoc
@@ -340,8 +334,8 @@ runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair)
                 if (drop) {
                     ++report.badDirents;
                     if (repair) {
-                        std::memset(db.data() + off, 0,
-                                    Ufs::kDirentSize);
+                        support::fillBytes(db, off,
+                                           Ufs::kDirentSize, 0);
                         io.markDirty(block);
                     }
                     continue;
@@ -365,7 +359,7 @@ runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair)
             if (repair) {
                 // Free the inode; its blocks stay unclaimed and the
                 // bitmap rebuild below reclaims them.
-                std::memset(itb.data() + loc.off, 0, Ufs::kInodeSize);
+                support::fillBytes(itb, loc.off, Ufs::kInodeSize, 0);
                 io.markDirty(loc.block);
             }
             continue;

@@ -1,11 +1,11 @@
 #include "os/journal.hh"
 
 #include <algorithm>
-#include <cstring>
 #include <map>
 
 #include "os/dma.hh"
 #include "os/ufs.hh"
+#include "support/bytes.hh"
 #include "support/checksum.hh"
 
 namespace rio::os
@@ -77,18 +77,16 @@ Journal::appendMetadata(DevNo dev, BlockNo block, Addr pageAddr)
     // Write absorption: a block updated again before the group
     // commits just refreshes its image in the buffered record.
     for (u32 i = 0; i < buffered_; ++i) {
-        u8 *existing = groupBuffer_.data() + i * 2 * Ufs::kBlockSize;
-        u32 rdev, rblk;
-        std::memcpy(&rdev, existing + 12, 4);
-        std::memcpy(&rblk, existing + 16, 4);
-        if (rdev == dev && rblk == block) {
+        const std::span<u8> existing =
+            std::span<u8>(groupBuffer_)
+                .subspan(i * 2 * Ufs::kBlockSize, 2 * Ufs::kBlockSize);
+        if (support::loadLE<u32>(existing, 12) == dev &&
+            support::loadLE<u32>(existing, 16) == block) {
             dmaRead(machine_.mem(), pageAddr,
-                    std::span<u8>(existing + Ufs::kBlockSize,
-                                  Ufs::kBlockSize));
+                    existing.subspan(Ufs::kBlockSize, Ufs::kBlockSize));
             const u32 newSum = support::checksum32(
-                std::span<const u8>(existing + Ufs::kBlockSize,
-                                    Ufs::kBlockSize));
-            std::memcpy(existing + 20, &newSum, 4);
+                existing.subspan(Ufs::kBlockSize, Ufs::kBlockSize));
+            support::storeLE<u32>(existing, 20, newSum);
             return;
         }
     }
@@ -96,18 +94,20 @@ Journal::appendMetadata(DevNo dev, BlockNo block, Addr pageAddr)
     const u64 seq = ++seq_;
     if (buffered_ == 0)
         groupFirstSeq_ = seq;
-    u8 *record =
-        groupBuffer_.data() + buffered_ * 2 * Ufs::kBlockSize;
-    std::memset(record, 0, Ufs::kBlockSize);
-    std::memcpy(record + 0, &kRecordMagic, 4);
-    std::memcpy(record + 4, &seq, 8);
-    std::memcpy(record + 12, &dev, 4);
-    std::memcpy(record + 16, &block, 4);
+    const std::span<u8> record =
+        std::span<u8>(groupBuffer_)
+            .subspan(buffered_ * 2 * Ufs::kBlockSize,
+                     2 * Ufs::kBlockSize);
+    support::fillBytes(record, 0, Ufs::kBlockSize, 0);
+    support::storeLE<u32>(record, 0, kRecordMagic);
+    support::storeLE<u64>(record, 4, seq);
+    support::storeLE<u32>(record, 12, dev);
+    support::storeLE<u32>(record, 16, block);
     dmaRead(machine_.mem(), pageAddr,
-            std::span<u8>(record + Ufs::kBlockSize, Ufs::kBlockSize));
-    const u32 checksum = support::checksum32(std::span<const u8>(
-        record + Ufs::kBlockSize, Ufs::kBlockSize));
-    std::memcpy(record + 20, &checksum, 4);
+            record.subspan(Ufs::kBlockSize, Ufs::kBlockSize));
+    const u32 checksum = support::checksum32(
+        record.subspan(Ufs::kBlockSize, Ufs::kBlockSize));
+    support::storeLE<u32>(record, 20, checksum);
 
     if (++buffered_ >= kGroupRecords)
         flushLogBuffer();
@@ -119,13 +119,10 @@ Journal::replay(sim::Disk &disk, sim::SimClock &clock)
     // Read the superblock to find the log area.
     std::vector<u8> sb(Ufs::kBlockSize, 0);
     disk.read(0, sim::kSectorsPerBlock, sb, clock);
-    u32 magic;
-    std::memcpy(&magic, sb.data() + Ufs::kSbMagic, 4);
-    if (magic != Ufs::kSuperMagic)
+    if (support::loadLE<u32>(sb, Ufs::kSbMagic) != Ufs::kSuperMagic)
         return 0;
-    u32 logStart, logBlocks;
-    std::memcpy(&logStart, sb.data() + Ufs::kSbLogStart, 4);
-    std::memcpy(&logBlocks, sb.data() + Ufs::kSbLogBlocks, 4);
+    const u32 logStart = support::loadLE<u32>(sb, Ufs::kSbLogStart);
+    const u32 logBlocks = support::loadLE<u32>(sb, Ufs::kSbLogBlocks);
     const u32 capacity = logBlocks / 2;
 
     // Collect valid records ordered by sequence number.
@@ -136,14 +133,11 @@ Journal::replay(sim::Disk &disk, sim::SimClock &clock)
             static_cast<SectorNo>(logStart + slot * 2) *
             sim::kSectorsPerBlock;
         disk.read(sector, 2 * sim::kSectorsPerBlock, rec, clock);
-        u32 recMagic, blkno, checksum;
-        u64 seq;
-        std::memcpy(&recMagic, rec.data() + 0, 4);
-        std::memcpy(&seq, rec.data() + 4, 8);
-        std::memcpy(&blkno, rec.data() + 16, 4);
-        std::memcpy(&checksum, rec.data() + 20, 4);
-        if (recMagic != kRecordMagic)
+        if (support::loadLE<u32>(rec, 0) != kRecordMagic)
             continue;
+        const u64 seq = support::loadLE<u64>(rec, 4);
+        const u32 blkno = support::loadLE<u32>(rec, 16);
+        const u32 checksum = support::loadLE<u32>(rec, 20);
         const u32 actual = support::checksum32(
             std::span<const u8>(rec.data() + Ufs::kBlockSize,
                                 Ufs::kBlockSize));

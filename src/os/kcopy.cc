@@ -52,6 +52,9 @@ KCopy::offByOneExtra()
                 std::max<u64>(64 << 10,
                               heap_->allocatedBytes() * 5 / 4));
         }
+        // riolint:allow(R1) fault-injection scribble: the modelled
+        // off-by-one corrupts memory behind the kernel's back, so it
+        // must not go through the checked bus.
         machine_.mem().raw()[heap.base + faultRng_.below(span)] =
             static_cast<u8>(faultRng_.next());
         return 0;

@@ -1,6 +1,6 @@
 #include "os/kernel.hh"
 
-#include <cstring>
+#include "support/bytes.hh"
 
 namespace rio::os
 {
@@ -73,9 +73,8 @@ Kernel::boot(CacheGuard *guard, bool format)
     // Peek the clean flag (device-level read, as boot code does).
     std::vector<u8> sb(Ufs::kBlockSize, 0);
     disk.read(0, sim::kSectorsPerBlock, sb, machine_.clock());
-    u32 magic, clean;
-    std::memcpy(&magic, sb.data() + Ufs::kSbMagic, 4);
-    std::memcpy(&clean, sb.data() + Ufs::kSbClean, 4);
+    const u32 magic = support::loadLE<u32>(sb, Ufs::kSbMagic);
+    const u32 clean = support::loadLE<u32>(sb, Ufs::kSbClean);
 
     journalReplayed_ = 0;
     fsck_.reset();

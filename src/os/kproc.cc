@@ -119,6 +119,8 @@ KProcTable::enter(ProcId proc)
 {
     trace_[enters_ % kTraceSize] = {machine_.clock().now(), proc};
     ++enters_;
+    if (auto *audit = machine_.audit())
+        audit->setActor(procName(proc)); // Store provenance.
     auto &queue = armed_[static_cast<std::size_t>(proc)];
     EnterResult result;
     while (!queue.empty()) {

@@ -21,7 +21,7 @@ Ubc::init(CacheGuard &guard, BackingStore &backing)
     poolBase_ = pool.base;
     numPages_ = pool.pages();
     arena_ = heap_.alloc(numPages_ * kHeaderSize);
-    lock_ = locks_.add("ubc", arena_, numPages_ * kHeaderSize);
+    ubcLock_ = locks_.add("ubc", arena_, numPages_ * kHeaderSize);
 
     auto &bus = machine_.bus();
     index_.clear();
@@ -145,7 +145,7 @@ Ubc::Ref
 Ubc::getPage(DevNo dev, InodeNo ino, u64 pageIdx, bool fill)
 {
     procs_.enter(ProcId::UbcLookup);
-    LockTable::Guard lockGuard(locks_, lock_);
+    LockTable::Guard lockGuard(locks_, ubcLock_);
     auto &bus = machine_.bus();
 
     auto it = index_.find(pageKey(dev, ino, pageIdx));

@@ -174,7 +174,7 @@ class Ubc
     Addr arena_ = 0;
     Addr poolBase_ = 0;
     u64 numPages_ = 0;
-    LockId lock_ = 0;
+    LockId ubcLock_ = 0;
 
     std::unordered_map<u64, Ref> index_;
     std::unordered_map<u64, std::unordered_set<Ref>> byFile_;

@@ -1,9 +1,9 @@
 #include "os/ufs.hh"
 
 #include <cassert>
-#include <cstring>
 
 #include "os/dma.hh"
+#include "support/bytes.hh"
 
 namespace rio::os
 {
@@ -48,7 +48,7 @@ computeGeometry(u32 totalBlocks)
 void
 putU32(std::vector<u8> &block, u64 off, u32 value)
 {
-    std::memcpy(block.data() + off, &value, 4);
+    support::storeLE<u32>(block, off, value);
 }
 
 void
@@ -115,10 +115,9 @@ Ufs::mkfs(sim::Disk &disk, sim::SimClock &clock)
     for (u32 tb = 0; tb < geo.itBlocks; ++tb) {
         if (tb == 0) {
             const u64 off = kRootIno * kInodeSize;
-            const u16 type = static_cast<u16>(FileType::Dir);
-            const u16 nlink = 1;
-            std::memcpy(block.data() + off + 0, &type, 2);
-            std::memcpy(block.data() + off + 2, &nlink, 2);
+            support::storeLE<u16>(block, off + 0,
+                                  static_cast<u16>(FileType::Dir));
+            support::storeLE<u16>(block, off + 2, 1); // nlink
         }
         writeBlock(geo.itStart + tb);
     }

@@ -7,9 +7,11 @@
  */
 
 #include <algorithm>
-#include <cstring>
+#include <array>
+#include <span>
 
 #include "os/ufs.hh"
+#include "support/bytes.hh"
 
 namespace rio::os
 {
@@ -19,14 +21,16 @@ namespace
 
 /** Serialize a directory entry into a 64-byte slot image. */
 void
-makeDirent(u8 *slot, std::string_view name, InodeNo ino, FileType type)
+makeDirent(std::span<u8> slot, std::string_view name, InodeNo ino,
+           FileType type)
 {
-    std::memset(slot, 0, Ufs::kDirentSize);
-    const u32 inoVal = ino;
-    std::memcpy(slot + 0, &inoVal, 4);
+    support::fillBytes(slot, 0, Ufs::kDirentSize, 0);
+    support::storeLE<u32>(slot, 0, ino);
     slot[4] = static_cast<u8>(type);
     slot[5] = static_cast<u8>(name.size());
-    std::memcpy(slot + 6, name.data(), name.size());
+    support::copyBytes(
+        slot, 6,
+        {reinterpret_cast<const u8 *>(name.data()), name.size()});
 }
 
 struct RawDirent
@@ -37,16 +41,15 @@ struct RawDirent
 };
 
 RawDirent
-parseDirent(const u8 *slot)
+parseDirent(std::span<const u8> slot)
 {
     RawDirent entry;
-    u32 inoVal;
-    std::memcpy(&inoVal, slot + 0, 4);
-    entry.ino = inoVal;
+    entry.ino = support::loadLE<u32>(slot, 0);
     entry.type = static_cast<FileType>(slot[4]);
     const u8 len = std::min<u8>(slot[5],
                                 static_cast<u8>(Ufs::kNameMax));
-    entry.name.assign(reinterpret_cast<const char *>(slot + 6), len);
+    entry.name.assign(
+        reinterpret_cast<const char *>(slot.data() + 6), len);
     return entry;
 }
 
@@ -109,7 +112,9 @@ Ufs::dirLookup(InodeNo dir, std::string_view name)
         buf_.brelse(ref);
         for (u64 off = 0; off + kDirentSize <= bytes;
              off += kDirentSize) {
-            const RawDirent entry = parseDirent(scratch_.data() + off);
+            const RawDirent entry = parseDirent(
+                std::span<const u8>(scratch_).subspan(
+                    off, kDirentSize));
             if (entry.ino != 0 && entry.name == name)
                 return entry.ino;
         }
@@ -147,7 +152,9 @@ Ufs::dirEnter(InodeNo dir, std::string_view name, InodeNo ino,
         buf_.brelse(ref);
         for (u64 off = 0; off + kDirentSize <= bytes;
              off += kDirentSize) {
-            const RawDirent entry = parseDirent(scratch_.data() + off);
+            const RawDirent entry = parseDirent(
+                std::span<const u8>(scratch_).subspan(
+                    off, kDirentSize));
             if (entry.ino == 0) {
                 if (holeOffset == ~0ull)
                     holeOffset = fb * kBlockSize + off;
@@ -157,7 +164,7 @@ Ufs::dirEnter(InodeNo dir, std::string_view name, InodeNo ino,
         }
     }
 
-    u8 slot[kDirentSize];
+    std::array<u8, kDirentSize> slot;
     makeDirent(slot, name, ino, type);
 
     const u64 target =
@@ -174,14 +181,14 @@ Ufs::dirEnter(InodeNo dir, std::string_view name, InodeNo ino,
         {
             BufferCache::WriteWindow window(buf_, ref);
             window.zero(0, kBlockSize);
-            window.copyIn(0, std::span<const u8>(slot, kDirentSize));
+            window.copyIn(0, std::span<const u8>(slot));
         }
         buf_.releaseWrite(ref);
     } else {
         const auto ref = buf_.bread(dev_, block.value());
         {
             BufferCache::WriteWindow window(buf_, ref);
-            window.copyIn(off, std::span<const u8>(slot, kDirentSize));
+            window.copyIn(off, std::span<const u8>(slot));
         }
         buf_.releaseWrite(ref);
     }
@@ -218,7 +225,9 @@ Ufs::dirRemove(InodeNo dir, std::string_view name)
         buf_.readData(ref, 0, std::span<u8>(scratch_.data(), bytes));
         for (u64 off = 0; off + kDirentSize <= bytes;
              off += kDirentSize) {
-            const RawDirent entry = parseDirent(scratch_.data() + off);
+            const RawDirent entry = parseDirent(
+                std::span<const u8>(scratch_).subspan(
+                    off, kDirentSize));
             if (entry.ino != 0 && entry.name == name) {
                 {
                     BufferCache::WriteWindow window(buf_, ref);
@@ -269,7 +278,9 @@ Ufs::dirList(InodeNo dir)
         buf_.brelse(ref);
         for (u64 off = 0; off + kDirentSize <= bytes;
              off += kDirentSize) {
-            RawDirent entry = parseDirent(scratch_.data() + off);
+            RawDirent entry = parseDirent(
+                std::span<const u8>(scratch_).subspan(
+                    off, kDirentSize));
             if (entry.ino != 0) {
                 out.push_back(
                     {std::move(entry.name), entry.ino, entry.type});

@@ -1,0 +1,110 @@
+#include "sim/audit.hh"
+
+#include <sstream>
+
+namespace rio::sim
+{
+
+StoreAudit::StoreAudit(const PhysMem &mem) : mem_(mem)
+{
+    protected_[idx(RegionKind::Registry)] = true;
+    protected_[idx(RegionKind::BufPool)] = true;
+    protected_[idx(RegionKind::UbcPool)] = true;
+}
+
+void
+StoreAudit::protect(RegionKind kind)
+{
+    protected_[idx(kind)] = true;
+}
+
+void
+StoreAudit::unprotect(RegionKind kind)
+{
+    protected_[idx(kind)] = false;
+}
+
+bool
+StoreAudit::isProtected(RegionKind kind) const
+{
+    return protected_[idx(kind)];
+}
+
+void
+StoreAudit::openWindow(Addr page)
+{
+    openPages_.insert(page & ~(kPageSize - 1));
+}
+
+void
+StoreAudit::closeWindow(Addr page)
+{
+    openPages_.erase(page & ~(kPageSize - 1));
+}
+
+void
+StoreAudit::resetWindows()
+{
+    openPages_.clear();
+    allowDepth_.fill(0);
+}
+
+void
+StoreAudit::allowRegion(RegionKind kind)
+{
+    ++allowDepth_[idx(kind)];
+}
+
+void
+StoreAudit::disallowRegion(RegionKind kind)
+{
+    if (allowDepth_[idx(kind)] > 0)
+        --allowDepth_[idx(kind)];
+}
+
+u64
+StoreAudit::storesInto(RegionKind kind) const
+{
+    return storesByRegion_[idx(kind)];
+}
+
+void
+StoreAudit::clearViolations()
+{
+    violations_.clear();
+    suppressed_ = 0;
+}
+
+void
+StoreAudit::onStore(Addr pa, u64 len, SimNs now)
+{
+    ++audited_;
+    const Region *region = mem_.regionFor(pa);
+    if (region == nullptr)
+        return; // Off the region map; translate() already policed it.
+    storesByRegion_[idx(region->kind)] += 1;
+    if (!protected_[idx(region->kind)])
+        return;
+    if (allowDepth_[idx(region->kind)] > 0)
+        return;
+    if (openPages_.count(pa & ~(kPageSize - 1)) != 0)
+        return;
+    if (violations_.size() >= kMaxViolations) {
+        ++suppressed_;
+        return;
+    }
+    violations_.push_back(
+        {pa, len, region->kind, std::string(actor_), now});
+}
+
+std::string
+StoreAudit::describe(const AuditViolation &v)
+{
+    std::ostringstream os;
+    os << "wild store: " << v.len << " byte(s) at 0x" << std::hex
+       << v.pa << std::dec << " into " << regionKindName(v.region)
+       << " by " << v.actor << " at t=" << v.when << "ns";
+    return os.str();
+}
+
+} // namespace rio::sim

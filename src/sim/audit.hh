@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Dynamic store audit: the run-time counterpart of the riolint static
+ * pass (tools/riolint).
+ *
+ * Rio's protection hardware stops wild stores into the file cache; a
+ * simulation bug that writes those regions through MemBus without
+ * following the open-page protocol would silently corrupt the very
+ * state whose survival we are measuring, and static analysis cannot
+ * see stores whose target address is computed at run time. With the
+ * audit attached (RIO_AUDIT build option, or Machine::enableStoreAudit
+ * at run time), every store the bus performs is cross-checked against
+ * the PhysMem region map: a store into a protected region (Registry
+ * and the file-cache pools by default) that is not inside an open
+ * write window or an explicit allow scope is recorded as a violation,
+ * attributed to the kernel procedure that issued it — the
+ * simulation-level analogue of Rio's protection fault.
+ */
+
+#ifndef RIO_SIM_AUDIT_HH
+#define RIO_SIM_AUDIT_HH
+
+#include <array>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/physmem.hh"
+#include "support/types.hh"
+
+namespace rio::sim
+{
+
+/** One wild store caught by the audit. */
+struct AuditViolation
+{
+    Addr pa = 0;            ///< Physical address of the store.
+    u64 len = 0;            ///< Bytes the store covered.
+    RegionKind region = RegionKind::Reserved;
+    std::string actor;      ///< Kernel procedure issuing the store.
+    SimNs when = 0;         ///< Simulated time of the store.
+};
+
+class StoreAudit
+{
+  public:
+    explicit StoreAudit(const PhysMem &mem);
+
+    /** @{ Provenance: the kernel procedure currently executing
+     * (wired up by os::KProcTable::enter). */
+    void setActor(const char *name) { actor_ = name; }
+    const char *actor() const { return actor_; }
+    /** @} */
+
+    /** @{ Which region kinds require a window or allow scope to
+     * store into. Default: Registry, BufPool, UbcPool. */
+    void protect(RegionKind kind);
+    void unprotect(RegionKind kind);
+    bool isProtected(RegionKind kind) const;
+    /** @} */
+
+    /** @{ Page-granular write windows — opened and closed by the
+     * cache-guard protocol around every legitimate file-cache write
+     * (RioSystem::openPage / closePage). */
+    void openWindow(Addr page);
+    void closeWindow(Addr page);
+    /** Drop all windows (machine reset: the protocol restarts). */
+    void resetWindows();
+    /** @} */
+
+    /** @{ Region-wide allow scopes, for protocol phases that write a
+     * protected region wholesale (registry zeroing at activation). */
+    void allowRegion(RegionKind kind);
+    void disallowRegion(RegionKind kind);
+    /** @} */
+
+    /** Cross-check one store against the region map. Called by
+     * MemBus with the translated physical address. */
+    void onStore(Addr pa, u64 len, SimNs now);
+
+    const std::vector<AuditViolation> &violations() const
+    {
+        return violations_;
+    }
+    u64 storesAudited() const { return audited_; }
+    u64 storesInto(RegionKind kind) const;
+    u64 violationsSuppressed() const { return suppressed_; }
+
+    void clearViolations();
+
+    /** Human-readable one-line report for a violation. */
+    static std::string describe(const AuditViolation &v);
+
+    /** RAII allow scope; tolerates a null audit (audit disabled). */
+    class Scope
+    {
+      public:
+        Scope(StoreAudit *audit, RegionKind kind)
+            : audit_(audit), kind_(kind)
+        {
+            if (audit_)
+                audit_->allowRegion(kind_);
+        }
+        ~Scope()
+        {
+            if (audit_)
+                audit_->disallowRegion(kind_);
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        StoreAudit *audit_;
+        RegionKind kind_;
+    };
+
+  private:
+    static constexpr std::size_t kNumKinds = 8;
+    /** Cap on retained violations: fault campaigns deliberately fire
+     * thousands of wild stores; keep the first ones, count the rest. */
+    static constexpr std::size_t kMaxViolations = 1024;
+
+    static std::size_t idx(RegionKind kind)
+    {
+        return static_cast<std::size_t>(kind);
+    }
+
+    const PhysMem &mem_;
+    const char *actor_ = "(boot)";
+    std::array<bool, kNumKinds> protected_{};
+    std::array<u32, kNumKinds> allowDepth_{};
+    std::array<u64, kNumKinds> storesByRegion_{};
+    std::unordered_set<Addr> openPages_;
+    std::vector<AuditViolation> violations_;
+    u64 audited_ = 0;
+    u64 suppressed_ = 0;
+};
+
+} // namespace rio::sim
+
+#endif // RIO_SIM_AUDIT_HH

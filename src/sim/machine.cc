@@ -29,6 +29,19 @@ Machine::Machine(const MachineConfig &config)
         throw std::runtime_error(
             "Machine: swap partition cannot hold a memory dump");
     }
+#ifdef RIO_AUDIT
+    enableStoreAudit();
+#endif
+}
+
+StoreAudit &
+Machine::enableStoreAudit()
+{
+    if (!audit_) {
+        audit_ = std::make_unique<StoreAudit>(mem_);
+        bus_.setAudit(audit_.get());
+    }
+    return *audit_;
 }
 
 void
@@ -61,6 +74,8 @@ Machine::reset(ResetKind kind)
     }
     clock_.advance(kFirmwareBootNs);
     crashed_ = false;
+    if (audit_)
+        audit_->resetWindows(); // The write-window protocol restarts.
 }
 
 } // namespace rio::sim

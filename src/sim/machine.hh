@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "sim/audit.hh"
 #include "sim/clock.hh"
 #include "sim/config.hh"
 #include "sim/cpu.hh"
@@ -58,6 +59,14 @@ class Machine
     support::Rng &rng() { return rng_; }
 
     /**
+     * The dynamic store audit, or nullptr when not enabled. Enabled
+     * at construction in RIO_AUDIT builds; enableStoreAudit() turns
+     * it on at run time in any build.
+     */
+    StoreAudit *audit() { return audit_.get(); }
+    StoreAudit &enableStoreAudit();
+
+    /**
      * Crash the machine: apply disk-queue loss/tearing and raise the
      * exception that unwinds to the harness.
      */
@@ -88,6 +97,7 @@ class Machine
     MemBus bus_;
     Disk disk_;
     Disk swap_;
+    std::unique_ptr<StoreAudit> audit_;
     bool crashed_ = false;
     u64 crashCount_ = 0;
     u64 lostQueuedWrites_ = 0;

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "sim/audit.hh"
+
 namespace rio::sim
 {
 
@@ -104,6 +106,13 @@ MemBus::patchCheck(Addr pa, u64 store_count)
         protectionFault(pa);
 }
 
+void
+MemBus::auditStore(Addr pa, u64 len)
+{
+    if (audit_)
+        audit_->onStore(pa, len, clock_.now());
+}
+
 u8
 MemBus::load8(Addr va)
 {
@@ -152,6 +161,7 @@ MemBus::store8(Addr va, u8 value)
     clock_.advance(kernelNs(costs_.memAccessNs));
     const Addr pa = translate(va, true);
     patchCheck(pa, 1);
+    auditStore(pa, 1);
     mem_.raw()[pa] = value;
 }
 
@@ -163,6 +173,7 @@ MemBus::store16(Addr va, u16 value)
     clock_.advance(kernelNs(costs_.memAccessNs));
     const Addr pa = translate(va, true);
     patchCheck(pa, 1);
+    auditStore(pa, 2);
     std::memcpy(mem_.raw() + pa, &value, 2);
 }
 
@@ -174,6 +185,7 @@ MemBus::store32(Addr va, u32 value)
     clock_.advance(kernelNs(costs_.memAccessNs));
     const Addr pa = translate(va, true);
     patchCheck(pa, 1);
+    auditStore(pa, 4);
     std::memcpy(mem_.raw() + pa, &value, 4);
 }
 
@@ -185,6 +197,7 @@ MemBus::store64(Addr va, u64 value)
     clock_.advance(kernelNs(costs_.memAccessNs));
     const Addr pa = translate(va, true);
     patchCheck(pa, 1);
+    auditStore(pa, 8);
     std::memcpy(mem_.raw() + pa, &value, 8);
 }
 
@@ -219,6 +232,7 @@ MemBus::writeBytes(Addr va, std::span<const u8> in)
         const u64 chunk = std::min<u64>(in_page, in.size() - done);
         const Addr pa = translate(cur, true);
         patchCheck(pa, (chunk + 7) / 8);
+        auditStore(pa, chunk);
         std::memcpy(mem_.raw() + pa, in.data() + done, chunk);
         done += chunk;
     }
@@ -241,6 +255,7 @@ MemBus::copy(Addr dst, Addr src, u64 n)
         const Addr spa = translate(s, false);
         const Addr dpa = translate(d, true);
         patchCheck(dpa, (chunk + 7) / 8);
+        auditStore(dpa, chunk);
         std::memmove(mem_.raw() + dpa, mem_.raw() + spa, chunk);
         done += chunk;
     }
@@ -261,6 +276,7 @@ MemBus::set(Addr dst, u8 value, u64 n)
         const u64 chunk = std::min<u64>(in_page, n - done);
         const Addr pa = translate(cur, true);
         patchCheck(pa, (chunk + 7) / 8);
+        auditStore(pa, chunk);
         std::memset(mem_.raw() + pa, value, chunk);
         done += chunk;
     }

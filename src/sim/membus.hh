@@ -37,6 +37,8 @@
 namespace rio::sim
 {
 
+class StoreAudit;
+
 /**
  * Hook implemented by rio::core::Protection. Supplies the
  * code-patching address check and observes protection stops (the
@@ -104,6 +106,10 @@ class MemBus
 
     void setPolicy(ProtectionPolicy *policy) { policy_ = policy; }
 
+    /** Attach/detach the dynamic store audit (RIO_AUDIT). */
+    void setAudit(StoreAudit *audit) { audit_ = audit; }
+    StoreAudit *audit() { return audit_; }
+
     const BusStats &stats() const { return stats_; }
     void resetStats() { stats_ = BusStats{}; }
 
@@ -117,6 +123,7 @@ class MemBus
     [[noreturn]] void protectionFault(Addr va);
     Addr translateMapped(Addr va, bool write, Addr orig);
     void patchCheck(Addr pa, u64 store_count);
+    void auditStore(Addr pa, u64 len);
 
     PhysMem &mem_;
     PageTable &pt_;
@@ -125,6 +132,7 @@ class MemBus
     SimClock &clock_;
     const CostModel &costs_;
     ProtectionPolicy *policy_ = nullptr;
+    StoreAudit *audit_ = nullptr;
     bool codePatching_ = false;
     BusStats stats_;
 };

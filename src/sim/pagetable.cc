@@ -1,14 +1,17 @@
 #include "sim/pagetable.hh"
 
 #include <cassert>
-#include <cstring>
+
+#include "support/bytes.hh"
 
 namespace rio::sim
 {
 
 PageTable::PageTable(PhysMem &mem)
-    : mem_(mem),
-      base_(mem.region(RegionKind::PageTables).base),
+    // riolint:allow(R1) the MMU owns the PTE slab; all walks below go
+    // through the bounds-checked span carved out here.
+    : slots_(mem.raw() + mem.region(RegionKind::PageTables).base,
+             mem.numPages() * 8),
       numPages_(mem.numPages())
 {
     assert(numPages_ * 8 <= mem.region(RegionKind::PageTables).size);
@@ -30,17 +33,14 @@ Pte
 PageTable::read(u64 vpn) const
 {
     assert(vpn < numPages_);
-    u64 word;
-    std::memcpy(&word, mem_.raw() + entryAddr(vpn), 8);
-    return Pte::decode(word);
+    return Pte::decode(support::loadLE<u64>(slots_, vpn * 8));
 }
 
 void
 PageTable::write(u64 vpn, const Pte &pte)
 {
     assert(vpn < numPages_);
-    const u64 word = pte.encode();
-    std::memcpy(mem_.raw() + entryAddr(vpn), &word, 8);
+    support::storeLE<u64>(slots_, vpn * 8, pte.encode());
 }
 
 void

@@ -14,6 +14,8 @@
 #ifndef RIO_SIM_PAGETABLE_HH
 #define RIO_SIM_PAGETABLE_HH
 
+#include <span>
+
 #include "sim/physmem.hh"
 #include "support/types.hh"
 
@@ -74,10 +76,9 @@ class PageTable
     void setWritable(u64 vpn, bool writable);
 
   private:
-    Addr entryAddr(u64 vpn) const { return base_ + vpn * 8; }
-
-    PhysMem &mem_;
-    Addr base_;
+    /** The PTE slab inside the PageTables region; every walk goes
+     * through bounds-checked accessors over this span. */
+    std::span<u8> slots_;
     u64 numPages_;
 };
 

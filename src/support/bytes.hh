@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Checked little-endian field accessors for host-side byte buffers
+ * (disk blocks, log records, registry images).
+ *
+ * These replace bare std::memcpy field parsing: every access is
+ * bounds-checked against the buffer span, so a corrupted offset read
+ * out of an on-disk structure cannot silently read or scribble past
+ * the end of a staging buffer. riolint rule R1 forbids raw memcpy
+ * field parsing outside the simulator core; code that shuffles
+ * structure fields goes through these helpers instead.
+ */
+
+#ifndef RIO_SUPPORT_BYTES_HH
+#define RIO_SUPPORT_BYTES_HH
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+
+#include "support/types.hh"
+
+namespace rio::support
+{
+
+namespace detail
+{
+[[noreturn]] inline void
+byteRangeError(u64 off, u64 n, u64 size)
+{
+    throw std::out_of_range(
+        "byte access [" + std::to_string(off) + ", " +
+        std::to_string(off + n) + ") outside buffer of " +
+        std::to_string(size) + " bytes");
+}
+
+inline void
+checkRange(u64 off, u64 n, u64 size)
+{
+    if (off > size || n > size - off)
+        byteRangeError(off, n, size);
+}
+} // namespace detail
+
+/** Load a little-endian scalar field at @p off; throws on overrun. */
+template <typename T>
+inline T
+loadLE(std::span<const u8> buf, u64 off)
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_integral_v<T>);
+    detail::checkRange(off, sizeof(T), buf.size());
+    T value;
+    std::memcpy(&value, buf.data() + off, sizeof(T));
+    return value;
+}
+
+/** Store a little-endian scalar field at @p off; throws on overrun. */
+template <typename T>
+inline void
+storeLE(std::span<u8> buf, u64 off, T value)
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_integral_v<T>);
+    detail::checkRange(off, sizeof(T), buf.size());
+    std::memcpy(buf.data() + off, &value, sizeof(T));
+}
+
+/** Fill @p n bytes at @p off with @p value; throws on overrun. */
+inline void
+fillBytes(std::span<u8> buf, u64 off, u64 n, u8 value)
+{
+    detail::checkRange(off, n, buf.size());
+    std::memset(buf.data() + off, value, n);
+}
+
+/** Copy @p src into @p dst at @p off; throws on overrun. */
+inline void
+copyBytes(std::span<u8> dst, u64 off, std::span<const u8> src)
+{
+    detail::checkRange(off, src.size(), dst.size());
+    std::memcpy(dst.data() + off, src.data(), src.size());
+}
+
+} // namespace rio::support
+
+#endif // RIO_SUPPORT_BYTES_HH

@@ -48,7 +48,7 @@ const char *osStatusName(OsStatus status);
  * value is only accessible after checking ok(), enforced by assert.
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /* implicit */ Result(T value)
@@ -61,7 +61,7 @@ class Result
     }
 
     bool ok() const { return status_ == OsStatus::Ok; }
-    OsStatus status() const { return status_; }
+    [[nodiscard]] OsStatus status() const { return status_; }
 
     const T &
     value() const
@@ -84,14 +84,14 @@ class Result
 
 /** Specialization for operations that produce no value. */
 template <>
-class Result<void>
+class [[nodiscard]] Result<void>
 {
   public:
     Result() : status_(OsStatus::Ok) {}
     /* implicit */ Result(OsStatus status) : status_(status) {}
 
     bool ok() const { return status_ == OsStatus::Ok; }
-    OsStatus status() const { return status_; }
+    [[nodiscard]] OsStatus status() const { return status_; }
 
   private:
     OsStatus status_;

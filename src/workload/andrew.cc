@@ -66,9 +66,9 @@ Andrew::step()
     switch (phase_) {
       case Phase::MakeDirs: {
         if (cursor_ == 0)
-            vfs.mkdir(genRoot_);
+            tolerate(vfs.mkdir(genRoot_));
         if (cursor_ < config_.dirs) {
-            vfs.mkdir(dirPath(cursor_));
+            tolerate(vfs.mkdir(dirPath(cursor_)));
             ++cursor_;
         }
         if (cursor_ >= config_.dirs)
@@ -82,8 +82,8 @@ Andrew::step()
         auto fd = vfs.open(proc_, filePath(index, ".c"),
                            os::OpenFlags::writeOnly());
         if (fd.ok()) {
-            vfs.write(proc_, fd.value(), bytes);
-            vfs.close(proc_, fd.value());
+            tolerate(vfs.write(proc_, fd.value(), bytes));
+            tolerate(vfs.close(proc_, fd.value()));
         }
         if (++cursor_ >= config_.files)
             advancePhase();
@@ -92,9 +92,9 @@ Andrew::step()
       case Phase::StatPass: {
         // find/ls/du: stat every file, list every directory.
         if (cursor_ < config_.dirs) {
-            vfs.readdir(dirPath(cursor_));
+            tolerate(vfs.readdir(dirPath(cursor_)));
         } else {
-            vfs.stat(filePath(cursor_ - config_.dirs, ".c"));
+            tolerate(vfs.stat(filePath(cursor_ - config_.dirs, ".c")));
         }
         if (++cursor_ >= config_.dirs + config_.files)
             advancePhase();
@@ -107,8 +107,8 @@ Andrew::step()
                            os::OpenFlags::readOnly());
         if (fd.ok()) {
             std::vector<u8> bytes(fileBytes(index));
-            vfs.read(proc_, fd.value(), bytes);
-            vfs.close(proc_, fd.value());
+            tolerate(vfs.read(proc_, fd.value(), bytes));
+            tolerate(vfs.close(proc_, fd.value()));
         }
         if (++cursor_ >= config_.files)
             advancePhase();
@@ -120,8 +120,8 @@ Andrew::step()
                            os::OpenFlags::readOnly());
         if (fd.ok()) {
             std::vector<u8> bytes(fileBytes(index));
-            vfs.read(proc_, fd.value(), bytes);
-            vfs.close(proc_, fd.value());
+            tolerate(vfs.read(proc_, fd.value(), bytes));
+            tolerate(vfs.close(proc_, fd.value()));
         }
         // The compiler itself: CPU-bound (dominates Andrew).
         clock.advance(config_.compileNsPerFile);
@@ -134,10 +134,10 @@ Andrew::step()
                  off += config_.objectWriteChunk) {
                 const u64 n = std::min<u64>(config_.objectWriteChunk,
                                             object.size() - off);
-                vfs.write(proc_, ofd.value(),
-                          std::span<const u8>(object.data() + off, n));
+                tolerate(vfs.write(proc_, ofd.value(),
+                          std::span<const u8>(object.data() + off, n)));
             }
-            vfs.close(proc_, ofd.value());
+            tolerate(vfs.close(proc_, ofd.value()));
         }
         if (++cursor_ >= config_.files)
             advancePhase();
@@ -146,14 +146,14 @@ Andrew::step()
       case Phase::Cleanup: {
         // Remove this generation's tree so loops don't fill the disk.
         if (cursor_ < config_.files) {
-            vfs.unlink(filePath(cursor_, ".c"));
-            vfs.unlink(filePath(cursor_, ".o"));
+            tolerate(vfs.unlink(filePath(cursor_, ".c")));
+            tolerate(vfs.unlink(filePath(cursor_, ".o")));
             ++cursor_;
         } else if (cursor_ < config_.files + config_.dirs) {
-            vfs.rmdir(dirPath(cursor_ - config_.files));
+            tolerate(vfs.rmdir(dirPath(cursor_ - config_.files)));
             ++cursor_;
         } else {
-            vfs.rmdir(genRoot_);
+            tolerate(vfs.rmdir(genRoot_));
             advancePhase();
         }
         return true;

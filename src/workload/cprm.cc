@@ -42,9 +42,9 @@ CpRm::buildSourceTree()
         bytesLeft -= size;
     }
 
-    vfs.mkdir(config_.srcRoot);
+    tolerate(vfs.mkdir(config_.srcRoot));
     for (const std::string &dir : relDirs_)
-        vfs.mkdir(config_.srcRoot + dir);
+        tolerate(vfs.mkdir(config_.srcRoot + dir));
     std::vector<u8> bytes;
     for (const SourceFile &file : files_) {
         bytes.resize(file.bytes);
@@ -52,8 +52,8 @@ CpRm::buildSourceTree()
         auto fd = vfs.open(proc_, config_.srcRoot + file.relPath,
                            os::OpenFlags::writeOnly());
         if (fd.ok()) {
-            vfs.write(proc_, fd.value(), bytes);
-            vfs.close(proc_, fd.value());
+            tolerate(vfs.write(proc_, fd.value(), bytes));
+            tolerate(vfs.close(proc_, fd.value()));
         }
     }
 
@@ -73,9 +73,9 @@ CpRm::run()
 
     // --- cp -r ----------------------------------------------------
     const double copyStart = clock.seconds();
-    vfs.mkdir(config_.dstRoot);
+    tolerate(vfs.mkdir(config_.dstRoot));
     for (const std::string &dir : relDirs_)
-        vfs.mkdir(config_.dstRoot + dir);
+        tolerate(vfs.mkdir(config_.dstRoot + dir));
     std::vector<u8> chunk(sim::kPageSize);
     for (const SourceFile &file : files_) {
         clock.advance(config_.fileCpuNs);
@@ -89,17 +89,17 @@ CpRm::run()
                 auto n = vfs.read(proc_, in.value(), chunk);
                 if (!n.ok() || n.value() == 0)
                     break;
-                vfs.write(proc_, out.value(),
+                tolerate(vfs.write(proc_, out.value(),
                           std::span<const u8>(chunk.data(),
-                                              n.value()));
+                                              n.value())));
                 if (n.value() < chunk.size())
                     break;
             }
         }
         if (in.ok())
-            vfs.close(proc_, in.value());
+            tolerate(vfs.close(proc_, in.value()));
         if (out.ok())
-            vfs.close(proc_, out.value());
+            tolerate(vfs.close(proc_, out.value()));
     }
     result.copySeconds = clock.seconds() - copyStart;
 
@@ -107,11 +107,11 @@ CpRm::run()
     const double rmStart = clock.seconds();
     for (const SourceFile &file : files_) {
         clock.advance(config_.rmCpuNs);
-        vfs.unlink(config_.dstRoot + file.relPath);
+        tolerate(vfs.unlink(config_.dstRoot + file.relPath));
     }
     for (auto it = relDirs_.rbegin(); it != relDirs_.rend(); ++it)
-        vfs.rmdir(config_.dstRoot + *it);
-    vfs.rmdir(config_.dstRoot);
+        tolerate(vfs.rmdir(config_.dstRoot + *it));
+    tolerate(vfs.rmdir(config_.dstRoot));
     result.rmSeconds = clock.seconds() - rmStart;
     return result;
 }

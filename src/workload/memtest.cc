@@ -15,12 +15,12 @@ void
 MemTest::setup()
 {
     auto &vfs = kernel_->vfs();
-    vfs.mkdir(config_.root);
+    tolerate(vfs.mkdir(config_.root));
     model_.mkdir(config_.root);
     for (u32 i = 0; i < config_.numDirs; ++i) {
         const std::string dir =
             config_.root + "/d" + std::to_string(i);
-        vfs.mkdir(dir);
+        tolerate(vfs.mkdir(dir));
         model_.mkdir(dir);
     }
     // Duplicate pairs: two identical copies of files the workload
@@ -36,9 +36,9 @@ MemTest::setup()
                                os::OpenFlags::writeOnly());
             if (!fd.ok())
                 continue;
-            vfs.write(proc_, fd.value(), bytes);
-            vfs.fsync(proc_, fd.value());
-            vfs.close(proc_, fd.value());
+            tolerate(vfs.write(proc_, fd.value(), bytes));
+            tolerate(vfs.fsync(proc_, fd.value()));
+            tolerate(vfs.close(proc_, fd.value()));
             model_.writeFile(path, 0, bytes);
         }
     }
@@ -78,8 +78,8 @@ MemTest::writeAt(const std::string &path, u64 off, u64 len, bool append)
     auto n = append ? vfs.write(proc_, fd.value(), bytes)
                     : vfs.pwrite(proc_, fd.value(), off, bytes);
     if (n.ok() && config_.fsyncEveryWrite)
-        vfs.fsync(proc_, fd.value());
-    vfs.close(proc_, fd.value());
+        tolerate(vfs.fsync(proc_, fd.value()));
+    tolerate(vfs.close(proc_, fd.value()));
     if (!n.ok() || n.value() != len) {
         tainted_.insert(path);
         return;
@@ -166,7 +166,7 @@ MemTest::doReadVerify()
     }
     std::vector<u8> bytes(expected->size());
     auto n = vfs.read(proc_, fd.value(), bytes);
-    vfs.close(proc_, fd.value());
+    tolerate(vfs.close(proc_, fd.value()));
     if (!n.ok() || n.value() != expected->size() ||
         !std::equal(expected->begin(), expected->end(),
                     bytes.begin())) {
@@ -327,12 +327,12 @@ MemTest::verify(os::Kernel &kernel) const
                 "size mismatch: " + path + " expected " +
                 std::to_string(expected.size()) + " got " +
                 std::to_string(st.value().size));
-            vfs.close(proc, fd.value());
+            tolerate(vfs.close(proc, fd.value()));
             continue;
         }
         std::vector<u8> bytes(expected.size());
         auto n = vfs.read(proc, fd.value(), bytes);
-        vfs.close(proc, fd.value());
+        tolerate(vfs.close(proc, fd.value()));
         if (!n.ok() || n.value() != expected.size()) {
             ++result.readErrors;
             result.details.push_back("read error: " + path);
@@ -381,7 +381,7 @@ MemTest::verify(os::Kernel &kernel) const
                 break;
             }
             auto n = vfs.read(proc, fd.value(), bytes);
-            vfs.close(proc, fd.value());
+            tolerate(vfs.close(proc, fd.value()));
             if (!n.ok()) {
                 ok = false;
                 break;

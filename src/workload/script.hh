@@ -18,10 +18,24 @@
 #include <vector>
 
 #include "sim/clock.hh"
+#include "support/errors.hh"
 #include "support/types.hh"
 
 namespace rio::wl
 {
+
+/**
+ * Consume a syscall result the workload deliberately survives:
+ * racing scripts creating the same directory, NoSpace mid-run,
+ * best-effort cleanup. Result is [[nodiscard]], so a tolerated
+ * error is always explicit at the call site.
+ */
+template <typename T>
+inline void
+tolerate(const support::Result<T> &result)
+{
+    (void)result;
+}
 
 class Script
 {

@@ -46,8 +46,8 @@ SdetScript::step()
 
     switch (stage_) {
       case Stage::Setup:
-        vfs.mkdir(config_.root); // First script wins; rest harmless.
-        vfs.mkdir(config_.root + "/u" + std::to_string(id_));
+        tolerate(vfs.mkdir(config_.root)); // First script wins; rest harmless.
+        tolerate(vfs.mkdir(config_.root + "/u" + std::to_string(id_)));
         nextStage();
         return true;
       case Stage::Create: {
@@ -61,10 +61,10 @@ SdetScript::step()
                  off += config_.writeChunk) {
                 const u64 n = std::min<u64>(config_.writeChunk,
                                             bytes.size() - off);
-                vfs.write(proc_, fd.value(),
-                          std::span<const u8>(bytes.data() + off, n));
+                tolerate(vfs.write(proc_, fd.value(),
+                          std::span<const u8>(bytes.data() + off, n)));
             }
-            vfs.close(proc_, fd.value());
+            tolerate(vfs.close(proc_, fd.value()));
         }
         if (++cursor_ >= config_.filesPerIteration)
             nextStage();
@@ -79,17 +79,17 @@ SdetScript::step()
                                os::OpenFlags::readWrite());
             if (fd.ok()) {
                 std::vector<u8> bytes(st.value().size);
-                vfs.read(proc_, fd.value(), bytes);
+                tolerate(vfs.read(proc_, fd.value(), bytes));
                 fillPattern(bytes, rng_.next());
                 for (u64 off = 0; off < bytes.size();
                      off += config_.writeChunk) {
                     const u64 n = std::min<u64>(
                         config_.writeChunk, bytes.size() - off);
-                    vfs.pwrite(
+                    tolerate(vfs.pwrite(
                         proc_, fd.value(), off,
-                        std::span<const u8>(bytes.data() + off, n));
+                        std::span<const u8>(bytes.data() + off, n)));
                 }
-                vfs.close(proc_, fd.value());
+                tolerate(vfs.close(proc_, fd.value()));
             }
         }
         if (++cursor_ >= config_.filesPerIteration)
@@ -104,8 +104,8 @@ SdetScript::step()
                 vfs.open(proc_, path, os::OpenFlags::readOnly());
             if (fd.ok()) {
                 std::vector<u8> bytes(st.value().size);
-                vfs.read(proc_, fd.value(), bytes);
-                vfs.close(proc_, fd.value());
+                tolerate(vfs.read(proc_, fd.value(), bytes));
+                tolerate(vfs.close(proc_, fd.value()));
             }
         }
         if (++cursor_ >= config_.filesPerIteration)
@@ -118,12 +118,12 @@ SdetScript::step()
         nextStage();
         return true;
       case Stage::Remove:
-        vfs.unlink(filePath(cursor_));
+        tolerate(vfs.unlink(filePath(cursor_)));
         if (++cursor_ >= config_.filesPerIteration)
             nextStage();
         return true;
       case Stage::Teardown:
-        vfs.rmdir(config_.root + "/u" + std::to_string(id_));
+        tolerate(vfs.rmdir(config_.root + "/u" + std::to_string(id_)));
         nextStage();
         return true;
       case Stage::Done:

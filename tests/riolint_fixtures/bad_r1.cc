@@ -1,0 +1,18 @@
+// riolint fixture: R1 checked-store violations. Never compiled —
+// the test feeds this file to the linter and expects R1 to fire.
+#include <cstring>
+
+namespace rio::os
+{
+
+void
+scribbleOnCache(sim::PhysMem &mem, const u8 *src)
+{
+    // Unchecked host pointer into the memory image.
+    u8 *image = mem.raw();
+    // Raw copy bypassing MemBus and the protection check.
+    memcpy(image + 4096, src, 64);
+    memset(image, 0, 128);
+}
+
+} // namespace rio::os

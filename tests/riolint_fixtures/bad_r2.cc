@@ -1,0 +1,25 @@
+// riolint fixture: R2 determinism violations.
+#include <chrono>
+#include <cstdlib>
+
+namespace rio::os
+{
+
+u64
+pickVictim(u64 range)
+{
+    // libc randomness: not reproducible from the campaign seed.
+    return static_cast<u64>(rand()) % range;
+}
+
+u64
+stampNow()
+{
+    // Host wall clock leaking into simulated state.
+    const auto now = std::chrono::system_clock::now();
+    return static_cast<u64>(time(nullptr)) +
+           static_cast<u64>(
+               now.time_since_epoch().count());
+}
+
+} // namespace rio::os

@@ -1,0 +1,18 @@
+// riolint fixture: R3 lock-order violation. The canonical order is
+// fsLock_ < bufLock_ < ubcLock_; this function inverts it.
+namespace rio::os
+{
+
+void
+Ufs::badNesting()
+{
+    LockTable::Guard outer(locks_, ubcLock_);
+    doWork();
+    {
+        // Acquires a lower-ranked lock while holding a higher one.
+        LockTable::Guard inner(locks_, fsLock_);
+        doMoreWork();
+    }
+}
+
+} // namespace rio::os

@@ -1,0 +1,20 @@
+// riolint fixture: R4 error-flow violations — a status-returning
+// function without [[nodiscard]], and a call site that drops the
+// result on the floor.
+namespace rio::os
+{
+
+OsStatus flushQuietly(Dev dev);
+
+Result<u64> writeBlock(Dev dev, BlockNo block);
+
+void
+sloppyCaller(Dev dev)
+{
+    // Statement-position call; the status vanishes.
+    flushQuietly(dev);
+    if (dev != 0)
+        writeBlock(dev, 7);
+}
+
+} // namespace rio::os

@@ -1,0 +1,13 @@
+// riolint fixture: R5 registry-mutation violation. Only the
+// shadow-page protocol entry points in core/rio.cc may touch
+// registry entries; this helper lives elsewhere and writes anyway.
+namespace rio::os
+{
+
+void
+patchRegistryBehindRiosBack(u64 index)
+{
+    writeEntryField32(index, 0x18, 1); // Set the dirty bit directly.
+}
+
+} // namespace rio::os

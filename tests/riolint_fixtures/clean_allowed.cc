@@ -1,0 +1,17 @@
+// riolint fixture: a violation carrying a riolint:allow annotation.
+// The finding must surface in the report but not count as a
+// violation.
+#include <cstring>
+
+namespace rio::os
+{
+
+void
+annotatedScribble(u8 *image, const u8 *src)
+{
+    // riolint:allow(R1) fixture: documents the annotation form —
+    // the comment may span lines; the allow binds to the next code.
+    memcpy(image, src, 64);
+}
+
+} // namespace rio::os

@@ -13,6 +13,7 @@
 #include "os/fsck.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -41,13 +42,13 @@ struct DiskImage
         kernel->boot(nullptr, true);
         os::Process proc(1);
         auto &vfs = kernel->vfs();
-        vfs.mkdir("/d");
+        rio::wl::tolerate(vfs.mkdir("/d"));
         for (int i = 0; i < 4; ++i) {
             auto fd = vfs.open(proc, "/d/f" + std::to_string(i),
                                os::OpenFlags::writeOnly());
             std::vector<u8> data(9000, static_cast<u8>(i + 1));
-            vfs.write(proc, fd.value(), data);
-            vfs.close(proc, fd.value());
+            rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+            rio::wl::tolerate(vfs.close(proc, fd.value()));
         }
         geo = kernel->ufs().geometry();
         dirIno = kernel->ufs().namei("/d").value();

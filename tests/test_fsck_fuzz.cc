@@ -18,6 +18,7 @@
 #include "os/kernel.hh"
 #include "sim/machine.hh"
 #include "support/rng.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -55,9 +56,9 @@ TEST_P(FsckFuzz, RepairedFilesystemIsAlwaysUsable)
     os::Process proc(1);
     auto &vfs = kernel->vfs();
     support::Rng rng(seed * 39119 + 7);
-    vfs.mkdir("/t");
+    rio::wl::tolerate(vfs.mkdir("/t"));
     for (int i = 0; i < 12; ++i) {
-        vfs.mkdir("/t/d" + std::to_string(i % 3));
+        rio::wl::tolerate(vfs.mkdir("/t/d" + std::to_string(i % 3)));
         auto fd =
             vfs.open(proc,
                      "/t/d" + std::to_string(i % 3) + "/f" +
@@ -66,8 +67,8 @@ TEST_P(FsckFuzz, RepairedFilesystemIsAlwaysUsable)
         if (fd.ok()) {
             std::vector<u8> data(rng.between(100, 20000));
             rng.fill(data);
-            vfs.write(proc, fd.value(), data);
-            vfs.close(proc, fd.value());
+            rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+            rio::wl::tolerate(vfs.close(proc, fd.value()));
         }
     }
     const auto geo = kernel->ufs().geometry();
@@ -137,7 +138,7 @@ TEST_P(FsckFuzz, RepairedFilesystemIsAlwaysUsable)
         if (!sub.ok())
             continue;
         for (const auto &inner : sub.value())
-            vfs2.stat("/" + entry.name + "/" + inner.name);
+            rio::wl::tolerate(vfs2.stat("/" + entry.name + "/" + inner.name));
     }
 
     // A second fsck pass finds nothing left to fix.

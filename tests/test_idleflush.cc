@@ -13,6 +13,7 @@
 #include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -53,8 +54,8 @@ struct Rig
         for (int i = 0; i < 20; ++i) {
             auto fd = vfs.open(proc, "/f" + std::to_string(i),
                                os::OpenFlags::writeOnly());
-            vfs.write(proc, fd.value(), data);
-            vfs.close(proc, fd.value());
+            rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+            rio::wl::tolerate(vfs.close(proc, fd.value()));
         }
     }
 
@@ -62,7 +63,7 @@ struct Rig
     idlePeriod()
     {
         machine.clock().advance(31ull * sim::kNsPerSec);
-        kernel->vfs().stat("/f0"); // Any syscall ticks the daemon.
+        rio::wl::tolerate(kernel->vfs().stat("/f0")); // Any syscall ticks the daemon.
         kernel->fsDisk().drain(machine.clock());
     }
 
@@ -98,7 +99,7 @@ TEST(RioIdleFlush, SyncStillReturnsInstantly)
     auto fd = rig.kernel->vfs().open(rig.proc, "/f0",
                                      os::OpenFlags::readOnly());
     const SimNs before = rig.machine.clock().now();
-    rig.kernel->vfs().fsync(rig.proc, fd.value());
+    rio::wl::tolerate(rig.kernel->vfs().fsync(rig.proc, fd.value()));
     EXPECT_LT(rig.machine.clock().now() - before, 100'000u);
 }
 

@@ -17,6 +17,7 @@
 #include "sim/machine.hh"
 #include "workload/andrew.hh"
 #include "workload/memtest.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -147,12 +148,12 @@ TEST(Integration, JournalWrapCheckpointsAndStaysConsistent)
     for (int round = 0; round < 30; ++round) {
         for (int i = 0; i < 10; ++i) {
             const std::string path = "/w" + std::to_string(i);
-            vfs.unlink(path);
+            rio::wl::tolerate(vfs.unlink(path));
             auto fd = vfs.open(proc, path,
                                os::OpenFlags::writeOnly());
             if (fd.ok()) {
-                vfs.write(proc, fd.value(), data);
-                vfs.close(proc, fd.value());
+                rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+                rio::wl::tolerate(vfs.close(proc, fd.value()));
             }
         }
     }
@@ -260,7 +261,7 @@ TEST(Integration, AndrewSurvivesRioCrashMidCompile)
     auto fd = rebooted.vfs().open(proc, "/andrew/dir0/src0.c",
                                   os::OpenFlags::readOnly());
     ASSERT_TRUE(fd.ok());
-    rebooted.vfs().read(proc, fd.value(), actual);
+    rio::wl::tolerate(rebooted.vfs().read(proc, fd.value(), actual));
     EXPECT_EQ(actual, expected);
 }
 

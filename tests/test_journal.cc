@@ -12,6 +12,7 @@
 
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -44,8 +45,8 @@ TEST(JournalTest, AppendsGoToLogAreaOnFlush)
         auto fd = vfs.open(proc, "/j" + std::to_string(i),
                            os::OpenFlags::writeOnly());
         std::vector<u8> data(100, 1);
-        vfs.write(proc, fd.value(), data);
-        vfs.close(proc, fd.value());
+        rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+        rio::wl::tolerate(vfs.close(proc, fd.value()));
     }
     EXPECT_GT(kernel.journal().recordsWritten(), 0u);
     kernel.journal().flushLogBuffer();
@@ -83,8 +84,8 @@ TEST(JournalTest, AbsorptionCoalescesSameBlock)
     auto fd = vfs.open(proc, "/same", os::OpenFlags::writeOnly());
     std::vector<u8> chunk(512, 2);
     for (int i = 0; i < 50; ++i)
-        vfs.write(proc, fd.value(), chunk);
-    vfs.close(proc, fd.value());
+        rio::wl::tolerate(vfs.write(proc, fd.value(), chunk));
+    rio::wl::tolerate(vfs.close(proc, fd.value()));
     const u64 records = kernel.journal().recordsWritten() - before;
     EXPECT_LT(records, 25u);
 }
@@ -97,13 +98,13 @@ TEST(JournalTest, ReplayRestoresLoggedMetadataAfterCrash)
     kernel->boot(nullptr, true);
     os::Process proc(1);
     auto &vfs = kernel->vfs();
-    vfs.mkdir("/dir");
+    rio::wl::tolerate(vfs.mkdir("/dir"));
     for (int i = 0; i < 20; ++i) {
         auto fd = vfs.open(proc, "/dir/f" + std::to_string(i),
                            os::OpenFlags::writeOnly());
         std::vector<u8> data(3000, static_cast<u8>(i));
-        vfs.write(proc, fd.value(), data);
-        vfs.close(proc, fd.value());
+        rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+        rio::wl::tolerate(vfs.close(proc, fd.value()));
     }
     // Push the journal and let the queued log writes land — but the
     // in-place metadata stays delayed (that's the point).
@@ -146,8 +147,8 @@ TEST(JournalTest, TornRecordIsSkippedOnReplay)
     auto fd = kernel->vfs().open(proc, "/x",
                                  os::OpenFlags::writeOnly());
     std::vector<u8> data(100, 3);
-    kernel->vfs().write(proc, fd.value(), data);
-    kernel->vfs().close(proc, fd.value());
+    rio::wl::tolerate(kernel->vfs().write(proc, fd.value(), data));
+    rio::wl::tolerate(kernel->vfs().close(proc, fd.value()));
     kernel->journal().flushLogBuffer();
     kernel->fsDisk().drain(machine.clock());
 

@@ -11,6 +11,7 @@
 
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -45,9 +46,9 @@ TEST(Mfs, NeverTouchesTheRealDisk)
     for (int i = 0; i < 10; ++i) {
         auto fd = vfs.open(proc, "/m" + std::to_string(i),
                            os::OpenFlags::writeOnly());
-        vfs.write(proc, fd.value(), data);
-        vfs.fsync(proc, fd.value());
-        vfs.close(proc, fd.value());
+        rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+        rio::wl::tolerate(vfs.fsync(proc, fd.value()));
+        rio::wl::tolerate(vfs.close(proc, fd.value()));
     }
     vfs.sync();
     EXPECT_EQ(machine.disk().stats().sectorsWritten, 0u);
@@ -63,14 +64,14 @@ TEST(Mfs, FullFunctionalityOnRamDisk)
     os::Process proc(1);
     auto &vfs = kernel.vfs();
 
-    vfs.mkdir("/tmp");
+    rio::wl::tolerate(vfs.mkdir("/tmp"));
     std::vector<u8> data(30000);
     for (std::size_t i = 0; i < data.size(); ++i)
         data[i] = static_cast<u8>(i * 3);
     auto fd = vfs.open(proc, "/tmp/scratch",
                        os::OpenFlags::writeOnly());
     ASSERT_TRUE(vfs.write(proc, fd.value(), data).ok());
-    vfs.close(proc, fd.value());
+    rio::wl::tolerate(vfs.close(proc, fd.value()));
     ASSERT_TRUE(vfs.rename("/tmp/scratch", "/tmp/renamed").ok());
     ASSERT_TRUE(vfs.symlink("/tmp/renamed", "/tmp/sl").ok());
 
@@ -94,7 +95,7 @@ TEST(Mfs, RamDiskOpsAreFree)
     // policy override costs ~nothing on the RAM disk.
     std::vector<u8> data(8192, 1);
     auto fd = vfs.open(proc, "/x", os::OpenFlags::writeOnly());
-    vfs.write(proc, fd.value(), data);
+    rio::wl::tolerate(vfs.write(proc, fd.value(), data));
     const SimNs before = machine.clock().now();
     kernel.ufs().fsyncFile(vfs.stat("/x").value().ino, true);
     const SimNs cost = machine.clock().now() - before;
@@ -111,8 +112,8 @@ TEST(Mfs, CrashLosesEverything)
     std::vector<u8> data(1000, 0x61);
     auto fd = kernel->vfs().open(proc, "/gone",
                                  os::OpenFlags::writeOnly());
-    kernel->vfs().write(proc, fd.value(), data);
-    kernel->vfs().close(proc, fd.value());
+    rio::wl::tolerate(kernel->vfs().write(proc, fd.value(), data));
+    rio::wl::tolerate(kernel->vfs().close(proc, fd.value()));
 
     try {
         machine.crash(sim::CrashCause::KernelPanic, "mfs crash");

@@ -23,6 +23,7 @@
 #include "os/kernel.hh"
 #include "sim/machine.hh"
 #include "workload/memtest.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -187,8 +188,8 @@ class PolicyOrderingProperty : public ::testing::TestWithParam<u64>
             auto fd = vfs.open(proc, "/f" + std::to_string(i % 20),
                                os::OpenFlags::writeOnly());
             if (fd.ok()) {
-                vfs.write(proc, fd.value(), data);
-                vfs.close(proc, fd.value());
+                rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+                rio::wl::tolerate(vfs.close(proc, fd.value()));
             }
         }
         kernel.fsDisk().drain(machine.clock());

@@ -31,6 +31,7 @@
 #include "sim/machine.hh"
 #include "support/checksum.hh"
 #include "support/rng.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -90,17 +91,17 @@ TEST_P(RegistryFuzz, HardenedRecoverySurvivesACorruptedImage)
     support::Rng wrng(seed * 48271 + 11);
     for (int i = 0; i < 10; ++i) {
         const std::string dir = "/d" + std::to_string(i % 4);
-        vfs.mkdir(dir);
+        rio::wl::tolerate(vfs.mkdir(dir));
         auto fd = vfs.open(proc, dir + "/f" + std::to_string(i),
                            os::OpenFlags::writeOnly());
         if (fd.ok()) {
             std::vector<u8> data(wrng.between(200, 24000));
             wrng.fill(data);
-            vfs.write(proc, fd.value(), data);
-            vfs.close(proc, fd.value());
+            rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+            rio::wl::tolerate(vfs.close(proc, fd.value()));
         }
         if (i == 6)
-            vfs.unlink("/d2/f6");
+            rio::wl::tolerate(vfs.unlink("/d2/f6"));
     }
 
     try {
@@ -252,7 +253,7 @@ TEST_P(RegistryFuzz, HardenedRecoverySurvivesACorruptedImage)
         if (!sub.ok())
             continue;
         for (const auto &inner : sub.value())
-            vfs2.stat("/" + entry.name + "/" + inner.name);
+            rio::wl::tolerate(vfs2.stat("/" + entry.name + "/" + inner.name));
     }
 }
 

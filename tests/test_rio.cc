@@ -13,6 +13,7 @@
 #include "core/rio.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -61,8 +62,8 @@ TEST(RioRegistry, TracksDataPagesWithIdentity)
     auto &vfs = rig.kernel->vfs();
     auto fd = vfs.open(rig.proc, "/file", os::OpenFlags::writeOnly());
     std::vector<u8> data(10000, 0x21);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     const InodeNo ino = vfs.stat("/file").value().ino;
 
     // Find the page caching offset 8192..16383 and check its entry.
@@ -84,8 +85,8 @@ TEST(RioRegistry, ChecksumMatchesPageContents)
     auto &vfs = rig.kernel->vfs();
     auto fd = vfs.open(rig.proc, "/c", os::OpenFlags::writeOnly());
     std::vector<u8> data(4096, 0x37);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
 
     auto sweep = rig.rio->verifyChecksums();
     EXPECT_GT(sweep.checked, 0u);
@@ -99,8 +100,8 @@ TEST(RioRegistry, ChecksumCatchesDirectCorruption)
     auto fd = vfs.open(rig.proc, "/victim",
                        os::OpenFlags::writeOnly());
     std::vector<u8> data(4096, 0x44);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
 
     const InodeNo ino = vfs.stat("/victim").value().ino;
     auto ref = rig.kernel->ubc().getPage(1, ino, 0, false);
@@ -120,14 +121,14 @@ TEST(RioRegistry, InvalidateFreesEntry)
     auto &vfs = rig.kernel->vfs();
     auto fd = vfs.open(rig.proc, "/gone", os::OpenFlags::writeOnly());
     std::vector<u8> data(100, 0x55);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     const InodeNo ino = vfs.stat("/gone").value().ino;
     auto ref = rig.kernel->ubc().getPage(1, ino, 0, false);
     const Addr page = rig.kernel->ubc().pagePhys(ref);
     ASSERT_TRUE(rig.rio->entryFor(page).has_value());
 
-    vfs.unlink("/gone");
+    rio::wl::tolerate(vfs.unlink("/gone"));
     EXPECT_FALSE(rig.rio->entryFor(page).has_value());
 }
 
@@ -169,7 +170,7 @@ TEST(RioProtection, LegitimateWritesStillWork)
     std::vector<u8> data(20000, 0x61);
     auto fd = vfs.open(rig.proc, "/ok", os::OpenFlags::writeOnly());
     ASSERT_TRUE(vfs.write(rig.proc, fd.value(), data).ok());
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     std::vector<u8> out(20000);
     auto rfd = vfs.open(rig.proc, "/ok", os::OpenFlags::readOnly());
     ASSERT_TRUE(vfs.read(rig.proc, rfd.value(), out).ok());
@@ -200,7 +201,7 @@ TEST(RioProtection, CodePatchingAllowsNormalOperation)
     std::vector<u8> data(10000, 0x71);
     auto fd = vfs.open(rig.proc, "/cp", os::OpenFlags::writeOnly());
     ASSERT_TRUE(vfs.write(rig.proc, fd.value(), data).ok());
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     EXPECT_EQ(rig.rio->stats().protectionSaves, 0u);
 }
 
@@ -227,7 +228,7 @@ TEST(RioShadow, MetadataUpdateUsesShadow)
 {
     RioRig rig(os::ProtectionMode::VmTlb);
     const u64 shadowsBefore = rig.rio->stats().shadowCopies;
-    rig.kernel->vfs().mkdir("/newdir");
+    rio::wl::tolerate(rig.kernel->vfs().mkdir("/newdir"));
     EXPECT_GT(rig.rio->stats().shadowCopies, shadowsBefore);
 }
 
@@ -263,8 +264,8 @@ TEST(RioRegistry, ParserSkipsCorruptEntries)
     auto &vfs = rig.kernel->vfs();
     auto fd = vfs.open(rig.proc, "/p", os::OpenFlags::writeOnly());
     std::vector<u8> data(100, 1);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
 
     auto clean = core::parseRegistry(rig.machine.mem().image(),
                                      rig.machine.mem());
@@ -305,8 +306,8 @@ TEST(RioRegistry, ProtectionOverheadIsSmall)
         for (int i = 0; i < 50; ++i) {
             auto fd = vfs.open(rig.proc, "/f" + std::to_string(i),
                                os::OpenFlags::writeOnly());
-            vfs.write(rig.proc, fd.value(), data);
-            vfs.close(rig.proc, fd.value());
+            rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+            rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
         }
         return static_cast<double>(rig.machine.clock().now() - start);
     };

@@ -16,6 +16,7 @@
 #include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -56,8 +57,8 @@ TEST(Transplant, MemoryBoardMovesToAnotherChassis)
         data[i] = static_cast<u8>(i * 7 + 3);
     auto fd = kernel->vfs().open(proc, "/payload",
                                  os::OpenFlags::writeOnly());
-    kernel->vfs().write(proc, fd.value(), data);
-    kernel->vfs().close(proc, fd.value());
+    rio::wl::tolerate(kernel->vfs().write(proc, fd.value(), data));
+    rio::wl::tolerate(kernel->vfs().close(proc, fd.value()));
 
     // The system board fails mid-flight (not even a clean panic).
     try {

@@ -10,6 +10,7 @@
 
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -72,8 +73,8 @@ TEST(VfsTest, SequentialReadAdvancesOffset)
     std::vector<u8> data(100);
     for (std::size_t i = 0; i < data.size(); ++i)
         data[i] = static_cast<u8>(i);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
 
     auto rfd = vfs.open(rig.proc, "/seq", os::OpenFlags::readOnly());
     std::vector<u8> part(40);
@@ -91,20 +92,20 @@ TEST(VfsTest, AppendModeWritesAtEof)
     auto &vfs = rig.kernel.vfs();
     std::vector<u8> a(10, 1), b(10, 2);
     auto fd = vfs.open(rig.proc, "/app", os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), a);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), a));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
 
     auto flags = os::OpenFlags::readWrite();
     flags.append = true;
     auto afd = vfs.open(rig.proc, "/app", flags);
-    vfs.write(rig.proc, afd.value(), b);
-    vfs.close(rig.proc, afd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, afd.value(), b));
+    rio::wl::tolerate(vfs.close(rig.proc, afd.value()));
 
     auto st = vfs.stat("/app");
     EXPECT_EQ(st.value().size, 20u);
     std::vector<u8> out(20);
     auto rfd = vfs.open(rig.proc, "/app", os::OpenFlags::readOnly());
-    vfs.read(rig.proc, rfd.value(), out);
+    rio::wl::tolerate(vfs.read(rig.proc, rfd.value(), out));
     EXPECT_EQ(out[9], 1);
     EXPECT_EQ(out[10], 2);
 }
@@ -115,10 +116,10 @@ TEST(VfsTest, TruncOnOpenEmptiesFile)
     auto &vfs = rig.kernel.vfs();
     std::vector<u8> data(5000, 7);
     auto fd = vfs.open(rig.proc, "/t", os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     auto fd2 = vfs.open(rig.proc, "/t", os::OpenFlags::writeOnly());
-    vfs.close(rig.proc, fd2.value());
+    rio::wl::tolerate(vfs.close(rig.proc, fd2.value()));
     EXPECT_EQ(vfs.stat("/t").value().size, 0u);
 }
 
@@ -137,7 +138,7 @@ TEST(VfsTest, ClosedFdCannotBeUsed)
     Rig rig(os::SystemPreset::UfsDelayAll);
     auto &vfs = rig.kernel.vfs();
     auto fd = vfs.open(rig.proc, "/c", os::OpenFlags::writeOnly());
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     std::vector<u8> buf(8, 0);
     EXPECT_EQ(vfs.write(rig.proc, fd.value(), buf).status(),
               support::OsStatus::BadFd);
@@ -147,7 +148,7 @@ TEST(VfsTest, WriteToReadOnlyFdDenied)
 {
     Rig rig(os::SystemPreset::UfsDelayAll);
     auto &vfs = rig.kernel.vfs();
-    vfs.open(rig.proc, "/ro", os::OpenFlags::writeOnly());
+    rio::wl::tolerate(vfs.open(rig.proc, "/ro", os::OpenFlags::writeOnly()));
     auto fd = vfs.open(rig.proc, "/ro", os::OpenFlags::readOnly());
     std::vector<u8> buf(8, 0);
     EXPECT_EQ(vfs.write(rig.proc, fd.value(), buf).status(),
@@ -178,12 +179,12 @@ TEST(VfsTest, LseekRepositions)
     for (std::size_t i = 0; i < data.size(); ++i)
         data[i] = static_cast<u8>(i);
     auto fd = vfs.open(rig.proc, "/lk", os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     auto rfd = vfs.open(rig.proc, "/lk", os::OpenFlags::readOnly());
-    vfs.lseek(rig.proc, rfd.value(), 60);
+    rio::wl::tolerate(vfs.lseek(rig.proc, rfd.value(), 60));
     std::vector<u8> out(10);
-    vfs.read(rig.proc, rfd.value(), out);
+    rio::wl::tolerate(vfs.read(rig.proc, rfd.value(), out));
     EXPECT_EQ(out[0], 60);
 }
 
@@ -191,9 +192,9 @@ TEST(VfsTest, ReaddirListsEntries)
 {
     Rig rig(os::SystemPreset::UfsDelayAll);
     auto &vfs = rig.kernel.vfs();
-    vfs.mkdir("/dir");
-    vfs.open(rig.proc, "/dir/a", os::OpenFlags::writeOnly());
-    vfs.mkdir("/dir/sub");
+    rio::wl::tolerate(vfs.mkdir("/dir"));
+    rio::wl::tolerate(vfs.open(rig.proc, "/dir/a", os::OpenFlags::writeOnly()));
+    rio::wl::tolerate(vfs.mkdir("/dir/sub"));
     auto listing = vfs.readdir("/dir");
     ASSERT_TRUE(listing.ok());
     EXPECT_EQ(listing.value().size(), 2u);
@@ -203,12 +204,12 @@ TEST(VfsTest, StatReportsTypeAndSize)
 {
     Rig rig(os::SystemPreset::UfsDelayAll);
     auto &vfs = rig.kernel.vfs();
-    vfs.mkdir("/sd");
+    rio::wl::tolerate(vfs.mkdir("/sd"));
     auto st = vfs.stat("/sd");
     EXPECT_EQ(st.value().type, os::FileType::Dir);
     auto fd = vfs.open(rig.proc, "/sf", os::OpenFlags::writeOnly());
     std::vector<u8> data(123, 0);
-    vfs.write(rig.proc, fd.value(), data);
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
     EXPECT_EQ(vfs.stat("/sf").value().size, 123u);
     EXPECT_EQ(vfs.stat("/sf").value().type, os::FileType::Regular);
 }
@@ -224,7 +225,7 @@ TEST(VfsPolicy, WriteThroughOnWriteHitsDiskPerWrite)
     auto fd = vfs.open(rig.proc, "/w", os::OpenFlags::writeOnly());
     std::vector<u8> data(4096, 1);
     const u64 before = rig.kernel.fsDisk().stats().sectorsWritten;
-    vfs.write(rig.proc, fd.value(), data);
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
     EXPECT_GT(rig.kernel.fsDisk().stats().sectorsWritten, before);
 }
 
@@ -234,10 +235,10 @@ TEST(VfsPolicy, WriteThroughOnCloseDefersUntilClose)
     auto &vfs = rig.kernel.vfs();
     auto fd = vfs.open(rig.proc, "/wc", os::OpenFlags::writeOnly());
     std::vector<u8> data(4096, 1);
-    vfs.write(rig.proc, fd.value(), data);
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
     const u64 afterWrite =
         rig.kernel.fsDisk().stats().sectorsWritten;
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     EXPECT_GT(rig.kernel.fsDisk().stats().sectorsWritten, afterWrite);
 }
 
@@ -249,7 +250,7 @@ TEST(VfsPolicy, Async64KTriggersBackgroundWrite)
     std::vector<u8> chunk(16 * 1024, 1);
     u64 queuedBefore = rig.kernel.fsDisk().stats().queuedWrites;
     for (int i = 0; i < 5; ++i) // 80 KB > 64 KB threshold.
-        vfs.write(rig.proc, fd.value(), chunk);
+        rio::wl::tolerate(vfs.write(rig.proc, fd.value(), chunk));
     EXPECT_GT(rig.kernel.fsDisk().stats().queuedWrites, queuedBefore);
 }
 
@@ -259,12 +260,12 @@ TEST(VfsPolicy, RioNeverWritesAndFsyncIsInstant)
     auto &vfs = rig.kernel.vfs();
     auto fd = vfs.open(rig.proc, "/rio", os::OpenFlags::writeOnly());
     std::vector<u8> data(128 * 1024, 1);
-    vfs.write(rig.proc, fd.value(), data);
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
     const SimNs before = rig.machine.clock().now();
-    vfs.fsync(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.fsync(rig.proc, fd.value()));
     vfs.sync();
     const SimNs fsyncCost = rig.machine.clock().now() - before;
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     EXPECT_EQ(rig.kernel.fsDisk().stats().sectorsWritten, 0u);
     EXPECT_EQ(rig.kernel.fsDisk().stats().queuedWrites, 0u);
     // fsync/sync return immediately (just syscall entry cost).
@@ -286,8 +287,8 @@ TEST(VfsPolicy, RioAdminOverrideReenablesReliabilityWrites)
     auto &vfs = kernel.vfs();
     auto fd = vfs.open(proc, "/adm", os::OpenFlags::writeOnly());
     std::vector<u8> data(8192, 1);
-    vfs.write(proc, fd.value(), data);
-    vfs.fsync(proc, fd.value());
+    rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+    rio::wl::tolerate(vfs.fsync(proc, fd.value()));
     EXPECT_GT(kernel.fsDisk().stats().sectorsWritten, 0u);
 }
 
@@ -297,10 +298,10 @@ TEST(VfsPolicy, NonSequentialWriteTriggersFlushInDefaultUfs)
     auto &vfs = rig.kernel.vfs();
     auto fd = vfs.open(rig.proc, "/nsq", os::OpenFlags::writeOnly());
     std::vector<u8> chunk(1024, 1);
-    vfs.write(rig.proc, fd.value(), chunk);
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), chunk));
     const u64 before = rig.kernel.fsDisk().stats().queuedWrites;
-    vfs.pwrite(rig.proc, fd.value(), 100000, chunk); // Non-seq.
-    vfs.pwrite(rig.proc, fd.value(), 5000, chunk);   // Non-seq again.
+    rio::wl::tolerate(vfs.pwrite(rig.proc, fd.value(), 100000, chunk)); // Non-seq.
+    rio::wl::tolerate(vfs.pwrite(rig.proc, fd.value(), 5000, chunk));   // Non-seq again.
     EXPECT_GT(rig.kernel.fsDisk().stats().queuedWrites, before);
 }
 
@@ -310,14 +311,14 @@ TEST(VfsPolicy, UpdateDaemonFlushesDelayedData)
     auto &vfs = rig.kernel.vfs();
     auto fd = vfs.open(rig.proc, "/dd", os::OpenFlags::writeOnly());
     std::vector<u8> data(8192, 1);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     EXPECT_EQ(rig.kernel.fsDisk().stats().sectorsWritten, 0u);
     EXPECT_EQ(rig.kernel.fsDisk().stats().queuedWrites, 0u);
 
     // Let 30+ simulated seconds pass; any syscall ticks the daemon.
     rig.machine.clock().advance(31ull * sim::kNsPerSec);
-    vfs.stat("/dd");
+    rio::wl::tolerate(vfs.stat("/dd"));
     rig.kernel.fsDisk().drain(rig.machine.clock());
     EXPECT_GT(rig.kernel.fsDisk().stats().sectorsWritten, 0u);
 }
@@ -329,8 +330,8 @@ TEST(VfsTest, SymlinkAndReadlinkSyscalls)
     auto fd = vfs.open(rig.proc, "/target",
                        os::OpenFlags::writeOnly());
     std::vector<u8> data(100, 0x12);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
 
     ASSERT_TRUE(vfs.symlink("/target", "/ln").ok());
     auto raw = vfs.readlink("/ln");
@@ -353,15 +354,15 @@ TEST(VfsPolicy, RestoreDataByInoWritesThroughNormalPath)
     auto &vfs = rig.kernel.vfs();
     auto fd = vfs.open(rig.proc, "/r", os::OpenFlags::writeOnly());
     std::vector<u8> data(100, 9);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     const InodeNo ino = vfs.stat("/r").value().ino;
 
     std::vector<u8> patch(50, 8);
     ASSERT_TRUE(vfs.restoreDataByIno(ino, 25, patch).ok());
     std::vector<u8> out(100);
     auto rfd = vfs.open(rig.proc, "/r", os::OpenFlags::readOnly());
-    vfs.read(rig.proc, rfd.value(), out);
+    rio::wl::tolerate(vfs.read(rig.proc, rfd.value(), out));
     EXPECT_EQ(out[24], 9);
     EXPECT_EQ(out[25], 8);
     EXPECT_EQ(out[74], 8);

@@ -14,6 +14,7 @@
 #include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -50,8 +51,8 @@ TEST(WarmChecksum, CorruptedDataPageIsCountedAndStillRestored)
     auto &vfs = kernel->vfs();
     std::vector<u8> data(8192, 0x2d);
     auto fd = vfs.open(proc, "/victim", os::OpenFlags::writeOnly());
-    vfs.write(proc, fd.value(), data);
-    vfs.close(proc, fd.value());
+    rio::wl::tolerate(vfs.write(proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(proc, fd.value()));
     const InodeNo ino = vfs.stat("/victim").value().ino;
 
     // Direct corruption: a wild one-byte store into the cached page.
@@ -83,7 +84,7 @@ TEST(WarmChecksum, CorruptedDataPageIsCountedAndStillRestored)
     std::vector<u8> out(8192);
     auto rfd = rebooted.vfs().open(proc, "/victim",
                                    os::OpenFlags::readOnly());
-    rebooted.vfs().read(proc, rfd.value(), out);
+    rio::wl::tolerate(rebooted.vfs().read(proc, rfd.value(), out));
     EXPECT_EQ(out[3999], 0x2d);
     EXPECT_EQ(out[4000], 0x2d ^ 0xff); // The corrupted byte.
 }
@@ -101,10 +102,10 @@ TEST(WarmChecksum, CorruptedMetadataBlockIsCounted)
     kernel->boot(rio.get(), true);
 
     os::Process proc(1);
-    kernel->vfs().mkdir("/dir");
+    rio::wl::tolerate(kernel->vfs().mkdir("/dir"));
     for (int i = 0; i < 3; ++i) {
-        kernel->vfs().open(proc, "/dir/f" + std::to_string(i),
-                           os::OpenFlags::writeOnly());
+        rio::wl::tolerate(kernel->vfs().open(proc, "/dir/f" + std::to_string(i),
+                           os::OpenFlags::writeOnly()));
     }
 
     // Corrupt the directory's cached metadata block directly.
@@ -147,8 +148,8 @@ TEST(WarmChecksum, PerfModeSkipsChecksums)
     std::vector<u8> data(4096, 7);
     auto fd = kernel.vfs().open(proc, "/np",
                                 os::OpenFlags::writeOnly());
-    kernel.vfs().write(proc, fd.value(), data);
-    kernel.vfs().close(proc, fd.value());
+    rio::wl::tolerate(kernel.vfs().write(proc, fd.value(), data));
+    rio::wl::tolerate(kernel.vfs().close(proc, fd.value()));
 
     const auto sweep = rio->verifyChecksums();
     EXPECT_EQ(sweep.checked, 0u); // No checksums were maintained.

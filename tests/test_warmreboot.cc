@@ -15,6 +15,7 @@
 #include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "workload/script.hh"
 
 using namespace rio;
 
@@ -209,14 +210,14 @@ TEST(WarmReboot, RecoversFilesAndDirectories)
 {
     CrashRig rig;
     auto &vfs = rig.kernel->vfs();
-    vfs.mkdir("/a");
-    vfs.mkdir("/a/b");
+    rio::wl::tolerate(vfs.mkdir("/a"));
+    rio::wl::tolerate(vfs.mkdir("/a/b"));
     std::vector<u8> data(30000);
     for (std::size_t i = 0; i < data.size(); ++i)
         data[i] = static_cast<u8>(i * 11);
     auto fd = vfs.open(rig.proc, "/a/b/f", os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
 
     rig.crashAndReset();
     core::WarmRebootReport report;
@@ -241,9 +242,9 @@ TEST(WarmReboot, DeletionsSurviveTheCrashToo)
     auto &vfs = rig.kernel->vfs();
     auto fd = vfs.open(rig.proc, "/doomed", os::OpenFlags::writeOnly());
     std::vector<u8> data(5000, 0x13);
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
-    vfs.unlink("/doomed");
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
+    rio::wl::tolerate(vfs.unlink("/doomed"));
 
     rig.crashAndReset();
     core::WarmRebootReport report;
@@ -260,11 +261,11 @@ TEST(WarmReboot, OverwritesSurvive)
     auto &vfs = rig.kernel->vfs();
     std::vector<u8> v1(8192, 0x01), v2(8192, 0x02);
     auto fd = vfs.open(rig.proc, "/ver", os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), v1);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), v1));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     auto fd2 = vfs.open(rig.proc, "/ver", os::OpenFlags::readWrite());
-    vfs.pwrite(rig.proc, fd2.value(), 0, v2);
-    vfs.close(rig.proc, fd2.value());
+    rio::wl::tolerate(vfs.pwrite(rig.proc, fd2.value(), 0, v2));
+    rio::wl::tolerate(vfs.close(rig.proc, fd2.value()));
 
     rig.crashAndReset();
     core::WarmRebootReport report;
@@ -272,7 +273,7 @@ TEST(WarmReboot, OverwritesSurvive)
     std::vector<u8> out(8192);
     auto rfd = rebooted->vfs().open(rig.proc, "/ver",
                                     os::OpenFlags::readOnly());
-    rebooted->vfs().read(rig.proc, rfd.value(), out);
+    rio::wl::tolerate(rebooted->vfs().read(rig.proc, rfd.value(), out));
     EXPECT_EQ(out, v2);
 }
 
@@ -283,8 +284,8 @@ TEST(WarmReboot, CleanPagesAreNotRestored)
     std::vector<u8> data(40000, 0x27);
     auto fd = vfs.open(rig.proc, "/flushed",
                        os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     // Force everything to disk outside the policy (admin action).
     rig.kernel->ufs().syncAll(true);
 
@@ -297,7 +298,7 @@ TEST(WarmReboot, CleanPagesAreNotRestored)
     auto rfd = rebooted->vfs().open(rig.proc, "/flushed",
                                     os::OpenFlags::readOnly());
     ASSERT_TRUE(rfd.ok());
-    rebooted->vfs().read(rig.proc, rfd.value(), out);
+    rio::wl::tolerate(rebooted->vfs().read(rig.proc, rfd.value(), out));
     EXPECT_EQ(out, data);
 }
 
@@ -319,8 +320,8 @@ TEST(WarmReboot, PcStyleMemoryLossMeansNothingRecovered)
     auto &vfs = rig.kernel->vfs();
     std::vector<u8> data(10000, 0x09);
     auto fd = vfs.open(rig.proc, "/lost", os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
 
     rig.crashAndReset(); // Memory is cleared by the reset.
     core::WarmReboot warm(rig.machine);
@@ -334,8 +335,8 @@ TEST(WarmReboot, MidUpdateCrashRestoresShadowCopy)
     CrashRig rig;
     auto &vfs = rig.kernel->vfs();
     for (int i = 0; i < 3; ++i) {
-        vfs.open(rig.proc, "/pre" + std::to_string(i),
-                 os::OpenFlags::writeOnly());
+        rio::wl::tolerate(vfs.open(rig.proc, "/pre" + std::to_string(i),
+                 os::OpenFlags::writeOnly()));
     }
     // Open a write window on the root directory block and crash
     // inside it.
@@ -363,12 +364,12 @@ TEST(WarmReboot, BadChecksumMetadataNeverReachesDisk)
     auto &vfs = rig.kernel->vfs();
     for (int i = 0; i < 4; ++i) {
         const std::string dir = "/q" + std::to_string(i);
-        vfs.mkdir(dir);
+        rio::wl::tolerate(vfs.mkdir(dir));
         auto fd = vfs.open(rig.proc, dir + "/f",
                            os::OpenFlags::writeOnly());
         std::vector<u8> data(4096, static_cast<u8>(i + 1));
-        vfs.write(rig.proc, fd.value(), data);
-        vfs.close(rig.proc, fd.value());
+        rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+        rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     }
     rig.crashAndReset();
 
@@ -406,7 +407,7 @@ TEST(WarmReboot, ContestedDiskBlockIsLeftToFsck)
     CrashRig rig;
     auto &vfs = rig.kernel->vfs();
     for (int i = 0; i < 4; ++i)
-        vfs.mkdir("/dup" + std::to_string(i));
+        rio::wl::tolerate(vfs.mkdir("/dup" + std::to_string(i)));
     rig.crashAndReset();
 
     auto slots = dirtyMetadataSlots(rig.machine);
@@ -451,8 +452,8 @@ TEST(WarmReboot, TruncatedDumpFailsSafe)
     auto &vfs = rig.kernel->vfs();
     std::vector<u8> data(20000, 0x44);
     auto fd = vfs.open(rig.proc, "/f", os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     rig.crashAndReset();
 
     core::WarmReboot warm(rig.machine);
@@ -483,8 +484,8 @@ TEST(WarmReboot, MidUpdateEntryWithoutShadowIsUnrestorable)
     CrashRig rig;
     // Dirty the root directory so beginWrite makes a shadow copy.
     for (int i = 0; i < 3; ++i) {
-        rig.kernel->vfs().open(rig.proc, "/pre" + std::to_string(i),
-                               os::OpenFlags::writeOnly());
+        rio::wl::tolerate(rig.kernel->vfs().open(rig.proc, "/pre" + std::to_string(i),
+                               os::OpenFlags::writeOnly()));
     }
     midUpdateCrash(rig);
 
@@ -505,8 +506,8 @@ TEST(WarmReboot, CorruptedShadowCopyIsQuarantined)
     CrashRig rig;
     // Dirty the root directory so beginWrite makes a shadow copy.
     for (int i = 0; i < 3; ++i) {
-        rig.kernel->vfs().open(rig.proc, "/pre" + std::to_string(i),
-                               os::OpenFlags::writeOnly());
+        rio::wl::tolerate(rig.kernel->vfs().open(rig.proc, "/pre" + std::to_string(i),
+                               os::OpenFlags::writeOnly()));
     }
     midUpdateCrash(rig);
 
@@ -544,8 +545,8 @@ TEST(WarmReboot, StaleInodeCounted)
     auto &vfs = rig.kernel->vfs();
     std::vector<u8> data(5000, 0x31);
     auto fd = vfs.open(rig.proc, "/ghost", os::OpenFlags::writeOnly());
-    vfs.write(rig.proc, fd.value(), data);
-    vfs.close(rig.proc, fd.value());
+    rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+    rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
     const InodeNo ino = vfs.stat("/ghost").value().ino;
 
     rig.crashAndReset();
@@ -567,7 +568,7 @@ TEST(WarmReboot, StaleInodeCounted)
         options.protection = rig.config.protection;
         core::RioSystem rio2(rig.machine, options);
         probe.boot(&rio2, false);
-        probe.ufs().remove("/ghost");
+        rio::wl::tolerate(probe.ufs().remove("/ghost"));
         (void)itb;
         (void)clock;
         (void)ino;

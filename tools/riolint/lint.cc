@@ -1,0 +1,910 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace riolint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+struct Tok
+{
+    std::string text;
+    int line = 0;
+    char kind = 'p'; ///< 'i' ident, 'n' number, 's' string, 'p' punct.
+};
+
+struct Annotation
+{
+    Rule rule;
+    std::string reason;
+};
+
+struct Scan
+{
+    std::vector<Tok> toks;
+    /** Line -> annotations written on that line's comments. */
+    std::map<int, std::vector<Annotation>> notes;
+};
+
+bool
+parseRuleId(const std::string &id, Rule &out)
+{
+    static const std::pair<const char *, Rule> kIds[] = {
+        {"R1", Rule::R1CheckedStore},   {"R2", Rule::R2Determinism},
+        {"R3", Rule::R3LockOrder},      {"R4", Rule::R4ErrorFlow},
+        {"R5", Rule::R5RegistryMutation},
+    };
+    for (const auto &[name, rule] : kIds) {
+        if (id == name) {
+            out = rule;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Pull riolint:allow(R<n>) <reason> annotations out of a comment. */
+void
+harvestAnnotations(const std::string &comment, int line, Scan &scan)
+{
+    static const std::string kTag = "riolint:allow(";
+    std::size_t at = 0;
+    while ((at = comment.find(kTag, at)) != std::string::npos) {
+        const std::size_t idStart = at + kTag.size();
+        const std::size_t close = comment.find(')', idStart);
+        if (close == std::string::npos)
+            return;
+        Rule rule;
+        if (parseRuleId(comment.substr(idStart, close - idStart),
+                        rule)) {
+            std::string reason = comment.substr(close + 1);
+            while (!reason.empty() &&
+                   std::isspace(static_cast<unsigned char>(
+                       reason.front()))) {
+                reason.erase(reason.begin());
+            }
+            while (!reason.empty() &&
+                   std::isspace(static_cast<unsigned char>(
+                       reason.back()))) {
+                reason.pop_back();
+            }
+            scan.notes[line].push_back({rule, std::move(reason)});
+        }
+        at = close;
+    }
+}
+
+Scan
+tokenize(const std::string &src)
+{
+    Scan scan;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto peek = [&](std::size_t off) -> char {
+        return i + off < n ? src[i + off] : '\0';
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            const std::size_t end = src.find('\n', i);
+            const std::size_t stop = end == std::string::npos ? n : end;
+            harvestAnnotations(src.substr(i, stop - i), line, scan);
+            i = stop;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            std::size_t j = i + 2;
+            int commentLine = line;
+            std::string text;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+                if (src[j] == '\n') {
+                    harvestAnnotations(text, commentLine, scan);
+                    text.clear();
+                    ++line;
+                    commentLine = line;
+                } else {
+                    text.push_back(src[j]);
+                }
+                ++j;
+            }
+            harvestAnnotations(text, commentLine, scan);
+            i = j + 2 < n ? j + 2 : n;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            // Raw strings: R"delim( ... )delim"
+            if (c == '"' && i > 0 && src[i - 1] == 'R' &&
+                !scan.toks.empty() && scan.toks.back().text == "R") {
+                const std::size_t open = src.find('(', i);
+                std::string delim =
+                    src.substr(i + 1, open - (i + 1));
+                const std::string closer = ")" + delim + "\"";
+                std::size_t end = src.find(closer, open);
+                if (end == std::string::npos)
+                    end = n;
+                else
+                    end += closer.size();
+                line += static_cast<int>(
+                    std::count(src.begin() + static_cast<long>(i),
+                               src.begin() + static_cast<long>(end),
+                               '\n'));
+                scan.toks.back() = {"\"\"", line, 's'};
+                i = end;
+                continue;
+            }
+            std::size_t j = i + 1;
+            while (j < n && src[j] != c) {
+                if (src[j] == '\\')
+                    ++j;
+                if (src[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            scan.toks.push_back({std::string(1, c) + "...", line, 's'});
+            i = j + 1;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '_')) {
+                ++j;
+            }
+            scan.toks.push_back({src.substr(i, j - i), line, 'i'});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '.' || src[j] == '\'')) {
+                ++j;
+            }
+            scan.toks.push_back({src.substr(i, j - i), line, 'n'});
+            i = j;
+            continue;
+        }
+        // Multi-char punctuation the rules care about.
+        static const char *kDigraphs[] = {"::", "->", "[[", "]]"};
+        bool matched = false;
+        for (const char *d : kDigraphs) {
+            if (c == d[0] && peek(1) == d[1]) {
+                scan.toks.push_back({d, line, 'p'});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        scan.toks.push_back({std::string(1, c), line, 'p'});
+        ++i;
+    }
+    return scan;
+}
+
+// ---------------------------------------------------------------------
+// Annotation resolution
+// ---------------------------------------------------------------------
+
+/**
+ * Maps each code line to the annotations covering it. An annotation
+ * covers the line it is written on; when that line carries no code,
+ * it covers the next line that does (so a multi-line explanatory
+ * comment above the offending statement works naturally).
+ */
+class AllowMap
+{
+  public:
+    AllowMap(const Scan &scan)
+    {
+        std::set<int> codeLines;
+        for (const Tok &tok : scan.toks)
+            codeLines.insert(tok.line);
+        for (const auto &[line, notes] : scan.notes) {
+            int covered = line;
+            if (!codeLines.count(line)) {
+                auto next = codeLines.upper_bound(line);
+                if (next == codeLines.end())
+                    continue;
+                covered = *next;
+            }
+            for (const Annotation &note : notes)
+                byLine_[covered].push_back(note);
+        }
+    }
+
+    /** Returns the annotation for (line, rule), or nullptr. */
+    const Annotation *
+    lookup(int line, Rule rule) const
+    {
+        auto it = byLine_.find(line);
+        if (it == byLine_.end())
+            return nullptr;
+        for (const Annotation &note : it->second) {
+            if (note.rule == rule)
+                return &note;
+        }
+        return nullptr;
+    }
+
+  private:
+    std::map<int, std::vector<Annotation>> byLine_;
+};
+
+// ---------------------------------------------------------------------
+// Rule machinery
+// ---------------------------------------------------------------------
+
+struct Linter
+{
+    const std::string &path;
+    const std::vector<Tok> &toks;
+    const AllowMap &allow;
+    std::vector<Finding> &out;
+
+    void
+    flag(Rule rule, int line, std::string message)
+    {
+        Finding finding;
+        finding.rule = rule;
+        finding.file = path;
+        finding.line = line;
+        finding.message = std::move(message);
+        if (const Annotation *note = allow.lookup(line, rule)) {
+            finding.allowed = true;
+            finding.reason = note->reason;
+        }
+        out.push_back(std::move(finding));
+    }
+
+    const Tok *
+    at(std::size_t i) const
+    {
+        return i < toks.size() ? &toks[i] : nullptr;
+    }
+
+    bool
+    nextIs(std::size_t i, const char *text) const
+    {
+        const Tok *tok = at(i + 1);
+        return tok && tok->text == text;
+    }
+
+    bool
+    prevIs(std::size_t i, const char *text) const
+    {
+        return i > 0 && toks[i - 1].text == text;
+    }
+};
+
+bool
+pathStartsWith(const std::string &path,
+               std::initializer_list<const char *> prefixes)
+{
+    for (const char *prefix : prefixes) {
+        if (path.rfind(prefix, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+// --- R1: checked-store discipline ------------------------------------
+
+/**
+ * Files allowed to touch memory images directly: the checked store
+ * path itself and the support library's bounds-checked accessors.
+ * Everything else — including the fault injectors, which scribble on
+ * purpose — must carry a riolint:allow(R1) annotation.
+ */
+constexpr std::initializer_list<const char *> kR1Whitelist = {
+    "src/sim/membus", "src/sim/physmem", "src/sim/disk",
+    "src/core/warmreboot", "src/support/",
+};
+
+void
+runR1(Linter &lint)
+{
+    if (pathStartsWith(lint.path, kR1Whitelist))
+        return;
+    static const std::set<std::string> kRawCopies = {
+        "memcpy", "memmove", "memset", "bcopy", "bzero_raw",
+    };
+    const auto &toks = lint.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Tok &tok = toks[i];
+        if (tok.kind != 'i')
+            continue;
+        if (kRawCopies.count(tok.text) && lint.nextIs(i, "(")) {
+            lint.flag(Rule::R1CheckedStore, tok.line,
+                      tok.text +
+                          " bypasses the checked store path; use "
+                          "MemBus or support/bytes.hh accessors");
+        } else if (tok.text == "raw" && lint.nextIs(i, "(") &&
+                   (lint.prevIs(i, ".") || lint.prevIs(i, "->"))) {
+            lint.flag(Rule::R1CheckedStore, tok.line,
+                      "PhysMem::raw() exposes an unchecked pointer "
+                      "into the memory image");
+        } else if (tok.text == "store_") {
+            lint.flag(Rule::R1CheckedStore, tok.line,
+                      "direct access to Disk::store_ bypasses the "
+                      "simulated I/O path");
+        }
+    }
+}
+
+// --- R2: determinism -------------------------------------------------
+
+constexpr std::initializer_list<const char *> kR2Whitelist = {
+    "src/support/rng", "src/sim/clock",
+};
+
+void
+runR2(Linter &lint)
+{
+    if (pathStartsWith(lint.path, kR2Whitelist))
+        return;
+    static const std::set<std::string> kEntropy = {
+        "rand",          "srand",     "drand48",
+        "random_device", "mt19937",   "mt19937_64",
+        "default_random_engine",
+    };
+    static const std::set<std::string> kWallClock = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime",
+    };
+    const auto &toks = lint.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Tok &tok = toks[i];
+        if (tok.kind != 'i')
+            continue;
+        if (kEntropy.count(tok.text)) {
+            lint.flag(Rule::R2Determinism, tok.line,
+                      tok.text +
+                          " breaks seed-reproducibility; use "
+                          "support::Rng");
+        } else if (kWallClock.count(tok.text)) {
+            lint.flag(Rule::R2Determinism, tok.line,
+                      tok.text +
+                          " reads the host clock; use sim::Clock "
+                          "for anything that affects results");
+        } else if (tok.text == "time" && lint.nextIs(i, "(") &&
+                   !lint.prevIs(i, ".") && !lint.prevIs(i, "->")) {
+            lint.flag(Rule::R2Determinism, tok.line,
+                      "time() reads the host clock; use sim::Clock");
+        }
+    }
+}
+
+// --- R3: lock order --------------------------------------------------
+
+/** Canonical acquisition order for the named kernel locks. */
+const std::map<std::string, int> kLockRank = {
+    {"fsLock_", 0},
+    {"bufLock_", 1},
+    {"ubcLock_", 2},
+};
+
+void
+runR3(Linter &lint)
+{
+    struct Held
+    {
+        int depth;
+        int rank;
+        std::string name;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+    const auto &toks = lint.toks;
+
+    auto acquire = [&](const std::string &name, int line) {
+        const int rank = kLockRank.at(name);
+        for (const Held &h : held) {
+            if (h.rank >= rank) {
+                lint.flag(Rule::R3LockOrder, line,
+                          "acquires " + name + " while holding " +
+                              h.name +
+                              " (canonical order: fsLock_ < "
+                              "bufLock_ < ubcLock_)");
+                break;
+            }
+        }
+        held.push_back({depth, rank, name});
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Tok &tok = toks[i];
+        if (tok.text == "{") {
+            ++depth;
+            continue;
+        }
+        if (tok.text == "}") {
+            --depth;
+            while (!held.empty() && held.back().depth > depth)
+                held.pop_back();
+            continue;
+        }
+        if (tok.kind != 'i')
+            continue;
+        // LockTable::Guard name(locks, <lock>);
+        if (tok.text == "Guard") {
+            std::size_t j = i + 1;
+            if (lint.at(j) && toks[j].kind == 'i')
+                ++j; // Skip the guard variable name.
+            if (lint.at(j) && toks[j].text == "(" && lint.at(j + 2) &&
+                toks[j + 2].text == "," && lint.at(j + 3) &&
+                kLockRank.count(toks[j + 3].text)) {
+                acquire(toks[j + 3].text, toks[j + 3].line);
+            }
+            continue;
+        }
+        // locks_.acquire(<lock>) / .release(<lock>)
+        if (tok.text == "acquire" && lint.nextIs(i, "(") &&
+            lint.at(i + 2) && kLockRank.count(toks[i + 2].text)) {
+            acquire(toks[i + 2].text, toks[i + 2].line);
+        } else if (tok.text == "release" && lint.nextIs(i, "(") &&
+                   lint.at(i + 2) &&
+                   kLockRank.count(toks[i + 2].text)) {
+            const std::string &name = toks[i + 2].text;
+            for (auto it = held.rbegin(); it != held.rend(); ++it) {
+                if (it->name == name) {
+                    held.erase(std::next(it).base());
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// --- R4: error flow --------------------------------------------------
+
+bool
+isStatusType(const std::vector<Tok> &toks, std::size_t i)
+{
+    return toks[i].text == "OsStatus" || toks[i].text == "Result";
+}
+
+/** Index just past a `Result<...>` spelling starting at @p i. */
+std::size_t
+skipStatusType(const std::vector<Tok> &toks, std::size_t i)
+{
+    std::size_t j = i + 1;
+    if (toks[i].text == "Result" && j < toks.size() &&
+        toks[j].text == "<") {
+        int angle = 1;
+        ++j;
+        while (j < toks.size() && angle > 0) {
+            if (toks[j].text == "<")
+                ++angle;
+            else if (toks[j].text == ">")
+                --angle;
+            ++j;
+        }
+    }
+    return j;
+}
+
+void
+runR4(Linter &lint)
+{
+    const auto &toks = lint.toks;
+    std::set<std::string> statusFns;
+    std::set<std::size_t> declNameIdx;
+
+    // Pass 1: declarations. `OsStatus name(` must be [[nodiscard]];
+    // Result is [[nodiscard]] class-level, so its functions only
+    // feed the local call-site set.
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != 'i' || !isStatusType(toks, i))
+            continue;
+        std::size_t j = skipStatusType(toks, i);
+        // Optional qualification: Class::name
+        std::size_t nameIdx = j;
+        while (nameIdx + 1 < toks.size() &&
+               toks[nameIdx].kind == 'i' &&
+               toks[nameIdx + 1].text == "::") {
+            nameIdx += 2;
+        }
+        if (nameIdx >= toks.size() || toks[nameIdx].kind != 'i' ||
+            !(nameIdx + 1 < toks.size() &&
+              toks[nameIdx + 1].text == "(")) {
+            continue;
+        }
+        declNameIdx.insert(nameIdx);
+        statusFns.insert(toks[nameIdx].text);
+        if (toks[i].text == "OsStatus") {
+            bool nodiscard = false;
+            const std::size_t back = i > 6 ? i - 6 : 0;
+            for (std::size_t k = back; k < i; ++k) {
+                if (toks[k].text == "nodiscard")
+                    nodiscard = true;
+            }
+            if (!nodiscard) {
+                lint.flag(Rule::R4ErrorFlow, toks[nameIdx].line,
+                          toks[nameIdx].text +
+                              " returns OsStatus but is not "
+                              "[[nodiscard]]");
+            }
+        }
+    }
+
+    // Pass 2: statement-position calls to local status functions
+    // whose result is dropped.
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != 'i' || !statusFns.count(toks[i].text) ||
+            !lint.nextIs(i, "(") || declNameIdx.count(i)) {
+            continue;
+        }
+        if (i == 0)
+            continue;
+        const Tok &prev = toks[i - 1];
+        bool dropped = false;
+        if (prev.text == ";" || prev.text == "{" || prev.text == "}") {
+            dropped = true;
+        } else if (prev.text == ")") {
+            // Either a cast — (void)call() — or a control clause:
+            // if (x) call();. Walk back to the matching '('.
+            int parens = 1;
+            std::size_t k = i - 1;
+            while (k > 0 && parens > 0) {
+                --k;
+                if (toks[k].text == ")")
+                    ++parens;
+                else if (toks[k].text == "(")
+                    --parens;
+            }
+            if (k > 0) {
+                const std::string &opener = toks[k - 1].text;
+                dropped = opener == "if" || opener == "while" ||
+                          opener == "for" || opener == "switch";
+            }
+        }
+        if (dropped) {
+            lint.flag(Rule::R4ErrorFlow, toks[i].line,
+                      "result of " + toks[i].text +
+                          "() is dropped; check it or cast to void");
+        }
+    }
+}
+
+// --- R5: registry mutation -------------------------------------------
+
+/** The shadow-page protocol entry points in core/rio.cc — the only
+ * code allowed to mutate registry entries. */
+const std::set<std::string> kRegistryWriters = {
+    "install",   "setDirty",   "invalidate", "setDiskBlock",
+    "beginWrite", "endWrite",  "activate",
+};
+
+void
+runR5(Linter &lint)
+{
+    static const std::string kRio = "core/rio.cc";
+    const bool inRio =
+        lint.path.size() >= kRio.size() &&
+        lint.path.compare(lint.path.size() - kRio.size(),
+                          kRio.size(), kRio) == 0;
+    const auto &toks = lint.toks;
+
+    // Track the enclosing function: at namespace depth, remember the
+    // last `name(` before the body's '{' (the repo defines functions
+    // at namespace scope; constructor initializer lists are frozen
+    // out by the ':' state).
+    int depth = 0;
+    std::string pending;
+    std::string current;
+    int currentDepth = -1;
+    bool frozen = false;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Tok &tok = toks[i];
+        if (tok.text == "{") {
+            ++depth;
+            if (!pending.empty() && currentDepth < 0) {
+                current = pending;
+                currentDepth = depth;
+                pending.clear();
+            }
+            frozen = false;
+            continue;
+        }
+        if (tok.text == "}") {
+            --depth;
+            if (currentDepth > 0 && depth < currentDepth) {
+                current.clear();
+                currentDepth = -1;
+            }
+            continue;
+        }
+        if (tok.text == ";") {
+            pending.clear();
+            frozen = false;
+            continue;
+        }
+        if (tok.text == ":" && !pending.empty()) {
+            frozen = true; // Constructor initializer list.
+            continue;
+        }
+        if (tok.kind != 'i')
+            continue;
+
+        const bool isCall = lint.nextIs(i, "(");
+        if (isCall && currentDepth < 0 && !frozen)
+            pending = tok.text;
+
+        if (isCall && (tok.text == "writeEntryField32" ||
+                       tok.text == "writeEntryField64")) {
+            // A declaration (`void writeEntryField32(`) or the
+            // definition itself (`RioSystem::writeEntryField32(`)
+            // is not a mutation site.
+            if (i > 0 && (toks[i - 1].kind == 'i' ||
+                          toks[i - 1].text == "::")) {
+                continue;
+            }
+            const bool legal =
+                inRio && kRegistryWriters.count(current) > 0;
+            if (!legal) {
+                lint.flag(Rule::R5RegistryMutation, tok.line,
+                          tok.text +
+                              " mutates a registry entry outside "
+                              "the shadow-page protocol entry "
+                              "points in core/rio.cc");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report formatting
+// ---------------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+struct Tally
+{
+    int violations = 0;
+    int allowed = 0;
+};
+
+} // namespace
+
+const char *
+ruleId(Rule rule)
+{
+    switch (rule) {
+      case Rule::R1CheckedStore: return "R1";
+      case Rule::R2Determinism: return "R2";
+      case Rule::R3LockOrder: return "R3";
+      case Rule::R4ErrorFlow: return "R4";
+      case Rule::R5RegistryMutation: return "R5";
+    }
+    return "?";
+}
+
+const char *
+ruleTitle(Rule rule)
+{
+    switch (rule) {
+      case Rule::R1CheckedStore:
+        return "checked-store discipline";
+      case Rule::R2Determinism:
+        return "determinism";
+      case Rule::R3LockOrder:
+        return "lock acquisition order";
+      case Rule::R4ErrorFlow:
+        return "error flow";
+      case Rule::R5RegistryMutation:
+        return "registry mutation protocol";
+    }
+    return "?";
+}
+
+int
+Report::violations() const
+{
+    return static_cast<int>(
+        std::count_if(findings.begin(), findings.end(),
+                      [](const Finding &f) { return !f.allowed; }));
+}
+
+int
+Report::allowed() const
+{
+    return static_cast<int>(findings.size()) - violations();
+}
+
+std::string
+Report::text() const
+{
+    std::ostringstream out;
+    for (const Finding &f : findings) {
+        out << f.file << ":" << f.line << ": [" << ruleId(f.rule)
+            << "] " << f.message;
+        if (f.allowed) {
+            out << " (allowed";
+            if (!f.reason.empty())
+                out << ": " << f.reason;
+            out << ")";
+        }
+        out << "\n";
+    }
+    out << "riolint: " << violations() << " violation(s), "
+        << allowed() << " allowed\n";
+    return out.str();
+}
+
+std::string
+Report::json() const
+{
+    std::map<std::string, Tally> byRule;
+    std::map<std::string, Tally> byDir;
+    for (const Finding &f : findings) {
+        Tally &rule = byRule[ruleId(f.rule)];
+        Tally &dir = byDir[dirOf(f.file)];
+        if (f.allowed) {
+            ++rule.allowed;
+            ++dir.allowed;
+        } else {
+            ++rule.violations;
+            ++dir.violations;
+        }
+    }
+
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"violations\": " << violations() << ",\n";
+    out << "  \"allowed\": " << allowed() << ",\n";
+
+    auto emitTallies = [&](const char *key,
+                           const std::map<std::string, Tally> &map) {
+        out << "  \"" << key << "\": {";
+        bool first = true;
+        for (const auto &[name, tally] : map) {
+            out << (first ? "\n" : ",\n");
+            out << "    \"" << jsonEscape(name)
+                << "\": {\"violations\": " << tally.violations
+                << ", \"allowed\": " << tally.allowed << "}";
+            first = false;
+        }
+        out << (first ? "},\n" : "\n  },\n");
+    };
+    emitTallies("rules", byRule);
+    emitTallies("directories", byDir);
+
+    out << "  \"findings\": [";
+    bool first = true;
+    for (const Finding &f : findings) {
+        out << (first ? "\n" : ",\n");
+        out << "    {\"rule\": \"" << ruleId(f.rule)
+            << "\", \"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"allowed\": "
+            << (f.allowed ? "true" : "false") << ", \"message\": \""
+            << jsonEscape(f.message) << "\"";
+        if (f.allowed)
+            out << ", \"reason\": \"" << jsonEscape(f.reason) << "\"";
+        out << "}";
+        first = false;
+    }
+    out << (first ? "]\n" : "\n  ]\n");
+    out << "}\n";
+    return out.str();
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &content)
+{
+    const Scan scan = tokenize(content);
+    const AllowMap allow(scan);
+    std::vector<Finding> findings;
+    Linter lint{path, scan.toks, allow, findings};
+    runR1(lint);
+    runR2(lint);
+    runR3(lint);
+    runR4(lint);
+    runR5(lint);
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line) <
+                         std::tie(b.file, b.line);
+              });
+    return findings;
+}
+
+Report
+lintFiles(const std::vector<std::string> &paths,
+          const std::string &root)
+{
+    Report report;
+    for (const std::string &path : paths) {
+        const std::filesystem::path full =
+            std::filesystem::path(root) / path;
+        std::ifstream in(full, std::ios::binary);
+        if (!in) {
+            Finding finding;
+            finding.rule = Rule::R4ErrorFlow;
+            finding.file = path;
+            finding.message = "riolint: cannot open file";
+            report.findings.push_back(std::move(finding));
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        auto found = lintSource(path, buf.str());
+        report.findings.insert(report.findings.end(), found.begin(),
+                               found.end());
+    }
+    return report;
+}
+
+Report
+lintTree(const std::string &root)
+{
+    std::vector<std::string> paths;
+    const std::filesystem::path base =
+        std::filesystem::path(root) / "src";
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".cc" && ext != ".hh")
+            continue;
+        paths.push_back(
+            std::filesystem::relative(entry.path(), root)
+                .generic_string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return lintFiles(paths, root);
+}
+
+} // namespace riolint

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * riolint — a static pass enforcing the paper's protection discipline.
+ *
+ * Rio's reliability argument rests on a single invariant: the only
+ * way kernel code modifies the file cache or its registry is through
+ * the checked store path (MemBus translate -> protection check ->
+ * store). The simulator mirrors that argument in code, and riolint
+ * is its static counterpart: a tokenizer-level pass over the src
+ * tree that flags every construct which could bypass the path, break
+ * crash determinism, or drop an error on the floor. It is a
+ * tokenizer, not a compiler: deliberately simple, zero dependencies,
+ * and tuned to this codebase's idiom.
+ *
+ * Rules:
+ *  - R1 checked-store: PhysMem::raw(), memcpy/memmove/memset into
+ *    memory images, and Disk::store_ are forbidden outside the
+ *    whitelisted simulator internals.
+ *  - R2 determinism: wall-clock and libc randomness (rand, time,
+ *    std::random_device, system/steady clocks) are forbidden outside
+ *    support/rng and sim/clock — results must be seed-reproducible.
+ *  - R3 lock-order: named kernel locks must be acquired in the
+ *    canonical order fsLock_ < bufLock_ < ubcLock_.
+ *  - R4 error-flow: status-returning functions must be [[nodiscard]]
+ *    (Result already is, class-level) and statement-position calls
+ *    to local status-returning functions must consume the result.
+ *  - R5 registry-mutation: Registry entry writes (writeEntryField*)
+ *    are legal only inside the shadow-page protocol entry points in
+ *    core/rio.cc.
+ *
+ * A violation is silenced by annotating the offending line (or the
+ * line above it) with `// riolint:allow(R<n>) <reason>`. Suppressed
+ * findings still appear in the report, marked allowed.
+ */
+
+#ifndef RIOLINT_LINT_HH
+#define RIOLINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace riolint
+{
+
+enum class Rule
+{
+    R1CheckedStore,
+    R2Determinism,
+    R3LockOrder,
+    R4ErrorFlow,
+    R5RegistryMutation,
+};
+
+/** Short rule id, e.g. "R1". */
+const char *ruleId(Rule rule);
+
+/** One-line rule description for diagnostics. */
+const char *ruleTitle(Rule rule);
+
+struct Finding
+{
+    Rule rule;
+    std::string file; ///< Path as given (relative to the lint root).
+    int line = 0;
+    std::string message;
+    bool allowed = false; ///< Suppressed by a riolint:allow comment.
+    std::string reason;   ///< Text following the allow annotation.
+};
+
+struct Report
+{
+    std::vector<Finding> findings;
+
+    /** Unsuppressed violations — the CI-gating count. */
+    int violations() const;
+    /** Findings suppressed by riolint:allow annotations. */
+    int allowed() const;
+
+    /** Human-readable diagnostics, one line per finding. */
+    std::string text() const;
+    /** Machine-readable report with per-rule and per-directory
+     * {violations, allowed} counts. */
+    std::string json() const;
+};
+
+/** Lint one in-memory source (used by the fixture tests). */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content);
+
+/** Lint files on disk; paths are interpreted relative to @p root and
+ * reported as given. */
+Report lintFiles(const std::vector<std::string> &paths,
+                 const std::string &root);
+
+/** Recursively lint every .hh/.cc under <root>/src. */
+Report lintTree(const std::string &root);
+
+} // namespace riolint
+
+#endif // RIOLINT_LINT_HH

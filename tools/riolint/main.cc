@@ -1,0 +1,60 @@
+/**
+ * @file
+ * riolint CLI.
+ *
+ * Usage:
+ *   riolint [--root DIR] [--json FILE] [file...]
+ *
+ * With no file arguments, lints every .cc/.hh under <root>/src.
+ * Exits 1 if any unannotated violation is found; the human-readable
+ * diagnostics go to stdout, and --json additionally writes the
+ * machine-readable report (per-rule and per-directory counts).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string jsonPath;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: riolint [--root DIR] [--json FILE] "
+                         "[file...]\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "riolint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    const riolint::Report report =
+        files.empty() ? riolint::lintTree(root)
+                      : riolint::lintFiles(files, root);
+
+    std::cout << report.text();
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::cerr << "riolint: cannot write " << jsonPath << "\n";
+            return 2;
+        }
+        out << report.json();
+    }
+    return report.violations() == 0 ? 0 : 1;
+}
