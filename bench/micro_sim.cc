@@ -88,8 +88,8 @@ BM_DiskQueuedWrite(benchmark::State &state)
     std::vector<u8> block(8192, 0x5a);
     SectorNo sector = 64;
     for (auto _ : state) {
-        machine.disk().queueWrite(sector, 16, block,
-                                  machine.clock());
+        (void)machine.disk().queueWrite(sector, 16, block,
+                                        machine.clock());
         sector = (sector + 16) % (machine.disk().numSectors() - 16);
         if ((sector & 0x3ff) == 0)
             machine.disk().drain(machine.clock());

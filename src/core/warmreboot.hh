@@ -20,6 +20,20 @@
  * policy did is accounted in a RecoveryReport so experiment harnesses
  * can measure the hardening (see bench/ablation_recovery.cc).
  *
+ * Recovery is also *re-entrant*: a second crash in the middle of
+ * recovery must not lose what the first pass already achieved. The
+ * restore checkpoints its progress into the last swap sector (after
+ * the dump image) — which phase completed and how many restorable
+ * entries each phase has processed — and every page the user-level
+ * data restore replays is fsync'd before the checkpoint advances
+ * past it, so a checkpoint never claims more than the platter holds.
+ * A fresh WarmReboot constructed after the second crash finds the
+ * checkpoint, re-verifies the dump image against its recorded
+ * checksum, and resumes where the dead pass stopped; convergence
+ * takes as many passes as there are crashes. Recovery-time disk I/O
+ * goes through the bounded-retry discipline (os/ioretry.hh) and its
+ * cost is accounted in the RecoveryReport.
+ *
  * The caller sequence is:
  *     machine.reset(Warm);
  *     WarmReboot wr(machine);      // RestorePolicy::hardened()
@@ -32,14 +46,37 @@
 #ifndef RIO_CORE_WARMREBOOT_HH
 #define RIO_CORE_WARMREBOOT_HH
 
+#include <functional>
 #include <vector>
 
 #include "core/registry.hh"
+#include "os/kconfig.hh"
 #include "os/vfs.hh"
 #include "sim/machine.hh"
 
 namespace rio::core
 {
+
+/** Where a recovery pass is; reported to the crash probe. */
+enum class RecoveryPhase : u8
+{
+    Dump = 0,            ///< Writing the memory image to swap.
+    MetadataRestore = 1, ///< Pushing dirty metadata to disk blocks.
+    DataRestore = 2,     ///< User-level replay through the VFS.
+    Done = 3,            ///< All phases complete, checkpoint retired.
+};
+
+const char *recoveryPhaseName(RecoveryPhase phase);
+
+/**
+ * Observation hook for crash campaigns and tests: called at every
+ * step boundary of every phase (step == total marks the phase
+ * boundary itself), *after* any checkpoint covering that step has
+ * been written. A probe that wants to model a second crash simply
+ * calls Machine::crash from inside the callback.
+ */
+using RecoveryProbe =
+    std::function<void(RecoveryPhase phase, u64 step, u64 total)>;
 
 /**
  * How much the restore path trusts the surviving memory image.
@@ -72,6 +109,12 @@ struct RestorePolicy
      *  plausible garbage. */
     bool quarantineBadData = false;
 
+    /** Checkpoint recovery progress to swap and resume from the
+     *  checkpoint after a crash during recovery. Costs one swap
+     *  sector plus a sector write per restored entry, and an fsync
+     *  per restored file; buys double-crash tolerance. */
+    bool reentrantRecovery = true;
+
     static RestorePolicy
     hardened()
     {
@@ -81,7 +124,13 @@ struct RestorePolicy
     static RestorePolicy
     trusting()
     {
-        return {false, false, false, false};
+        RestorePolicy policy;
+        policy.quarantineBadChecksums = false;
+        policy.rejectDuplicateClaims = false;
+        policy.verifyShadowChecksums = false;
+        policy.quarantineBadData = false;
+        policy.reentrantRecovery = false;
+        return policy;
     }
 };
 
@@ -96,6 +145,22 @@ struct RecoveryReport
     u64 shadowChecksumBad = 0;  ///< Shadow copies failing verification.
     u64 dataQuarantined = 0;    ///< Bad-checksum data pages skipped.
     bool dataRestoreSkipped = false; ///< Step 2 impossible: no dump.
+
+    /** @{ Re-entrancy: what a resumed pass inherited. */
+    bool resumed = false;       ///< Picked up a prior pass's progress.
+    u8 resumePhase = 0;         ///< RecoveryPhase the resume entered.
+    bool dumpChecksumBad = false; ///< Swap dump failed re-verification.
+    u64 checkpointWrites = 0;   ///< Progress records pushed to swap.
+    u64 metadataSkippedResume = 0; ///< Entries a prior pass finished.
+    u64 dataSkippedResume = 0;     ///< Data pages a prior pass synced.
+    /** @} */
+
+    /** @{ Faulty-disk accounting for recovery-time I/O. */
+    u64 retriedSectors = 0;   ///< Sectors re-driven past transients.
+    u64 remappedSectors = 0;  ///< Bad sectors remapped onto spares.
+    u64 abandonedSectors = 0; ///< Sectors whose op never succeeded.
+    u64 dataUnreadable = 0;   ///< Dump pages lost to swap bad sectors.
+    /** @} */
 };
 
 struct WarmRebootReport
@@ -122,21 +187,31 @@ class WarmReboot
     explicit WarmReboot(sim::Machine &machine,
                         RestorePolicy policy = RestorePolicy::hardened());
 
+    /** Crash-injection / progress hook (see RecoveryProbe). */
+    void setProbe(RecoveryProbe probe) { probe_ = std::move(probe); }
+
+    /** Retry discipline for recovery-time disk I/O. */
+    void setIoPolicy(const os::IoRetryPolicy &policy) { io_ = policy; }
+
     /**
      * Step 1: dump memory to swap and push dirty metadata back to
      * its disk blocks. Call after Machine::reset(ResetKind::Warm)
      * and before the kernel boots. If the dump does not fit the swap
      * partition the failure is recorded (recovery.dumpOk) and no
      * partial dump is written; metadata restore still runs, straight
-     * from the surviving image.
+     * from the surviving image. When a valid checkpoint from an
+     * interrupted earlier pass survives on swap, the dump image is
+     * reloaded from swap instead of memory and already-processed
+     * entries are skipped.
      */
     WarmRebootReport dumpAndRestoreMetadata();
 
     /**
      * Step 2: the user-level restore. Replays every dirty data page
      * from the dump into the freshly mounted file system via normal
-     * write calls. A no-op (recorded as dataRestoreSkipped) when the
-     * dump never made it to the swap partition.
+     * write calls, fsyncing each rebuilt file before the checkpoint
+     * advances past it. A no-op (recorded as dataRestoreSkipped)
+     * when the dump never made it to the swap partition.
      */
     void restoreData(os::Vfs &vfs, WarmRebootReport &report);
 
@@ -145,9 +220,38 @@ class WarmReboot
 
     const RestorePolicy &policy() const { return policy_; }
 
+    /** @{ Checkpoint record layout (last swap sector; for tests). */
+    static constexpr u32 kCkptMagic = 0x52C4B007;
+    static constexpr u32 kCkptVersion = 1;
+    static constexpr u32 kFlagDumpComplete = 1u << 0;
+    static constexpr u32 kFlagMetadataComplete = 1u << 1;
+    static constexpr u32 kFlagAllDone = 1u << 2;
+    /** @} */
+
   private:
+    /** Host-side view of the progress record on swap. */
+    struct Checkpoint
+    {
+        u32 flags = 0;
+        u64 dumpSectors = 0;
+        u64 dumpBytes = 0;
+        u32 dumpChecksum = 0;
+        u64 metadataProcessed = 0;
+        u64 dataProcessed = 0;
+    };
+
+    SectorNo ckptSector() const;
+    bool readCheckpoint(Checkpoint &out, RecoveryReport &recovery);
+    void writeCheckpoint(RecoveryReport &recovery);
+    void probe(RecoveryPhase phase, u64 step, u64 total);
+
     sim::Machine &machine_;
     RestorePolicy policy_;
+    os::IoRetryPolicy io_;
+    RecoveryProbe probe_;
+    Checkpoint ckpt_;
+    /** True once this pass owns a live checkpoint on swap. */
+    bool ckptActive_ = false;
     std::vector<u8> dump_;
     RegistryImage image_;
 };

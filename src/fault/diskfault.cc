@@ -1,0 +1,75 @@
+#include "fault/diskfault.hh"
+
+#include <algorithm>
+
+namespace rio::fault
+{
+
+namespace
+{
+
+double
+scaledRate(double rate, double intensity)
+{
+    return std::clamp(rate * intensity, 0.0, 1.0);
+}
+
+} // namespace
+
+DiskFaultModel::DiskFaultModel(support::Rng rng, DiskFaultConfig config)
+    : rng_(rng), config_(config)
+{}
+
+void
+DiskFaultModel::install(sim::Disk &disk)
+{
+    disk.setFaultSurface(this);
+    disk.setSpareSectors(config_.spareSectors);
+}
+
+bool
+DiskFaultModel::transientError(bool isWrite, SectorNo start, u64 count)
+{
+    (void)start;
+    (void)count;
+    if (!enabled())
+        return false;
+    const double rate = scaledRate(isWrite ? config_.transientWriteRate
+                                           : config_.transientReadRate,
+                                   config_.intensity);
+    if (!rng_.chance(rate))
+        return false;
+    if (isWrite)
+        ++stats_.transientWrites;
+    else
+        ++stats_.transientReads;
+    return true;
+}
+
+void
+DiskFaultModel::onCrash(sim::Disk &disk, SimNs when)
+{
+    (void)when;
+    if (!enabled() || disk.numSectors() == 0)
+        return;
+    if (!rng_.chance(scaledRate(config_.decayChance, config_.intensity)))
+        return;
+    ++stats_.crashDecays;
+    const u64 decay = 1 + rng_.below(std::max<u64>(config_.maxDecayPerCrash, 1));
+    for (u64 i = 0; i < decay; ++i) {
+        const SectorNo sector = rng_.below(disk.numSectors());
+        disk.markBadSector(sector);
+        ++stats_.sectorsDecayed;
+        if (config_.scribbleDecayed) {
+            // The decayed sector's payload is gone too: scribble it
+            // through the host window (fault injection, not a kernel
+            // store — the protection discipline does not apply).
+            std::span<u8> torn =
+                disk.hostSector(sector); // riolint:allow(R1) fault injection scribbles decayed media through the host window
+            for (u8 &byte : torn)
+                byte = static_cast<u8>(rng_.next());
+        }
+    }
+}
+
+} // namespace rio::fault

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Storage fault model: the concrete DiskFaultSurface installed on a
+ * simulated disk. The paper's crash model (section 2.1) treats the
+ * disk as trustworthy — writes complete or tear, and media never
+ * lies. Real recovery has to survive a disk that throws transient
+ * per-op errors (bus glitches, ECC hiccups that succeed on retry),
+ * grows latent bad sectors, and decays at exactly the wrong moment:
+ * the power event that crashed the machine.
+ *
+ * Three fault classes, all drawn from a seeded Rng so a campaign
+ * trial's storage faults replay exactly from its seed:
+ *
+ *  - transient errors: each read/write fails with a configured
+ *    per-op probability; the op succeeds if retried.
+ *  - latent bad sectors: marked in the Disk's persistent bad-sector
+ *    map (survives simulated reboots); every access covering one
+ *    fails until the OS remaps the sector onto a spare.
+ *  - crash-time media decay: at crash time a few sectors go latently
+ *    bad *and* their payload is scribbled — the head parked badly.
+ *
+ * Intensity scales every rate; 0 disables the model entirely so the
+ * same wiring serves both arms of the ablation.
+ */
+
+#ifndef RIO_FAULT_DISKFAULT_HH
+#define RIO_FAULT_DISKFAULT_HH
+
+#include "sim/disk.hh"
+#include "support/rng.hh"
+
+namespace rio::fault
+{
+
+struct DiskFaultConfig
+{
+    /** Scales every probability below; 0 disables the model. */
+    double intensity = 1.0;
+
+    /** Per-op probability a read fails transiently (at intensity 1). */
+    double transientReadRate = 0.004;
+    /** Per-op probability a write fails transiently (at intensity 1). */
+    double transientWriteRate = 0.004;
+
+    /** Probability a crash decays media at all (at intensity 1). */
+    double decayChance = 0.5;
+    /** Max sectors that go latently bad in one decay event. */
+    u64 maxDecayPerCrash = 4;
+    /** Scribble the payload of sectors that decay (vs. mark only). */
+    bool scribbleDecayed = true;
+
+    /** Spare-sector budget granted to the disk for remapping. */
+    u64 spareSectors = 64;
+};
+
+struct DiskFaultStats
+{
+    u64 transientReads = 0;  ///< Reads failed by the transient dice.
+    u64 transientWrites = 0; ///< Writes failed by the transient dice.
+    u64 crashDecays = 0;     ///< Crashes that decayed media.
+    u64 sectorsDecayed = 0;  ///< Sectors marked latently bad at crashes.
+};
+
+class DiskFaultModel final : public sim::DiskFaultSurface
+{
+  public:
+    explicit DiskFaultModel(support::Rng rng, DiskFaultConfig config = {});
+
+    /** Attach to @p disk: fault surface plus the spare budget. */
+    void install(sim::Disk &disk);
+
+    bool transientError(bool isWrite, SectorNo start,
+                        u64 count) override;
+    void onCrash(sim::Disk &disk, SimNs when) override;
+
+    const DiskFaultConfig &config() const { return config_; }
+    const DiskFaultStats &stats() const { return stats_; }
+    bool enabled() const { return config_.intensity > 0.0; }
+
+  private:
+    support::Rng rng_;
+    DiskFaultConfig config_;
+    DiskFaultStats stats_;
+};
+
+} // namespace rio::fault
+
+#endif // RIO_FAULT_DISKFAULT_HH

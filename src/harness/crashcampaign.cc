@@ -8,6 +8,7 @@
 
 #include "core/rio.hh"
 #include "core/warmreboot.hh"
+#include "fault/diskfault.hh"
 #include "harness/pool.hh"
 #include "harness/report.hh"
 #include "support/log.hh"
@@ -82,6 +83,7 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
         kernelConfig.rioIdleFlush = true;
         kernelConfig.updateIntervalNs = config_.rioIdleFlushNs;
     }
+    kernelConfig.ioRetry.enabled = config_.ioRetryEnabled;
 
     std::unique_ptr<core::RioSystem> rio;
     if (isRio(kind)) {
@@ -94,6 +96,23 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
     auto kernel =
         std::make_unique<os::Kernel>(machine, kernelConfig);
     kernel->boot(rio.get(), true); // Boot applies Rio's protection.
+
+    // Faulty-disk model: installed *after* the initial format so both
+    // ablation arms start from an identical healthy file system. One
+    // model per device (each owns its RNG stream); the bad-sector
+    // maps live in the Disk objects and survive warm reboots.
+    fault::DiskFaultConfig diskFaultConfig;
+    diskFaultConfig.intensity = config_.diskFaultIntensity;
+    fault::DiskFaultModel diskFaults(
+        support::Rng(mix64(seed ^ 0x4469736b466c74ull)), // "DiskFlt"
+        diskFaultConfig);
+    fault::DiskFaultModel swapFaults(
+        support::Rng(mix64(seed ^ 0x53776170466c74ull)), // "SwapFlt"
+        diskFaultConfig);
+    if (diskFaults.enabled()) {
+        diskFaults.install(machine.disk());
+        swapFaults.install(machine.swap());
+    }
 
     // --- Workload: memTest + four looping copies of Andrew. -------
     wl::MemTestConfig memtestConfig;
@@ -174,39 +193,133 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
         result.postCrash = corruptor.corrupt();
     }
 
-    const core::RestorePolicy policy =
+    core::RestorePolicy policy =
         config_.hardenedRecovery ? core::RestorePolicy::hardened()
                                  : core::RestorePolicy::trusting();
-    core::WarmReboot warmReboot(machine, policy);
+    policy.reentrantRecovery = config_.reentrantRecovery;
+
+    // Double-crash dimension: one trial in doubleCrashRate takes a
+    // second crash in the middle of recovery, at a point drawn
+    // uniformly over the recovery phases. Seeded purely from the run
+    // seed so a JSONL record replays identically.
+    support::Rng doubleCrashRng(
+        mix64(seed ^ 0x44626c43727368ull)); // "DblCrsh"
+    bool doubleCrashArmed = isRio(kind) &&
+                            config_.doubleCrashRate > 0.0 &&
+                            doubleCrashRng.chance(
+                                config_.doubleCrashRate);
+    const u32 doubleCrashPhase =
+        static_cast<u32>(doubleCrashRng.below(4));
+    const double doubleCrashFraction =
+        static_cast<double>(doubleCrashRng.below(1000)) / 1000.0;
+
+    // --- Recovery, re-run to convergence. --------------------------
+    // A pass that crashes (the injected double crash, or a kernel
+    // panic out of a faulty boot) is followed by another full warm
+    // reboot; with re-entrant recovery each pass resumes from the
+    // previous pass's checkpoint. Bounded: a volume that cannot be
+    // recovered in maxRecoveryPasses attempts is scored as lost.
     std::unique_ptr<core::RioSystem> rio2;
-    if (isRio(kind)) {
-        result.warm = warmReboot.dumpAndRestoreMetadata();
-        core::RioOptions options;
-        options.protection = kernelConfig.protection;
-        options.maintainChecksums = true;
-        rio2 = std::make_unique<core::RioSystem>(machine, options);
+    std::unique_ptr<os::Kernel> rebooted;
+    for (u32 pass = 0; pass < std::max(config_.maxRecoveryPasses, 1u);
+         ++pass) {
+        ++result.recoveryPasses;
+        core::WarmReboot warmReboot(machine, policy);
+        warmReboot.setIoPolicy(kernelConfig.ioRetry);
+        if (doubleCrashArmed) {
+            warmReboot.setProbe([&](core::RecoveryPhase phase,
+                                    u64 step, u64 total) {
+                if (!doubleCrashArmed ||
+                    static_cast<u32>(phase) != doubleCrashPhase)
+                    return;
+                const u64 trigger = static_cast<u64>(
+                    doubleCrashFraction *
+                    static_cast<double>(total));
+                if (step < trigger)
+                    return;
+                doubleCrashArmed = false;
+                result.doubleCrashFired = true;
+                result.doubleCrashPhase = static_cast<u32>(phase);
+                machine.crash(
+                    sim::CrashCause::KernelPanic,
+                    "double crash: second failure during recovery");
+            });
+        }
+        try {
+            if (isRio(kind)) {
+                result.warm = warmReboot.dumpAndRestoreMetadata();
+                core::RioOptions options;
+                options.protection = kernelConfig.protection;
+                options.maintainChecksums = true;
+                rio2 = std::make_unique<core::RioSystem>(machine,
+                                                         options);
+            }
+            rebooted = std::make_unique<os::Kernel>(machine,
+                                                    kernelConfig);
+            rebooted->boot(rio2.get(), false);
+            if (isRio(kind))
+                warmReboot.restoreData(rebooted->vfs(), result.warm);
+            result.retriedSectors +=
+                result.warm.recovery.retriedSectors;
+            result.remappedSectors +=
+                result.warm.recovery.remappedSectors;
+            result.abandonedSectors +=
+                result.warm.recovery.abandonedSectors;
+            result.checkpointWrites +=
+                result.warm.recovery.checkpointWrites;
+            break;
+        } catch (const sim::CrashException &crash) {
+            // Account what the dead pass managed before it went down,
+            // then go around for another pass.
+            result.retriedSectors +=
+                result.warm.recovery.retriedSectors;
+            result.remappedSectors +=
+                result.warm.recovery.remappedSectors;
+            result.abandonedSectors +=
+                result.warm.recovery.abandonedSectors;
+            result.checkpointWrites +=
+                result.warm.recovery.checkpointWrites;
+            machine.noteCrash(crash.when());
+            rio2.reset();
+            rebooted.reset();
+            machine.reset(sim::ResetKind::Warm);
+        }
     }
 
-    os::Kernel rebooted(machine, kernelConfig);
-    try {
-        rebooted.boot(rio2.get(), false);
-        if (isRio(kind))
-            warmReboot.restoreData(rebooted.vfs(), result.warm);
-
-        // --- Detection pass 2: memTest replay comparison. ----------
-        result.verify = memtest.verify(rebooted);
-    } catch (const sim::CrashException &crash) {
-        // The recovered state was so damaged that even the verifier
-        // tripped kernel checks: the volume is unusable, which is
-        // worse than any count of individually stale files. Score it
-        // as total loss — otherwise a restore that renders the fs
-        // unbootable out-scores one that keeps stale-but-valid
-        // copies.
+    if (rebooted != nullptr) {
+        try {
+            // --- Detection pass 2: memTest replay comparison. ------
+            result.verify = memtest.verify(*rebooted);
+        } catch (const sim::CrashException &crash) {
+            // The recovered state was so damaged that even the
+            // verifier tripped kernel checks: the volume is
+            // unusable, which is worse than any count of
+            // individually stale files. Score it as total loss —
+            // otherwise a restore that renders the fs unbootable
+            // out-scores one that keeps stale-but-valid copies.
+            result.verify.readErrors += 1;
+            result.verify.missingFiles +=
+                memtest.model().files().size();
+            result.verify.details.push_back(
+                std::string("verifier crashed: ") + crash.what());
+        }
+        result.readOnlyDegraded = rebooted->ufs().readOnly();
+    } else {
+        // Recovery never converged within the pass budget.
         result.verify.readErrors += 1;
         result.verify.missingFiles += memtest.model().files().size();
         result.verify.details.push_back(
-            std::string("verifier crashed: ") + crash.what());
+            "recovery never completed: volume lost");
     }
+    result.diskTransientErrors =
+        machine.disk().stats().transientErrors +
+        machine.swap().stats().transientErrors;
+    result.diskBadSectorErrors =
+        machine.disk().stats().badSectorErrors +
+        machine.swap().stats().badSectorErrors;
+    result.diskSectorsRemapped =
+        machine.disk().stats().sectorsRemapped +
+        machine.swap().stats().sectorsRemapped;
     result.memtestDetected = result.verify.corrupt() ||
                              memtest.liveMismatchSeen();
     result.corruptFiles = result.verify.missingFiles +
@@ -256,6 +369,18 @@ CrashCampaign::runTrial(SystemKind kind, fault::FaultType type,
             run.warm.recovery.shadowChecksumBad;
         record.dataQuarantined = run.warm.recovery.dataQuarantined;
         record.metadataUnrestorable = run.warm.metadataUnrestorable;
+        record.doubleCrashFired = run.doubleCrashFired;
+        record.doubleCrashPhase = run.doubleCrashPhase;
+        record.recoveryPasses = run.recoveryPasses;
+        record.recoveryResumed = run.warm.recovery.resumed;
+        record.checkpointWrites = run.checkpointWrites;
+        record.retriedSectors = run.retriedSectors;
+        record.remappedSectors = run.remappedSectors;
+        record.abandonedSectors = run.abandonedSectors;
+        record.diskTransientErrors = run.diskTransientErrors;
+        record.diskBadSectorErrors = run.diskBadSectorErrors;
+        record.diskSectorsRemapped = run.diskSectorsRemapped;
+        record.readOnlyDegraded = run.readOnlyDegraded;
         record.message = run.message;
         if (config_.verbose) {
             RIO_LOG_INFO << systemKindName(kind) << " / "

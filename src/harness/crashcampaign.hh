@@ -100,6 +100,20 @@ struct CrashRunResult
     core::WarmRebootReport warm;
     fault::PostCrashStats postCrash; ///< Corruption-stage damage.
     wl::MemTest::VerifyResult verify;
+
+    /** @{ Faulty-disk + double-crash dimensions. */
+    bool doubleCrashFired = false;
+    u32 doubleCrashPhase = 0; ///< core::RecoveryPhase index.
+    u32 recoveryPasses = 0;   ///< Recovery attempts (1 = no retry).
+    u64 retriedSectors = 0;   ///< Summed over recovery passes.
+    u64 remappedSectors = 0;
+    u64 abandonedSectors = 0;
+    u64 checkpointWrites = 0;
+    u64 diskTransientErrors = 0; ///< Device lifetime (workload+rec).
+    u64 diskBadSectorErrors = 0;
+    u64 diskSectorsRemapped = 0;
+    bool readOnlyDegraded = false;
+    /** @} */
 };
 
 struct CampaignCell
@@ -130,8 +144,9 @@ struct CampaignConfig
     u32 andrewCopies = 4;
     bool verbose = envBool("RIO_VERBOSE", false);
 
-    /** Worker threads; 0 = all hardware threads (RIO_T1_JOBS). */
-    u32 jobs = static_cast<u32>(envU64("RIO_T1_JOBS", 0));
+    /** Worker threads; unset = all hardware threads. Explicit values
+     *  must be >= 1 — garbage or zero throws (RIO_T1_JOBS). */
+    u32 jobs = static_cast<u32>(envU64Strict("RIO_T1_JOBS", 0));
     /** Live progress line on stderr (RIO_T1_PROGRESS). */
     bool progress = envBool("RIO_T1_PROGRESS", false);
     /** Structured-output directory; empty = off (RIO_T1_JSON). */
@@ -151,6 +166,30 @@ struct CampaignConfig
      *  experiments use this to give the quarantine path a disk copy
      *  of realistic freshness (RIO_T1_IDLEFLUSH_NS). */
     SimNs rioIdleFlushNs = envU64("RIO_T1_IDLEFLUSH_NS", 0);
+
+    /** @{ Faulty-disk + double-crash trial dimensions. The fault
+     *  model is installed on both the fs disk and the swap device
+     *  *after* the initial format, so both ablation arms start from
+     *  an identical healthy file system. */
+    /** fault/diskfault.hh intensity; 0 = pristine device
+     *  (RIO_DISKFAULT_INTENSITY). */
+    double diskFaultIntensity =
+        envF64("RIO_DISKFAULT_INTENSITY", 0.0);
+    /** Probability a crashed trial takes a second crash during
+     *  recovery, uniform over recovery phases
+     *  (RIO_DISKFAULT_DOUBLECRASH). */
+    double doubleCrashRate = envF64("RIO_DISKFAULT_DOUBLECRASH", 0.0);
+    /** Bounded retry/remap discipline in the OS I/O path
+     *  (RIO_DISKFAULT_RETRY). */
+    bool ioRetryEnabled = envBool("RIO_DISKFAULT_RETRY", true);
+    /** Checkpointed, resumable warm reboot
+     *  (RIO_DISKFAULT_REENTRANT). */
+    bool reentrantRecovery = envBool("RIO_DISKFAULT_REENTRANT", true);
+    /** Recovery attempts per trial before scoring the volume as
+     *  lost; each pass re-enters warm reboot after a mid-recovery
+     *  crash. */
+    u32 maxRecoveryPasses = 4;
+    /** @} */
 
     /** Campaign slice; defaults cover the paper's full 3 x 13 grid.
      *  Reduced slices keep the determinism tests fast. */

@@ -7,9 +7,10 @@
  *   RIO_SEED         campaign seed                (default 1)
  *   RIO_T1_CRASHES   crashes per Table 1 cell     (default 50)
  *   RIO_T1_WINDOW_S  crash observation window     (default 10 s)
- *   RIO_T1_JOBS      worker threads for campaign  (default 0 = all
- *                    hardware threads); also drives the Table 2
- *                    preset sweep and the ablation macro loops
+ *   RIO_T1_JOBS      worker threads for campaign  (unset = all
+ *                    hardware threads; explicit values must be >= 1);
+ *                    also drives the Table 2 preset sweep and the
+ *                    ablation macro loops
  *   RIO_T1_JSON      directory for table1.json + trials.jsonl
  *                    (default: unset = no structured output; the
  *                    table1_reliability bench defaults it to ".")
@@ -19,6 +20,20 @@
  *                    ablation_recovery default)
  *   RIO_T1_HARDENED  hardened RestorePolicy for warm reboot
  *                    (default 1; 0 = pre-hardening trusting restore)
+ *   RIO_DISKFAULT_INTENSITY
+ *                    faulty-disk model intensity for the campaign
+ *                    (default 0 = pristine device; 1.0 = the
+ *                    fault/diskfault.hh default rates)
+ *   RIO_DISKFAULT_DOUBLECRASH
+ *                    probability that a crashed trial suffers a
+ *                    second crash during recovery, uniform over
+ *                    recovery phases (default 0 = off)
+ *   RIO_DISKFAULT_RETRY
+ *                    bounded retry/remap discipline in the OS I/O
+ *                    path (default 1; 0 = paper-era assume-success)
+ *   RIO_DISKFAULT_REENTRANT
+ *                    checkpointed, resumable warm reboot
+ *                    (default 1; 0 = single-shot recovery)
  *   RIO_PERF_MB      cp+rm source tree megabytes  (default 40)
  *   RIO_VERBOSE      print per-run details        (default 0)
  *
@@ -31,7 +46,9 @@
 #ifndef RIO_HARNESS_HCONFIG_HH
 #define RIO_HARNESS_HCONFIG_HH
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "sim/config.hh"
@@ -47,6 +64,40 @@ envU64(const char *name, u64 fallback)
     if (value == nullptr || *value == '\0')
         return fallback;
     return std::strtoull(value, nullptr, 10);
+}
+
+/**
+ * Strict u64 knob: unset (or empty) uses the fallback; anything else
+ * must be a clean non-negative decimal number no smaller than
+ * @p minValue. Garbage ("abc", "5x", "-1") or an out-of-range value
+ * throws std::invalid_argument instead of silently running the
+ * campaign at whatever strtoull salvaged — a night of trials at the
+ * wrong thread or trial count is worth failing loudly over.
+ */
+inline u64
+envU64Strict(const char *name, u64 fallback, u64 minValue = 1)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    const bool negative = std::string(value).find('-') !=
+                          std::string::npos;
+    if (end == value || *end != '\0' || errno == ERANGE || negative) {
+        throw std::invalid_argument(
+            std::string(name) + "=\"" + value +
+            "\" is not a non-negative decimal number; unset it for "
+            "the default");
+    }
+    if (parsed < minValue) {
+        throw std::invalid_argument(
+            std::string(name) + "=" + std::to_string(parsed) +
+            " is below the minimum of " + std::to_string(minValue) +
+            "; unset it for the default");
+    }
+    return parsed;
 }
 
 inline bool
@@ -83,7 +134,10 @@ crashMachineConfig(u64 seed)
     sim::MachineConfig config;
     config.physMemBytes = 32ull << 20;
     config.diskBytes = 48ull << 20;
-    config.swapBytes = 32ull << 20;
+    // One megabyte beyond physical memory: the full dump always fits
+    // *and* the re-entrant warm reboot has room for its progress
+    // record past the dump (core/warmreboot.hh).
+    config.swapBytes = 33ull << 20;
     config.seed = seed;
     return config;
 }

@@ -96,6 +96,29 @@ trialToJson(const TrialRecord &record)
     out += ",\"metadataUnrestorable\":" +
            num(record.metadataUnrestorable);
     out += ",\"postCrashOps\":" + num(record.postCrashOps);
+    out += ",\"doubleCrashFired\":" +
+           boolean(record.doubleCrashFired);
+    if (record.doubleCrashFired) {
+        out += ",\"doubleCrashPhase\":\"" +
+               jsonEscape(core::recoveryPhaseName(
+                   static_cast<core::RecoveryPhase>(
+                       record.doubleCrashPhase))) +
+               "\"";
+    }
+    out += ",\"recoveryPasses\":" + num(record.recoveryPasses);
+    out += ",\"recoveryResumed\":" + boolean(record.recoveryResumed);
+    out += ",\"checkpointWrites\":" + num(record.checkpointWrites);
+    out += ",\"retriedSectors\":" + num(record.retriedSectors);
+    out += ",\"remappedSectors\":" + num(record.remappedSectors);
+    out += ",\"abandonedSectors\":" + num(record.abandonedSectors);
+    out += ",\"diskTransientErrors\":" +
+           num(record.diskTransientErrors);
+    out += ",\"diskBadSectorErrors\":" +
+           num(record.diskBadSectorErrors);
+    out += ",\"diskSectorsRemapped\":" +
+           num(record.diskSectorsRemapped);
+    out += ",\"readOnlyDegraded\":" +
+           boolean(record.readOnlyDegraded);
     out += ",\"message\":\"" + jsonEscape(record.message) + "\"";
     out += "}";
     return out;

@@ -60,6 +60,22 @@ struct TrialRecord
     /** @} */
     u64 postCrashOps = 0; ///< Corruption-stage mutations applied.
 
+    /** @{ Faulty-disk + double-crash dimensions (meaningful when the
+     *  campaign enables them). */
+    bool doubleCrashFired = false; ///< Second crash hit mid-recovery.
+    u32 doubleCrashPhase = 0;  ///< core::RecoveryPhase index it hit.
+    u32 recoveryPasses = 0;    ///< Recovery attempts (1 = no retry).
+    bool recoveryResumed = false; ///< Final pass used a checkpoint.
+    u64 checkpointWrites = 0;  ///< Progress records pushed to swap.
+    u64 retriedSectors = 0;    ///< Recovery I/O retried past faults.
+    u64 remappedSectors = 0;   ///< Bad sectors remapped in recovery.
+    u64 abandonedSectors = 0;  ///< Recovery ops that never succeeded.
+    u64 diskTransientErrors = 0; ///< Device-level transient failures.
+    u64 diskBadSectorErrors = 0; ///< Device-level bad-sector hits.
+    u64 diskSectorsRemapped = 0; ///< Device-lifetime remaps (fs+rec).
+    bool readOnlyDegraded = false; ///< Fs ended read-only remounted.
+    /** @} */
+
     std::string message;
 
     bool operator==(const TrialRecord &) const = default;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "os/dma.hh"
+#include "os/ioretry.hh"
 
 namespace rio::os
 {
@@ -185,8 +186,20 @@ BufferCache::diskFill(Ref ref)
                        "bread: block number beyond device");
     }
     procs_.enter(ProcId::DiskStrategy);
-    disk_->read(static_cast<SectorNo>(block) * sim::kSectorsPerBlock,
-                sim::kSectorsPerBlock, staging_, machine_.clock());
+    const IoOutcome outcome = retryRead(
+        *disk_, static_cast<SectorNo>(block) * sim::kSectorsPerBlock,
+        sim::kSectorsPerBlock, staging_, machine_.clock(),
+        config_.ioRetry);
+    stats_.ioRetries += outcome.retries;
+    stats_.ioRemaps += outcome.remaps;
+    if (!outcome.ok() && config_.ioRetry.enabled) {
+        ++stats_.ioAbandoned;
+        machine_.crash(sim::CrashCause::KernelPanic,
+                       "bread: unrecoverable disk read");
+    }
+    // With the retry discipline off, a failed read is silently
+    // ignored and the stale staging bytes leak into the cache — the
+    // legacy assume-success hole the ablation's baseline arm keeps.
     const Addr page = pageAddr(ref);
     guard_->install(page, tagOf(ref));
     guard_->beginWrite(page);
@@ -221,14 +234,24 @@ BufferCache::diskWrite(Ref ref, bool sync)
     dmaRead(machine_.mem(), page, staging_);
     const SectorNo sector =
         static_cast<SectorNo>(block) * sim::kSectorsPerBlock;
-    if (sync) {
+    if (sync)
         ++stats_.diskWritesSync;
-        disk_->write(sector, sim::kSectorsPerBlock, staging_,
-                     machine_.clock());
-    } else {
+    else
         ++stats_.diskWritesAsync;
-        disk_->queueWrite(sector, sim::kSectorsPerBlock, staging_,
-                          machine_.clock());
+    const IoOutcome outcome =
+        retryWrite(*disk_, sector, sim::kSectorsPerBlock, staging_,
+                   machine_.clock(), config_.ioRetry, /*queued=*/!sync);
+    stats_.ioRetries += outcome.retries;
+    stats_.ioRemaps += outcome.remaps;
+    if (!outcome.ok() && config_.ioRetry.enabled) {
+        ++stats_.ioAbandoned;
+        // The block never reached the platter and never will: degrade
+        // to a read-only remount instead of losing updates silently.
+        if (!degraded_) {
+            degraded_ = true;
+            if (degrade_)
+                degrade_();
+        }
     }
     setFlags(ref, flags(ref) & ~(kDirty | kDelwri));
     guard_->setDirty(page, false);

@@ -22,6 +22,7 @@
 #ifndef RIO_OS_BUF_HH
 #define RIO_OS_BUF_HH
 
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -56,6 +57,9 @@ struct BufStats
     u64 diskWritesSync = 0;
     u64 diskWritesAsync = 0;
     u64 delayedWrites = 0;
+    u64 ioRetries = 0;   ///< Extra disk attempts beyond the first.
+    u64 ioRemaps = 0;    ///< Bad sectors remapped by the retry path.
+    u64 ioAbandoned = 0; ///< Ops given up after the attempt budget.
 };
 
 class BufferCache
@@ -176,6 +180,18 @@ class BufferCache
 
     void setJournalSink(JournalSink *sink) { journal_ = sink; }
 
+    /**
+     * Called (once) when a metadata write-back fails for good — the
+     * file system uses this to degrade to a read-only remount rather
+     * than lose updates silently.
+     */
+    void setDegradeHandler(std::function<void()> handler)
+    {
+        degrade_ = std::move(handler);
+    }
+    /** True once a persistent write failure triggered the handler. */
+    bool degraded() const { return degraded_; }
+
     const BufStats &stats() const { return stats_; }
 
     /** @{ Fault-injection surface. */
@@ -209,6 +225,8 @@ class BufferCache
     CacheGuard *guard_ = nullptr;
     sim::Disk *disk_ = nullptr;
     JournalSink *journal_ = nullptr;
+    std::function<void()> degrade_;
+    bool degraded_ = false;
 
     Addr arena_ = 0;
     Addr poolBase_ = 0;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "os/ioretry.hh"
 #include "os/ufs.hh"
 #include "support/bytes.hh"
 
@@ -20,8 +21,9 @@ constexpr u64 kBlock = Ufs::kBlockSize;
 class BlockIo
 {
   public:
-    BlockIo(sim::Disk &disk, sim::SimClock &clock)
-        : disk_(disk), clock_(clock)
+    BlockIo(sim::Disk &disk, sim::SimClock &clock,
+            const IoRetryPolicy &policy)
+        : disk_(disk), clock_(clock), policy_(policy)
     {}
 
     std::vector<u8> &
@@ -31,8 +33,14 @@ class BlockIo
         if (it != cache_.end())
             return it->second;
         std::vector<u8> data(kBlock, 0);
-        disk_.read(static_cast<SectorNo>(block) * sim::kSectorsPerBlock,
-                   sim::kSectorsPerBlock, data, clock_);
+        const IoOutcome got = retryRead(
+            disk_, static_cast<SectorNo>(block) * sim::kSectorsPerBlock,
+            sim::kSectorsPerBlock, data, clock_, policy_);
+        if (!got.ok()) {
+            // Unreadable block: the scan sees zeros, which the repair
+            // phases treat conservatively (free / unreferenced).
+            ++readErrors_;
+        }
         return cache_.emplace(block, std::move(data)).first->second;
     }
 
@@ -42,17 +50,26 @@ class BlockIo
     writeBack()
     {
         for (const BlockNo block : dirty_) {
-            disk_.write(static_cast<SectorNo>(block) *
-                            sim::kSectorsPerBlock,
-                        sim::kSectorsPerBlock, cache_.at(block),
-                        clock_);
+            const IoOutcome put = retryWrite(
+                disk_,
+                static_cast<SectorNo>(block) * sim::kSectorsPerBlock,
+                sim::kSectorsPerBlock, cache_.at(block), clock_,
+                policy_);
+            if (!put.ok())
+                ++writeErrors_;
         }
         dirty_.clear();
     }
 
+    u64 readErrors() const { return readErrors_; }
+    u64 writeErrors() const { return writeErrors_; }
+
   private:
     sim::Disk &disk_;
     sim::SimClock &clock_;
+    IoRetryPolicy policy_;
+    u64 readErrors_ = 0;
+    u64 writeErrors_ = 0;
     std::unordered_map<BlockNo, std::vector<u8>> cache_;
     std::unordered_set<BlockNo> dirty_;
 };
@@ -102,10 +119,11 @@ struct InodeLoc
 } // namespace
 
 FsckReport
-runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair)
+runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair,
+        const IoRetryPolicy &policy)
 {
     FsckReport report;
-    BlockIo io(disk, clock);
+    BlockIo io(disk, clock, policy);
 
     // --- Phase 0: superblock sanity. ------------------------------
     auto &sb = io.get(0);
@@ -470,6 +488,8 @@ runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair)
         report.repaired = true;
     }
 
+    report.ioReadErrors = io.readErrors();
+    report.ioWriteErrors = io.writeErrors();
     return report;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "os/kconfig.hh"
 #include "sim/clock.hh"
 #include "sim/disk.hh"
 #include "support/types.hh"
@@ -39,6 +40,8 @@ struct FsckReport
     u64 nlinkFixed = 0;
     u64 bitmapFixed = 0;  ///< Bitmap bits corrected.
     u64 sizesFixed = 0;   ///< File sizes clamped to mapped blocks.
+    u64 ioReadErrors = 0;  ///< Blocks unreadable after retries (seen as zeros).
+    u64 ioWriteErrors = 0; ///< Repairs that never reached the platter.
     std::vector<std::string> messages;
 
     /** Total inconsistencies repaired. */
@@ -54,7 +57,8 @@ struct FsckReport
  * Check (and if @p repair, fix) the file system on @p disk.
  * Marks the superblock clean when done repairing.
  */
-FsckReport runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair);
+FsckReport runFsck(sim::Disk &disk, sim::SimClock &clock, bool repair,
+                   const IoRetryPolicy &policy = {});
 
 } // namespace rio::os
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "os/dma.hh"
+#include "os/ioretry.hh"
 #include "os/ufs.hh"
 #include "support/bytes.hh"
 #include "support/checksum.hh"
@@ -19,9 +20,11 @@ Journal::Journal(sim::Machine &machine, KProcTable &procs,
 }
 
 void
-Journal::attach(u32 logStart, u32 logBlocks, sim::Disk &disk)
+Journal::attach(u32 logStart, u32 logBlocks, sim::Disk &disk,
+                IoRetryPolicy policy)
 {
     disk_ = &disk;
+    policy_ = policy;
     logStart_ = logStart;
     capacity_ = logBlocks / 2;
     seq_ = 0;
@@ -47,12 +50,18 @@ Journal::flushLogBuffer()
         const SectorNo sector =
             static_cast<SectorNo>(logStart_ + slot * 2) *
             sim::kSectorsPerBlock;
-        disk_->queueWrite(
-            sector, run * 2 * sim::kSectorsPerBlock,
+        const IoOutcome outcome = retryWrite(
+            *disk_, sector, run * 2 * sim::kSectorsPerBlock,
             std::span<const u8>(groupBuffer_.data() +
                                     written * 2 * Ufs::kBlockSize,
                                 run * 2 * Ufs::kBlockSize),
-            machine_.clock());
+            machine_.clock(), policy_, /*queued=*/true);
+        if (!outcome.ok()) {
+            // A lost group is equivalent to crashing just before the
+            // commit reached the log: replay already tolerates the
+            // gap, the delayed in-place copies still exist.
+            ++lostGroups_;
+        }
         written += run;
     }
     buffered_ = 0;
@@ -114,11 +123,13 @@ Journal::appendMetadata(DevNo dev, BlockNo block, Addr pageAddr)
 }
 
 u64
-Journal::replay(sim::Disk &disk, sim::SimClock &clock)
+Journal::replay(sim::Disk &disk, sim::SimClock &clock,
+                const IoRetryPolicy &policy)
 {
-    // Read the superblock to find the log area.
+    // Read the superblock to find the log area. An unreadable
+    // superblock leaves the zeroed image and the magic check bails.
     std::vector<u8> sb(Ufs::kBlockSize, 0);
-    disk.read(0, sim::kSectorsPerBlock, sb, clock);
+    (void)retryRead(disk, 0, sim::kSectorsPerBlock, sb, clock, policy);
     if (support::loadLE<u32>(sb, Ufs::kSbMagic) != Ufs::kSuperMagic)
         return 0;
     const u32 logStart = support::loadLE<u32>(sb, Ufs::kSbLogStart);
@@ -132,7 +143,12 @@ Journal::replay(sim::Disk &disk, sim::SimClock &clock)
         const SectorNo sector =
             static_cast<SectorNo>(logStart + slot * 2) *
             sim::kSectorsPerBlock;
-        disk.read(sector, 2 * sim::kSectorsPerBlock, rec, clock);
+        std::fill(rec.begin(), rec.end(), 0);
+        const IoOutcome got = retryRead(disk, sector,
+                                        2 * sim::kSectorsPerBlock, rec,
+                                        clock, policy);
+        if (!got.ok())
+            continue; // Unreadable record: same as torn, skip it.
         if (support::loadLE<u32>(rec, 0) != kRecordMagic)
             continue;
         const u64 seq = support::loadLE<u64>(rec, 4);
@@ -150,10 +166,16 @@ Journal::replay(sim::Disk &disk, sim::SimClock &clock)
 
     u64 applied = 0;
     for (auto &[seq, entry] : records) {
-        disk.write(static_cast<SectorNo>(entry.first) *
-                       sim::kSectorsPerBlock,
-                   sim::kSectorsPerBlock, entry.second, clock);
-        ++applied;
+        const IoOutcome put =
+            retryWrite(disk,
+                       static_cast<SectorNo>(entry.first) *
+                           sim::kSectorsPerBlock,
+                       sim::kSectorsPerBlock, entry.second, clock,
+                       policy);
+        if (put.ok())
+            ++applied;
+        // An unwritable target block is left to fsck: the in-place
+        // copy may be stale, which the scan repairs conservatively.
     }
     return applied;
 }

@@ -32,7 +32,8 @@ class Journal : public JournalSink
             BufferCache &buf);
 
     /** Bind to the mounted file system's log area. */
-    void attach(u32 logStart, u32 logBlocks, sim::Disk &disk);
+    void attach(u32 logStart, u32 logBlocks, sim::Disk &disk,
+                IoRetryPolicy policy = {});
 
     void appendMetadata(DevNo dev, BlockNo block,
                         Addr pageAddr) override;
@@ -46,12 +47,16 @@ class Journal : public JournalSink
 
     u64 recordsWritten() const { return seq_; }
 
+    /** Group writes the log gave up on after the retry budget. */
+    u64 lostGroups() const { return lostGroups_; }
+
     /**
      * Boot-time recovery: apply every valid record, in sequence
      * order, to its in-place location.
      * @return Number of records applied.
      */
-    static u64 replay(sim::Disk &disk, sim::SimClock &clock);
+    static u64 replay(sim::Disk &disk, sim::SimClock &clock,
+                      const IoRetryPolicy &policy = {});
 
   private:
     /** Records buffered before one sequential group write. */
@@ -66,6 +71,8 @@ class Journal : public JournalSink
     KProcTable &procs_;
     BufferCache &buf_;
     sim::Disk *disk_ = nullptr;
+    IoRetryPolicy policy_;
+    u64 lostGroups_ = 0;
     u32 logStart_ = 0;
     u32 capacity_ = 0; ///< Records (2 blocks each).
     u64 seq_ = 0;

@@ -51,6 +51,24 @@ enum class FsKind : u8
     Journal, ///< UFS with an AdvFS-style metadata journal.
 };
 
+/**
+ * Bounded retry/remap policy for the disk I/O path (os/ioretry.hh).
+ * Off reproduces the legacy assume-success path: statuses from the
+ * device are ignored and a failed fill leaves stale staging bytes —
+ * exactly the undefined behaviour the ablation's baseline arm
+ * measures.
+ */
+struct IoRetryPolicy
+{
+    bool enabled = true;
+    /** Total attempts per op (first try plus retries). */
+    u32 maxAttempts = 4;
+    /** Backoff before the first retry; doubles on each further one. */
+    SimNs backoffNs = 2'000'000;
+    /** Remap latently-bad sectors onto spares, then retry. */
+    bool remapOnBadSector = true;
+};
+
 struct KernelConfig
 {
     FsKind fs = FsKind::Ufs;
@@ -94,6 +112,9 @@ struct KernelConfig
 
     /** Maximum open files per process. */
     u32 maxOpenFiles = 64;
+
+    /** Disk I/O retry/remap discipline (see IoRetryPolicy). */
+    IoRetryPolicy ioRetry;
 };
 
 /** The eight system configurations evaluated in Table 2. */

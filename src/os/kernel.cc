@@ -1,5 +1,6 @@
 #include "os/kernel.hh"
 
+#include "os/ioretry.hh"
 #include "support/bytes.hh"
 
 namespace rio::os
@@ -70,9 +71,13 @@ Kernel::boot(CacheGuard *guard, bool format)
     if (format)
         Ufs::mkfs(disk, machine_.clock());
 
-    // Peek the clean flag (device-level read, as boot code does).
+    // Peek the clean flag (device-level read, as boot code does). A
+    // persistently unreadable superblock leaves the zeroed image; the
+    // magic check routes that to the mount-failure panic below
+    // instead of trusting garbage.
     std::vector<u8> sb(Ufs::kBlockSize, 0);
-    disk.read(0, sim::kSectorsPerBlock, sb, machine_.clock());
+    (void)retryRead(disk, 0, sim::kSectorsPerBlock, sb,
+                    machine_.clock(), config_.ioRetry);
     const u32 magic = support::loadLE<u32>(sb, Ufs::kSbMagic);
     const u32 clean = support::loadLE<u32>(sb, Ufs::kSbClean);
 
@@ -81,9 +86,10 @@ Kernel::boot(CacheGuard *guard, bool format)
     if (magic == Ufs::kSuperMagic && clean == 0) {
         if (config_.fs == FsKind::Journal) {
             journalReplayed_ =
-                Journal::replay(disk, machine_.clock());
+                Journal::replay(disk, machine_.clock(),
+                                config_.ioRetry);
         }
-        fsck_ = runFsck(disk, machine_.clock(), true);
+        fsck_ = runFsck(disk, machine_.clock(), true, config_.ioRetry);
     }
 
     auto mounted = ufs_.mount(1, disk);
@@ -93,9 +99,13 @@ Kernel::boot(CacheGuard *guard, bool format)
     }
     if (config_.fs == FsKind::Journal) {
         journal_.attach(ufs_.geometry().logStart,
-                        ufs_.geometry().logBlocks, disk);
+                        ufs_.geometry().logBlocks, disk,
+                        config_.ioRetry);
         buf_.setJournalSink(&journal_);
     }
+    // Persistent metadata write-back failure ends in a read-only
+    // remount, not silent loss.
+    buf_.setDegradeHandler([this] { ufs_.degradeReadOnly(); });
 
     nextUpdate_ = machine_.clock().now() + config_.updateIntervalNs;
 }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "os/dma.hh"
+#include "os/ioretry.hh"
 #include "support/bytes.hh"
 
 namespace rio::os
@@ -68,9 +69,15 @@ Ufs::mkfs(sim::Disk &disk, sim::SimClock &clock)
     assert(geo.dataStart < geo.logStart);
 
     std::vector<u8> block(kBlockSize, 0);
+    const IoRetryPolicy policy;
     auto writeBlock = [&](BlockNo blkno) {
-        disk.write(static_cast<SectorNo>(blkno) * sim::kSectorsPerBlock,
-                   sim::kSectorsPerBlock, block, clock);
+        // Format-time failures have no fallback: retry, and let the
+        // boot-time superblock check catch a volume that never
+        // formatted.
+        (void)retryWrite(disk,
+                         static_cast<SectorNo>(blkno) *
+                             sim::kSectorsPerBlock,
+                         sim::kSectorsPerBlock, block, clock, policy);
         std::fill(block.begin(), block.end(), 0);
     };
 
@@ -168,6 +175,7 @@ Ufs::mount(DevNo dev, sim::Disk &disk)
 {
     dev_ = dev;
     disk_ = &disk;
+    readOnly_ = false;
     const auto ref = buf_.bread(dev_, 0);
     if (buf_.read32(ref, kSbMagic) != kSuperMagic) {
         buf_.brelse(ref);

@@ -137,6 +137,16 @@ class Ufs : public BackingStore
 
     bool mounted() const { return mounted_; }
     DevNo dev() const { return dev_; }
+
+    /**
+     * Degrade to a read-only remount: invoked (via the buffer cache's
+     * degrade handler) when a metadata write-back fails for good.
+     * Mutating operations fail with OsStatus::RoFs from then on;
+     * everything already on disk or in cache stays readable. Cleared
+     * by the next mount().
+     */
+    void degradeReadOnly() { readOnly_ = true; }
+    bool readOnly() const { return readOnly_; }
     const UfsGeometry &geometry() const { return geo_; }
     u32 freeBlocks();
     u32 freeInodes();
@@ -234,6 +244,7 @@ class Ufs : public BackingStore
     Ubc &ubc_;
 
     bool mounted_ = false;
+    bool readOnly_ = false;
     DevNo dev_ = 0;
     sim::Disk *disk_ = nullptr;
 

@@ -400,6 +400,8 @@ Ufs::nameiParent(std::string_view path)
 Result<InodeNo>
 Ufs::create(std::string_view path, FileType type)
 {
+    if (readOnly_)
+        return OsStatus::RoFs;
     procs_.enter(type == FileType::Dir ? ProcId::UfsMkdir
                                        : ProcId::UfsCreate);
     LockTable::Guard guard(locks_, fsLock_);
@@ -439,6 +441,8 @@ Ufs::mkdir(std::string_view path)
 Result<void>
 Ufs::link(std::string_view existing, std::string_view linkpath)
 {
+    if (readOnly_)
+        return OsStatus::RoFs;
     procs_.enter(ProcId::UfsCreate);
     LockTable::Guard guard(locks_, fsLock_);
     auto ino = namei(existing);
@@ -477,6 +481,8 @@ Ufs::link(std::string_view existing, std::string_view linkpath)
 Result<void>
 Ufs::remove(std::string_view path)
 {
+    if (readOnly_)
+        return OsStatus::RoFs;
     procs_.enter(ProcId::UfsRemove);
     LockTable::Guard guard(locks_, fsLock_);
     auto parent = nameiParent(path);
@@ -510,6 +516,8 @@ Ufs::remove(std::string_view path)
 Result<void>
 Ufs::rmdir(std::string_view path)
 {
+    if (readOnly_)
+        return OsStatus::RoFs;
     procs_.enter(ProcId::UfsRmdir);
     LockTable::Guard guard(locks_, fsLock_);
     auto parent = nameiParent(path);
@@ -543,6 +551,8 @@ Ufs::rmdir(std::string_view path)
 Result<void>
 Ufs::rename(std::string_view from, std::string_view to)
 {
+    if (readOnly_)
+        return OsStatus::RoFs;
     procs_.enter(ProcId::UfsRename);
     LockTable::Guard guard(locks_, fsLock_);
     auto fromParent = nameiParent(from);
@@ -630,6 +640,8 @@ Ufs::rename(std::string_view from, std::string_view to)
 Result<void>
 Ufs::symlink(std::string_view target, std::string_view linkpath)
 {
+    if (readOnly_)
+        return OsStatus::RoFs;
     procs_.enter(ProcId::UfsSymlink);
     if (target.empty() || target.size() > kBlockSize)
         return OsStatus::Inval;

@@ -9,6 +9,7 @@
 #include <cassert>
 
 #include "os/dma.hh"
+#include "os/ioretry.hh"
 #include "os/ufs.hh"
 
 namespace rio::os
@@ -44,6 +45,8 @@ Ufs::readFile(InodeNo ino, u64 off, std::span<u8> out)
 Result<u64>
 Ufs::writeFile(InodeNo ino, u64 off, std::span<const u8> data)
 {
+    if (readOnly_)
+        return OsStatus::RoFs;
     procs_.enter(ProcId::UfsWriteFile);
     auto inodeRes = iget(ino);
     if (!inodeRes.ok())
@@ -99,6 +102,8 @@ Ufs::writeFile(InodeNo ino, u64 off, std::span<const u8> data)
 Result<void>
 Ufs::truncate(InodeNo ino, u64 newSize)
 {
+    if (readOnly_)
+        return OsStatus::RoFs;
     procs_.enter(ProcId::UfsTruncate);
     auto inodeRes = iget(ino);
     if (!inodeRes.ok())
@@ -161,10 +166,18 @@ Ufs::fillPage(DevNo dev, InodeNo ino, u64 pageIdx, Addr pagePhys)
         now >= lastFillEnd_) {
         overlap = now - lastFillEnd_;
     }
-    disk_->read(static_cast<SectorNo>(block.value()) *
-                    sim::kSectorsPerBlock,
-                sim::kSectorsPerBlock, scratch_, machine_.clock(),
-                overlap);
+    const IoOutcome got =
+        retryRead(*disk_,
+                  static_cast<SectorNo>(block.value()) *
+                      sim::kSectorsPerBlock,
+                  sim::kSectorsPerBlock, scratch_, machine_.clock(),
+                  config_.ioRetry, overlap);
+    if (!got.ok() && config_.ioRetry.enabled) {
+        machine_.crash(sim::CrashCause::KernelPanic,
+                       "panic: unrecoverable file data read");
+    }
+    // Retry discipline off: a failed fill silently hands the page
+    // whatever the scratch buffer last held (legacy behaviour).
     lastFillIno_ = ino;
     lastFillPage_ = pageIdx;
     lastFillEnd_ = machine_.clock().now();
@@ -196,12 +209,14 @@ Ufs::spillPage(DevNo dev, InodeNo ino, u64 pageIdx, Addr pagePhys,
     dmaRead(machine_.mem(), pagePhys, scratch_);
     const SectorNo sector =
         static_cast<SectorNo>(block.value()) * sim::kSectorsPerBlock;
-    if (sync) {
-        disk_->write(sector, sim::kSectorsPerBlock, scratch_,
-                     machine_.clock());
-    } else {
-        disk_->queueWrite(sector, sim::kSectorsPerBlock, scratch_,
-                          machine_.clock());
+    const IoOutcome put =
+        retryWrite(*disk_, sector, sim::kSectorsPerBlock, scratch_,
+                   machine_.clock(), config_.ioRetry,
+                   /*queued=*/!sync);
+    if (!put.ok() && config_.ioRetry.enabled) {
+        // File data never reached the platter: stop taking new
+        // updates rather than lose them silently.
+        degradeReadOnly();
     }
 }
 

@@ -347,4 +347,13 @@ Vfs::restoreDataByIno(InodeNo ino, u64 off, std::span<const u8> data)
     return ufs_.writeFile(ino, off, data);
 }
 
+void
+Vfs::restoreFsyncByIno(InodeNo ino)
+{
+    sysEnter(ProcId::VfsFsync);
+    if (!ufs_.inodeValid(ino))
+        return;
+    ufs_.fsyncFile(ino, true);
+}
+
 } // namespace rio::os

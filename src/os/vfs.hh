@@ -138,6 +138,17 @@ class Vfs
     Result<u64> restoreDataByIno(InodeNo ino, u64 off,
                                  std::span<const u8> data);
 
+    /**
+     * Warm-reboot durability push: make inode @p ino's restored
+     * pages (and the metadata describing them) durable on disk.
+     * Unlike fsync(2) — which Rio turns into an instant return
+     * because memory *is* permanent — the re-entrant restore
+     * checkpoints its progress, and a checkpoint must never claim
+     * more than the platter holds, so this always does the full
+     * push.
+     */
+    void restoreFsyncByIno(InodeNo ino);
+
     u64 syscallCount() const { return syscalls_; }
 
   private:

@@ -45,6 +45,43 @@ Disk::serviceTime(SectorNo start, u64 count)
     return costs_.diskControllerNs + seek + rot + xfer;
 }
 
+bool
+Disk::clampRange(SectorNo start, u64 &count)
+{
+    if (start >= numSectors_) {
+        count = 0;
+        return false;
+    }
+    count = std::min(count, numSectors_ - start);
+    return count > 0;
+}
+
+bool
+Disk::rangeHasBadSector(SectorNo start, u64 count) const
+{
+    if (badSectors_.empty())
+        return false;
+    for (u64 i = 0; i < count; ++i)
+        if (badSectors_.count(start + i))
+            return true;
+    return false;
+}
+
+DiskStatus
+Disk::faultCheck(bool isWrite, SectorNo start, u64 count)
+{
+    if (faults_ != nullptr &&
+        faults_->transientError(isWrite, start, count)) {
+        ++stats_.transientErrors;
+        return DiskStatus::TransientError;
+    }
+    if (rangeHasBadSector(start, count)) {
+        ++stats_.badSectorErrors;
+        return DiskStatus::BadSector;
+    }
+    return DiskStatus::Ok;
+}
+
 void
 Disk::doTransfer(SectorNo start, u64 count, SimClock &clock,
                  bool is_write, SimNs overlapNs)
@@ -97,33 +134,63 @@ Disk::doTransfer(SectorNo start, u64 count, SimClock &clock,
     }
 }
 
-void
+DiskStatus
 Disk::read(SectorNo start, u64 count, std::span<u8> out,
            SimClock &clock, SimNs overlapNs)
 {
     assert(out.size() >= count * kSectorSize);
+    if (!clampRange(start, count))
+        return DiskStatus::Ok;
     doTransfer(start, count, clock, false, overlapNs);
+    // The head moved and time passed even when the op fails: a
+    // transient error or bad sector is detected during the transfer.
+    const DiskStatus status = faultCheck(false, start, count);
+    if (status != DiskStatus::Ok)
+        return status;
     std::memcpy(out.data(), store_.data() + start * kSectorSize,
                 count * kSectorSize);
+    return DiskStatus::Ok;
 }
 
-void
+DiskStatus
 Disk::write(SectorNo start, u64 count, std::span<const u8> data,
             SimClock &clock)
 {
     assert(data.size() >= count * kSectorSize);
+    const u64 asked = count;
+    if (!clampRange(start, count)) {
+        ++stats_.clampedWrites;
+        return DiskStatus::Ok;
+    }
+    if (count != asked)
+        ++stats_.clampedWrites;
     doTransfer(start, count, clock, true);
+    const DiskStatus status = faultCheck(true, start, count);
+    if (status != DiskStatus::Ok)
+        return status;
     std::memcpy(store_.data() + start * kSectorSize, data.data(),
                 count * kSectorSize);
+    return DiskStatus::Ok;
 }
 
-void
+DiskStatus
 Disk::queueWrite(SectorNo start, u64 count, std::span<const u8> data,
                  SimClock &clock)
 {
-    assert(start + count <= numSectors_);
     assert(data.size() >= count * kSectorSize);
+    const u64 asked = count;
+    if (!clampRange(start, count)) {
+        ++stats_.clampedWrites;
+        return DiskStatus::Ok;
+    }
+    if (count != asked)
+        ++stats_.clampedWrites;
     poll(clock.now());
+    // Nothing observes asynchronous completion, so the fault dice
+    // roll at queue time and the caller learns the outcome up front.
+    const DiskStatus status = faultCheck(true, start, count);
+    if (status != DiskStatus::Ok)
+        return status;
     Pending pending;
     pending.start = start;
     pending.count = count;
@@ -136,6 +203,7 @@ Disk::queueWrite(SectorNo start, u64 count, std::span<const u8> data,
     stats_.busyNs += service;
     ++stats_.queuedWrites;
     queue_.push_back(std::move(pending));
+    return DiskStatus::Ok;
 }
 
 void
@@ -150,10 +218,17 @@ Disk::poll(SimNs now)
 void
 Disk::apply(const Pending &pending)
 {
+    u64 count = pending.count;
+    if (!clampRange(pending.start, count)) {
+        ++stats_.clampedWrites;
+        return;
+    }
+    if (count != pending.count)
+        ++stats_.clampedWrites;
     std::memcpy(store_.data() + pending.start * kSectorSize,
-                pending.data.data(), pending.count * kSectorSize);
+                pending.data.data(), count * kSectorSize);
     ++stats_.writes;
-    stats_.sectorsWritten += pending.count;
+    stats_.sectorsWritten += count;
 }
 
 void
@@ -173,19 +248,35 @@ Disk::crashDropQueue(SimNs when)
         // The head of the queue may be mid-transfer: tear it.
         Pending &inflight = queue_.front();
         if (inflight.startTime < when) {
+            const SimNs dur =
+                inflight.completeTime - inflight.startTime;
             const double frac =
-                static_cast<double>(when - inflight.startTime) /
-                static_cast<double>(inflight.completeTime -
-                                    inflight.startTime);
-            const u64 done = static_cast<u64>(frac * inflight.count);
-            if (done > 0) {
+                dur > 0 ? static_cast<double>(when - inflight.startTime) /
+                              static_cast<double>(dur)
+                        : 0.0;
+            u64 done = static_cast<u64>(
+                frac * static_cast<double>(inflight.count));
+            // A torn write never lands whole: float rounding must not
+            // let `done` reach `count`, or a 1-sector write would
+            // escape its garbage sector.
+            if (done >= inflight.count)
+                done = inflight.count - 1;
+            // Clamp at the device end instead of scribbling past the
+            // last sector.
+            const u64 devLimit = inflight.start < numSectors_
+                                     ? numSectors_ - inflight.start
+                                     : 0;
+            if (devLimit < inflight.count)
+                ++stats_.clampedWrites;
+            const u64 copy = std::min(done, devLimit);
+            if (copy > 0) {
                 std::memcpy(store_.data() + inflight.start * kSectorSize,
-                            inflight.data.data(), done * kSectorSize);
+                            inflight.data.data(), copy * kSectorSize);
             }
-            if (done < inflight.count) {
+            const SectorNo tornAt = inflight.start + done;
+            if (tornAt < numSectors_) {
                 // The sector under the head at crash time is garbage.
-                u8 *torn =
-                    store_.data() + (inflight.start + done) * kSectorSize;
+                u8 *torn = store_.data() + tornAt * kSectorSize;
                 for (u64 i = 0; i < kSectorSize; ++i)
                     torn[i] = static_cast<u8>(rng_.next());
             }
@@ -195,7 +286,33 @@ Disk::crashDropQueue(SimNs when)
     }
     lost += queue_.size();
     queue_.clear();
+    if (faults_ != nullptr)
+        faults_->onCrash(*this, when);
     return lost;
+}
+
+void
+Disk::markBadSector(SectorNo sector)
+{
+    assert(sector < numSectors_);
+    badSectors_.insert(sector);
+}
+
+bool
+Disk::remapSector(SectorNo sector)
+{
+    if (badSectors_.count(sector) == 0)
+        return false;
+    if (spareSectors_ == 0) {
+        ++stats_.remapExhausted;
+        return false;
+    }
+    badSectors_.erase(sector);
+    --spareSectors_;
+    ++stats_.sectorsRemapped;
+    // The spare is fresh media: whatever the bad sector held is gone.
+    std::memset(store_.data() + sector * kSectorSize, 0, kSectorSize);
+    return true;
 }
 
 std::span<const u8>

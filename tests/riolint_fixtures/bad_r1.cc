@@ -16,3 +16,16 @@ scribbleOnCache(sim::PhysMem &mem, const u8 *src)
 }
 
 } // namespace rio::os
+
+namespace rio::fault
+{
+
+void
+scribbleOnPlatter(sim::Disk &disk)
+{
+    // Writable window past the simulated I/O path.
+    auto window = disk.hostSector(7);
+    window[0] = 0xff;
+}
+
+} // namespace rio::fault

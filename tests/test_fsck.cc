@@ -61,18 +61,20 @@ struct DiskImage
     readBlock(BlockNo block)
     {
         std::vector<u8> data(os::Ufs::kBlockSize);
-        machine.disk().read(static_cast<SectorNo>(block) *
-                                sim::kSectorsPerBlock,
-                            sim::kSectorsPerBlock, data, clock);
+        (void)machine.disk().read(
+            static_cast<SectorNo>(block) *
+                sim::kSectorsPerBlock,
+            sim::kSectorsPerBlock, data, clock);
         return data;
     }
 
     void
     writeBlock(BlockNo block, const std::vector<u8> &data)
     {
-        machine.disk().write(static_cast<SectorNo>(block) *
-                                 sim::kSectorsPerBlock,
-                             sim::kSectorsPerBlock, data, clock);
+        (void)machine.disk().write(
+            static_cast<SectorNo>(block) *
+                sim::kSectorsPerBlock,
+            sim::kSectorsPerBlock, data, clock);
     }
 
     BlockNo

@@ -95,10 +95,12 @@ TEST_P(FsckFuzz, RepairedFilesystemIsAlwaysUsable)
     {
         std::vector<u8> sb(os::Ufs::kBlockSize);
         sim::SimClock clock;
-        machine.disk().read(0, sim::kSectorsPerBlock, sb, clock);
+        (void)machine.disk().read(0, sim::kSectorsPerBlock, sb,
+                                  clock);
         const u32 zero = 0;
         std::memcpy(sb.data() + os::Ufs::kSbClean, &zero, 4);
-        machine.disk().write(0, sim::kSectorsPerBlock, sb, clock);
+        (void)machine.disk().write(0, sim::kSectorsPerBlock, sb,
+                                   clock);
     }
 
     // Boot: journal replay is off (plain UFS preset), fsck repairs.

@@ -150,3 +150,98 @@ TEST(Campaign, DiskSystemSkipsWarmReboot)
     }
     FAIL() << "no run crashed in 12 attempts";
 }
+
+namespace
+{
+
+/** Scoped setenv: restores the prior value (or unset) on exit. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            hadOld_ = true;
+            old_ = old;
+        }
+        ::setenv(name, value, 1);
+    }
+
+    ~EnvGuard()
+    {
+        if (hadOld_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool hadOld_ = false;
+    std::string old_;
+};
+
+} // namespace
+
+TEST(EnvStrict, UnsetOrEmptyUsesFallbackEvenBelowMinimum)
+{
+    ::unsetenv("RIO_TEST_KNOB");
+    EXPECT_EQ(harness::envU64Strict("RIO_TEST_KNOB", 0), 0u);
+    EXPECT_EQ(harness::envU64Strict("RIO_TEST_KNOB", 26), 26u);
+    EnvGuard guard("RIO_TEST_KNOB", "");
+    EXPECT_EQ(harness::envU64Strict("RIO_TEST_KNOB", 7), 7u);
+}
+
+TEST(EnvStrict, CleanValueParses)
+{
+    EnvGuard guard("RIO_TEST_KNOB", "8");
+    EXPECT_EQ(harness::envU64Strict("RIO_TEST_KNOB", 1), 8u);
+}
+
+TEST(EnvStrict, ExplicitZeroRejected)
+{
+    EnvGuard guard("RIO_TEST_KNOB", "0");
+    EXPECT_THROW(harness::envU64Strict("RIO_TEST_KNOB", 4),
+                 std::invalid_argument);
+}
+
+TEST(EnvStrict, GarbageRejectedLoudly)
+{
+    for (const char *bad : {"abc", "5x", "-1", "0x10", "1.5", "+"}) {
+        EnvGuard guard("RIO_TEST_KNOB", bad);
+        EXPECT_THROW(harness::envU64Strict("RIO_TEST_KNOB", 4),
+                     std::invalid_argument)
+            << "accepted garbage value \"" << bad << "\"";
+    }
+}
+
+TEST(EnvStrict, ErrorMessageNamesKnobAndRemedy)
+{
+    EnvGuard guard("RIO_T1_JOBS", "banana");
+    try {
+        harness::envU64Strict("RIO_T1_JOBS", 0);
+        FAIL() << "garbage RIO_T1_JOBS did not throw";
+    } catch (const std::invalid_argument &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("RIO_T1_JOBS"), std::string::npos);
+        EXPECT_NE(what.find("banana"), std::string::npos);
+        EXPECT_NE(what.find("unset it for the default"),
+                  std::string::npos);
+    }
+}
+
+TEST(EnvStrict, CampaignConfigRejectsZeroJobs)
+{
+    // RIO_T1_JOBS=0 must fail loudly at config construction instead
+    // of silently running the campaign single-threaded (or worse).
+    EnvGuard guard("RIO_T1_JOBS", "0");
+    EXPECT_THROW(harness::CampaignConfig{}, std::invalid_argument);
+}
+
+TEST(EnvStrict, CampaignConfigAcceptsUnsetJobs)
+{
+    ::unsetenv("RIO_T1_JOBS");
+    harness::CampaignConfig config;
+    EXPECT_EQ(config.jobs, 0u); // 0 = "use all hardware threads".
+}

@@ -53,8 +53,9 @@ countRule(const std::vector<Finding> &findings, Rule rule,
 TEST(Riolint, R1FiresOnUncheckedStores)
 {
     const auto findings = lintFixture("bad_r1.cc");
-    EXPECT_GE(countRule(findings, Rule::R1CheckedStore), 3)
-        << "raw(), memcpy and memset must all be flagged";
+    EXPECT_GE(countRule(findings, Rule::R1CheckedStore), 4)
+        << "raw(), memcpy, memset and hostSector() must all be "
+           "flagged";
 }
 
 TEST(Riolint, R2FiresOnHostEntropy)

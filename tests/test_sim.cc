@@ -330,8 +330,8 @@ TEST(DiskTest, ReadBackWhatWasWritten)
     Disk disk(1 << 20, costs, support::Rng(1));
     SimClock clock;
     std::vector<u8> in(kSectorSize * 4, 0x5a), out(kSectorSize * 4);
-    disk.write(8, 4, in, clock);
-    disk.read(8, 4, out, clock);
+    EXPECT_EQ(disk.write(8, 4, in, clock), DiskStatus::Ok);
+    EXPECT_EQ(disk.read(8, 4, out, clock), DiskStatus::Ok);
     EXPECT_EQ(in, out);
     EXPECT_GT(clock.now(), 0u);
 }
@@ -342,7 +342,7 @@ TEST(DiskTest, QueuedWriteAppliesAfterCompletion)
     Disk disk(1 << 20, costs, support::Rng(2));
     SimClock clock;
     std::vector<u8> in(kSectorSize, 0x77), out(kSectorSize, 0);
-    disk.queueWrite(100, 1, in, clock);
+    EXPECT_EQ(disk.queueWrite(100, 1, in, clock), DiskStatus::Ok);
     EXPECT_EQ(disk.queueDepth(), 1u);
     disk.drain(clock);
     EXPECT_EQ(disk.queueDepth(), 0u);
@@ -356,8 +356,9 @@ TEST(DiskTest, ReadWaitsForOverlappingQueuedWrite)
     Disk disk(1 << 20, costs, support::Rng(3));
     SimClock clock;
     std::vector<u8> in(kSectorSize, 0x11), out(kSectorSize, 0);
-    disk.queueWrite(50, 1, in, clock);
-    disk.read(50, 1, out, clock); // Must observe the queued data.
+    EXPECT_EQ(disk.queueWrite(50, 1, in, clock), DiskStatus::Ok);
+    EXPECT_EQ(disk.read(50, 1, out, clock), // Observes queued data.
+              DiskStatus::Ok);
     EXPECT_EQ(out, in);
 }
 
@@ -370,7 +371,8 @@ TEST(DiskTest, CrashDropsQueuedWrites)
     // Queue several writes; crash immediately: none had time to
     // complete fully, later ones are entirely lost.
     for (int i = 0; i < 5; ++i)
-        disk.queueWrite(200 + 10 * i, 1, in, clock);
+        EXPECT_EQ(disk.queueWrite(200 + 10 * i, 1, in, clock),
+                  DiskStatus::Ok);
     const u64 lost = disk.crashDropQueue(clock.now());
     EXPECT_EQ(lost, 5u);
     EXPECT_EQ(disk.queueDepth(), 0u);
@@ -384,10 +386,66 @@ TEST(DiskTest, CrashAppliesCompletedWrites)
     Disk disk(1 << 20, costs, support::Rng(5));
     SimClock clock;
     std::vector<u8> in(kSectorSize, 0x33);
-    disk.queueWrite(300, 1, in, clock);
+    EXPECT_EQ(disk.queueWrite(300, 1, in, clock), DiskStatus::Ok);
     clock.advance(3600ull * kNsPerSec); // Plenty of time to land.
     disk.crashDropQueue(clock.now());
     EXPECT_EQ(disk.peekSector(300)[0], 0x33);
+}
+
+TEST(DiskTest, TornSingleSectorWriteLeavesExactlyOneGarbageSector)
+{
+    CostModel costs;
+    Disk disk(1 << 20, costs, support::Rng(9));
+    SimClock clock;
+    std::vector<u8> in(kSectorSize, 0x22);
+    EXPECT_EQ(disk.queueWrite(400, 1, in, clock), DiskStatus::Ok);
+    // Crash mid-transfer: the service time of any transfer is far
+    // beyond 1 ns, so the write started but could not complete.
+    const u64 lost = disk.crashDropQueue(clock.now() + 1);
+    EXPECT_EQ(lost, 1u);
+    // The target sector is garbage — neither the payload (the write
+    // must not land whole) nor untouched zeros.
+    const auto torn = disk.peekSector(400);
+    EXPECT_NE(torn[0], 0x22);
+    bool allZero = true, allPayload = true;
+    for (u64 i = 0; i < kSectorSize; ++i) {
+        allZero = allZero && torn[i] == 0;
+        allPayload = allPayload && torn[i] == 0x22;
+    }
+    EXPECT_FALSE(allZero);
+    EXPECT_FALSE(allPayload);
+    // Exactly one sector of damage: the neighbours are untouched.
+    EXPECT_EQ(disk.peekSector(399)[0], 0);
+    EXPECT_EQ(disk.peekSector(401)[0], 0);
+}
+
+TEST(DiskTest, TornWriteSpanningDeviceEndClamps)
+{
+    CostModel costs;
+    Disk disk(1 << 20, costs, support::Rng(10));
+    SimClock clock;
+    const SectorNo last = disk.numSectors() - 1;
+    std::vector<u8> in(kSectorSize * 4, 0x44);
+    // Asks for four sectors, two of which are past the device end:
+    // the request clamps instead of scribbling past numSectors().
+    EXPECT_EQ(disk.queueWrite(last - 1, 4, in, clock),
+              DiskStatus::Ok);
+    EXPECT_GE(disk.stats().clampedWrites, 1u);
+    disk.crashDropQueue(clock.now() + 1);
+    // Whatever tore, it tore inside the device: the last two sectors
+    // hold either zeros, payload, or garbage — reading them must
+    // stay in bounds (ASAN-clean) and the neighbour below the write
+    // is untouched.
+    (void)disk.peekSector(last);
+    EXPECT_EQ(disk.peekSector(last - 2)[0], 0);
+
+    // A fully out-of-range write is dropped outright.
+    Disk disk2(1 << 20, costs, support::Rng(11));
+    EXPECT_EQ(disk2.queueWrite(disk2.numSectors() + 8, 2, in, clock),
+              DiskStatus::Ok);
+    EXPECT_EQ(disk2.queueDepth(), 0u);
+    EXPECT_GE(disk2.stats().clampedWrites, 1u);
+    EXPECT_EQ(disk2.crashDropQueue(clock.now() + 1), 0u);
 }
 
 TEST(DiskTest, SequentialFasterThanRandom)
@@ -398,10 +456,10 @@ TEST(DiskTest, SequentialFasterThanRandom)
     std::vector<u8> buf(kSectorSize * 16);
     Disk disk2(64 << 20, costs, support::Rng(6));
     for (int i = 0; i < 50; ++i)
-        disk.read(1000 + i * 16, 16, buf, seqClock);
+        (void)disk.read(1000 + i * 16, 16, buf, seqClock);
     support::Rng rng(7);
     for (int i = 0; i < 50; ++i)
-        disk2.read(rng.below(100000), 16, buf, rndClock);
+        (void)disk2.read(rng.below(100000), 16, buf, rndClock);
     EXPECT_LT(seqClock.now(), rndClock.now() / 3);
 }
 
@@ -412,8 +470,8 @@ TEST(DiskTest, OverlapReducesVisibleTime)
     Disk b(1 << 20, costs, support::Rng(8));
     SimClock ca, cb;
     std::vector<u8> buf(kSectorSize);
-    a.read(500, 1, buf, ca);
-    b.read(500, 1, buf, cb, /*overlapNs=*/1ull << 62);
+    (void)a.read(500, 1, buf, ca);
+    (void)b.read(500, 1, buf, cb, /*overlapNs=*/1ull << 62);
     EXPECT_GT(ca.now(), 0u);
     EXPECT_EQ(cb.now(), 0u);
 }

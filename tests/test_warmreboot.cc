@@ -15,6 +15,7 @@
 #include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "support/bytes.hh"
 #include "workload/script.hh"
 
 using namespace rio;
@@ -576,4 +577,297 @@ TEST(WarmReboot, StaleInodeCounted)
         warm.restoreData(probe.vfs(), report);
         EXPECT_GT(report.staleInodes, 0u);
     }
+}
+
+// --- Double-crash sweep: a second crash at every recovery phase ----
+// boundary. The checkpointed, re-entrant recovery must converge on
+// the next pass, resume rather than redo (no fsync'd page restored
+// twice), and leave the files byte-identical to a single-crash run.
+
+namespace
+{
+
+sim::MachineConfig
+sweepMachineConfig()
+{
+    sim::MachineConfig c = machineConfig(true);
+    // One megabyte past the dump: room for the progress record in
+    // the last swap sector (the 16 MB rig has none by design).
+    c.swapBytes = 17ull << 20;
+    return c;
+}
+
+struct SweepPoint
+{
+    core::RecoveryPhase phase;
+    bool boundary; ///< Crash at step == total (vs. the first step).
+    const char *name;
+};
+
+/** Arm @p warm to crash once at the requested recovery point. */
+void
+armCrashProbe(core::WarmReboot &warm, sim::Machine &machine,
+              const SweepPoint &point, bool &fired)
+{
+    warm.setProbe([&machine, point, &fired](core::RecoveryPhase phase,
+                                            u64 step, u64 total) {
+        if (fired || phase != point.phase)
+            return;
+        if (point.boundary ? step != total : step != 0)
+            return;
+        fired = true;
+        throw sim::CrashException(sim::CrashCause::KernelPanic,
+                                  "second crash during recovery",
+                                  machine.clock().now());
+    });
+}
+
+/** The standard three-file workload the sweep recovers. */
+std::vector<std::vector<u8>>
+writeSweepFiles(CrashRig &rig)
+{
+    auto &vfs = rig.kernel->vfs();
+    rio::wl::tolerate(vfs.mkdir("/sweep"));
+    std::vector<std::vector<u8>> contents;
+    for (int f = 0; f < 3; ++f) {
+        std::vector<u8> data(20000 + 400 * f);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data[i] = static_cast<u8>(i * 7 + f);
+        auto fd = vfs.open(rig.proc,
+                           "/sweep/f" + std::to_string(f),
+                           os::OpenFlags::writeOnly());
+        rio::wl::tolerate(vfs.write(rig.proc, fd.value(), data));
+        rio::wl::tolerate(vfs.close(rig.proc, fd.value()));
+        contents.push_back(std::move(data));
+    }
+    return contents;
+}
+
+void
+expectSweepFilesIntact(CrashRig &rig,
+                       const std::vector<std::vector<u8>> &contents)
+{
+    for (std::size_t f = 0; f < contents.size(); ++f) {
+        std::vector<u8> out(contents[f].size());
+        auto fd = rig.kernel->vfs().open(
+            rig.proc, "/sweep/f" + std::to_string(f),
+            os::OpenFlags::readOnly());
+        ASSERT_TRUE(fd.ok()) << "file " << f << " lost";
+        ASSERT_TRUE(
+            rig.kernel->vfs().read(rig.proc, fd.value(), out).ok());
+        EXPECT_EQ(out, contents[f]) << "file " << f << " damaged";
+    }
+}
+
+/** Run one full recovery pass (dump + boot + data restore). */
+core::WarmRebootReport
+recoverOnce(CrashRig &rig, core::WarmReboot &warm)
+{
+    core::WarmRebootReport report = warm.dumpAndRestoreMetadata();
+    core::RioOptions options;
+    options.protection = rig.config.protection;
+    options.maintainChecksums = true;
+    rig.rio = std::make_unique<core::RioSystem>(rig.machine, options);
+    rig.kernel = std::make_unique<os::Kernel>(rig.machine, rig.config);
+    rig.kernel->boot(rig.rio.get(), false);
+    warm.restoreData(rig.kernel->vfs(), report);
+    return report;
+}
+
+u32
+checkpointFlags(sim::Machine &machine)
+{
+    const auto sector = machine.swap().peekSector(
+        machine.swap().numSectors() - 1);
+    if (support::loadLE<u32>(sector, 0) !=
+        core::WarmReboot::kCkptMagic)
+        return 0;
+    return support::loadLE<u32>(sector, 8);
+}
+
+class WarmRebootSweep : public ::testing::TestWithParam<SweepPoint>
+{};
+
+} // namespace
+
+TEST_P(WarmRebootSweep, SecondCrashConvergesWithoutDoubleRestore)
+{
+    const SweepPoint point = GetParam();
+    CrashRig rig{sweepMachineConfig()};
+    const auto contents = writeSweepFiles(rig);
+    rig.crashAndReset();
+
+    // Pass 1: crash at the requested point of recovery.
+    core::WarmRebootReport pass1;
+    bool fired = false;
+    bool crashed = false;
+    {
+        core::WarmReboot warm(rig.machine);
+        armCrashProbe(warm, rig.machine, point, fired);
+        try {
+            pass1 = recoverOnce(rig, warm);
+        } catch (const sim::CrashException &crash) {
+            crashed = true;
+            rig.machine.noteCrash(crash.when());
+            rig.rio.reset();
+            rig.kernel.reset();
+            rig.machine.reset(sim::ResetKind::Warm);
+        }
+    }
+    ASSERT_TRUE(fired) << "probe never reached "
+                       << core::recoveryPhaseName(point.phase);
+    ASSERT_TRUE(crashed);
+
+    // For the fsync-before-checkpoint oracle: the platter image at
+    // the moment the second crash hit.
+    std::vector<u8> platter;
+    const bool dataOracle =
+        point.phase == core::RecoveryPhase::DataRestore &&
+        point.boundary;
+    if (dataOracle) {
+        auto &disk = rig.machine.disk();
+        platter.reserve(disk.numSectors() * sim::kSectorSize);
+        for (SectorNo s = 0; s < disk.numSectors(); ++s) {
+            const auto sector = disk.peekSector(s);
+            platter.insert(platter.end(), sector.begin(),
+                           sector.end());
+        }
+    }
+
+    // Pass 2: plain recovery, no interference. Must converge.
+    core::WarmReboot warm2(rig.machine);
+    const core::WarmRebootReport pass2 = recoverOnce(rig, warm2);
+    expectSweepFilesIntact(rig, contents);
+    EXPECT_NE(checkpointFlags(rig.machine) &
+                  core::WarmReboot::kFlagAllDone,
+              0u)
+        << "second pass did not retire the checkpoint";
+
+    // Resume bookkeeping: any crash past the dump-complete record
+    // resumes; a crash before the first checkpoint starts fresh.
+    const bool expectResume =
+        point.phase != core::RecoveryPhase::Dump || point.boundary;
+    EXPECT_EQ(pass2.recovery.resumed, expectResume);
+
+    if (point.phase == core::RecoveryPhase::MetadataRestore &&
+        point.boundary) {
+        // Every metadata entry was processed (and checkpointed) by
+        // the dead pass: none may be pushed to disk twice.
+        EXPECT_GT(pass1.entriesSeen, 0u);
+        EXPECT_EQ(pass2.metadataRestored, 0u);
+        EXPECT_GT(pass2.recovery.metadataSkippedResume, 0u);
+        EXPECT_EQ(static_cast<core::RecoveryPhase>(
+                      pass2.recovery.resumePhase),
+                  core::RecoveryPhase::DataRestore);
+    }
+    if (point.phase == core::RecoveryPhase::DataRestore) {
+        // Metadata completed in pass 1 either way.
+        EXPECT_EQ(pass2.metadataRestored, 0u);
+        EXPECT_GT(pass2.recovery.metadataSkippedResume, 0u);
+    }
+    if (dataOracle) {
+        // The dead pass fsync'd every rebuilt file before its
+        // checkpoint advanced, so the resumed pass replays nothing:
+        // no data page is restored twice...
+        EXPECT_GT(pass1.dataPagesRestored, 0u);
+        EXPECT_EQ(pass2.dataPagesRestored, 0u);
+        EXPECT_EQ(pass2.recovery.dataSkippedResume,
+                  pass1.dataPagesRestored);
+        // ...and the platter proves it: the recovered files' data
+        // blocks are byte-identical to the image the second crash
+        // left behind (extension of the disk-byte snapshot oracle).
+        auto &ufs = rig.kernel->ufs();
+        for (std::size_t f = 0; f < contents.size(); ++f) {
+            auto ino =
+                ufs.namei("/sweep/f" + std::to_string(f));
+            ASSERT_TRUE(ino.ok());
+            auto inode = ufs.iget(ino.value());
+            ASSERT_TRUE(inode.ok());
+            const u64 fileBlocks =
+                (contents[f].size() + sim::kPageSize - 1) /
+                sim::kPageSize;
+            for (u64 fb = 0; fb < fileBlocks; ++fb) {
+                auto block = ufs.bmap(ino.value(), inode.value(),
+                                      fb, false);
+                if (!block.ok() || block.value() == 0)
+                    continue;
+                const auto now =
+                    diskBlockBytes(rig.machine, block.value());
+                const auto *then =
+                    platter.data() +
+                    block.value() * sim::kPageSize;
+                EXPECT_EQ(std::memcmp(now.data(), then,
+                                      sim::kPageSize),
+                          0)
+                    << "file " << f << " block " << fb
+                    << " rewritten by the resumed pass";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhaseBoundaries, WarmRebootSweep,
+    ::testing::Values(
+        SweepPoint{core::RecoveryPhase::Dump, false, "DumpStart"},
+        SweepPoint{core::RecoveryPhase::Dump, true, "DumpBoundary"},
+        SweepPoint{core::RecoveryPhase::MetadataRestore, false,
+                   "MetadataStart"},
+        SweepPoint{core::RecoveryPhase::MetadataRestore, true,
+                   "MetadataBoundary"},
+        SweepPoint{core::RecoveryPhase::DataRestore, false,
+                   "DataStart"},
+        SweepPoint{core::RecoveryPhase::DataRestore, true,
+                   "DataBoundary"}),
+    [](const ::testing::TestParamInfo<SweepPoint> &info) {
+        return std::string(info.param.name);
+    });
+
+TEST(WarmReboot, MidDataCrashRedoesOnlyTheOpenFile)
+{
+    CrashRig rig{sweepMachineConfig()};
+    const auto contents = writeSweepFiles(rig);
+    rig.crashAndReset();
+
+    // Crash halfway through the data restore: past at least one
+    // file boundary, short of the last.
+    core::WarmRebootReport pass1;
+    bool fired = false;
+    bool crashed = false;
+    {
+        core::WarmReboot warm(rig.machine);
+        warm.setProbe([&](core::RecoveryPhase phase, u64 step,
+                          u64 total) {
+            if (fired || phase != core::RecoveryPhase::DataRestore)
+                return;
+            if (step * 2 < total || step == total)
+                return;
+            fired = true;
+            throw sim::CrashException(sim::CrashCause::KernelPanic,
+                                      "second crash mid-file",
+                                      rig.machine.clock().now());
+        });
+        try {
+            pass1 = recoverOnce(rig, warm);
+        } catch (const sim::CrashException &crash) {
+            crashed = true;
+            rig.machine.noteCrash(crash.when());
+            rig.rio.reset();
+            rig.kernel.reset();
+            rig.machine.reset(sim::ResetKind::Warm);
+        }
+    }
+    ASSERT_TRUE(fired);
+    ASSERT_TRUE(crashed);
+
+    core::WarmReboot warm2(rig.machine);
+    const core::WarmRebootReport pass2 = recoverOnce(rig, warm2);
+    expectSweepFilesIntact(rig, contents);
+    EXPECT_TRUE(pass2.recovery.resumed);
+    // Files fully rebuilt and fsync'd before the crash are skipped;
+    // only the file that was mid-rebuild (plus the rest) is redone.
+    EXPECT_GT(pass2.recovery.dataSkippedResume, 0u);
+    EXPECT_LE(pass2.recovery.dataSkippedResume,
+              pass1.dataPagesRestored);
+    EXPECT_GT(pass2.dataPagesRestored, 0u);
 }

@@ -355,6 +355,12 @@ runR1(Linter &lint)
             lint.flag(Rule::R1CheckedStore, tok.line,
                       "direct access to Disk::store_ bypasses the "
                       "simulated I/O path");
+        } else if (tok.text == "hostSector" && lint.nextIs(i, "(") &&
+                   (lint.prevIs(i, ".") || lint.prevIs(i, "->"))) {
+            lint.flag(Rule::R1CheckedStore, tok.line,
+                      "Disk::hostSector() exposes a writable window "
+                      "past the simulated I/O path; fault injectors "
+                      "must annotate the scribble");
         }
     }
 }
