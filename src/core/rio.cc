@@ -76,6 +76,7 @@ RioSystem::openPage(Addr page)
     ++stats_.pageOpens;
     if (auto *audit = machine_.audit())
         audit->openWindow(page);
+    observeStep(RioProtocolObserver::Step::OpenPage, page);
     switch (options_.protection) {
       case os::ProtectionMode::Off:
         return; // No mechanism, no cost.
@@ -100,6 +101,7 @@ RioSystem::closePage(Addr page)
 {
     if (auto *audit = machine_.audit())
         audit->closeWindow(page);
+    observeStep(RioProtocolObserver::Step::ClosePage, page);
     switch (options_.protection) {
       case os::ProtectionMode::Off:
         return;
@@ -137,12 +139,16 @@ void
 RioSystem::writeEntryField32(u64 index, u64 off, u32 value)
 {
     machine_.bus().store32(entryAddr(index) + off, value);
+    observeStep(RioProtocolObserver::Step::FieldWrite,
+                entryAddr(index) + off);
 }
 
 void
 RioSystem::writeEntryField64(u64 index, u64 off, u64 value)
 {
     machine_.bus().store64(entryAddr(index) + off, value);
+    observeStep(RioProtocolObserver::Step::FieldWrite,
+                entryAddr(index) + off);
 }
 
 void
@@ -339,6 +345,7 @@ RioSystem::beginWrite(Addr page)
         openPage(shadow);
         machine_.bus().copy(shadow, page, sim::kPageSize);
         closePage(shadow);
+        observeStep(RioProtocolObserver::Step::ShadowCopy, shadow);
     }
 
     const Addr regPage = registryPageOf(index);
@@ -371,7 +378,11 @@ RioSystem::endWrite(Addr page, u32 validBytes)
     writeEntryField32(index, L::kOffSize, validBytes);
     writeEntryField32(index, L::kOffChecksum, checksum);
     writeEntryField64(index, L::kOffShadow, 0);
-    // The atomic commit: the entry points back at the original.
+    // The atomic commit: the entry points back at the original. The
+    // observer fires *before* the flip so a modeled crash here lands
+    // in the pre-commit window (Changing entry, shadow already
+    // cleared) — the warm reboot must cope with exactly this state.
+    observeStep(RioProtocolObserver::Step::Commit, page);
     writeEntryField32(index, L::kOffState, L::kStateActive);
     closePage(regPage);
     if (shadow != 0)

@@ -353,34 +353,85 @@ WarmReboot::dumpAndRestoreMetadata()
         Addr source = entry.physAddr;
         const u64 n = std::min<u64>(entry.size, sim::kPageSize);
         if (entry.state == L::kStateChanging) {
-            // The crash hit mid-update: the shadow holds the last
-            // consistent contents.
-            if (entry.shadowAddr == 0) {
-                ++report.metadataUnrestorable;
-                advance();
-                continue;
-            }
-            if (entry.shadowAddr + sim::kPageSize > dump_.size()) {
-                ++report.recovery.boundsViolations;
-                ++report.metadataUnrestorable;
-                advance();
-                continue;
-            }
-            source = entry.shadowAddr;
-            // The entry checksum covers the pre-update contents —
-            // exactly what the shadow must hold.
-            if (policy_.verifyShadowChecksums &&
-                entry.checksum != 0) {
-                const u32 actual = support::checksum32(
-                    std::span<const u8>(dump_.data() + source, n));
-                if (actual != entry.checksum) {
-                    ++report.recovery.shadowChecksumBad;
+            // The crash hit mid-update. The shadow normally holds
+            // the last consistent contents — but endWrite clears the
+            // shadow pointer (and refreshes the checksum) *before*
+            // the commit flip, so a crash inside that window leaves
+            // a Changing entry whose only good copy is the page
+            // itself. Under the hardened policy, try the shadow
+            // first and fall back to the page, accepting whichever
+            // candidate matches the entry checksum; the crash-point
+            // enumerator (harness/crashmc) checks that at every
+            // instant of the protocol at least one candidate does.
+            if (!policy_.verifyShadowChecksums) {
+                // Trusting: pre-hardening behaviour, shadow or bust,
+                // restored unverified.
+                if (entry.shadowAddr == 0) {
+                    ++report.metadataUnrestorable;
+                    advance();
+                    continue;
+                }
+                if (entry.shadowAddr + sim::kPageSize >
+                    dump_.size()) {
+                    ++report.recovery.boundsViolations;
+                    ++report.metadataUnrestorable;
+                    advance();
+                    continue;
+                }
+                source = entry.shadowAddr;
+                ++report.metadataFromShadow;
+            } else {
+                const auto inDump = [&](Addr addr) {
+                    return addr + sim::kPageSize <= dump_.size();
+                };
+                // The entry checksum covers the last consistent
+                // contents — what the shadow holds mid-update, and
+                // what the page holds once endWrite has refreshed
+                // the checksum field.
+                const auto matches = [&](Addr addr) {
+                    return support::checksum32(std::span<const u8>(
+                               dump_.data() + addr, n)) ==
+                           entry.checksum;
+                };
+                const bool haveShadow = entry.shadowAddr != 0;
+                const bool shadowUsable =
+                    haveShadow && inDump(entry.shadowAddr);
+                if (haveShadow && !shadowUsable)
+                    ++report.recovery.boundsViolations;
+                if (entry.checksum == 0) {
+                    // Nothing to verify against: the shadow (written
+                    // by a healthy kernel) is the best candidate
+                    // there is; without one the entry is a loss.
+                    if (!shadowUsable) {
+                        ++report.metadataUnrestorable;
+                        advance();
+                        continue;
+                    }
+                    source = entry.shadowAddr;
+                    ++report.metadataFromShadow;
+                } else if (shadowUsable &&
+                           matches(entry.shadowAddr)) {
+                    source = entry.shadowAddr;
+                    ++report.metadataFromShadow;
+                } else if (inDump(entry.physAddr) &&
+                           matches(entry.physAddr)) {
+                    // Commit-window crash: the shadow is gone or
+                    // stale but the page carries the committed
+                    // contents, verified.
+                    if (shadowUsable)
+                        ++report.recovery.shadowChecksumBad;
+                    source = entry.physAddr;
+                    ++report.metadataFromPhysFallback;
+                } else {
+                    // No candidate survives verification: leave the
+                    // stale on-disk copy to fsck.
+                    if (shadowUsable)
+                        ++report.recovery.shadowChecksumBad;
                     ++report.recovery.metadataQuarantined;
                     advance();
                     continue;
                 }
             }
-            ++report.metadataFromShadow;
         } else {
             if (source + sim::kPageSize > dump_.size()) {
                 ++report.recovery.boundsViolations;

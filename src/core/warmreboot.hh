@@ -171,6 +171,10 @@ struct WarmRebootReport
     u64 corruptEntries = 0;
     u64 metadataRestored = 0;
     u64 metadataFromShadow = 0; ///< Crash mid-update: shadow used.
+    /** Crash in endWrite's commit window (shadow already cleared or
+     *  superseded): the page itself verified against the entry
+     *  checksum and was restored directly. */
+    u64 metadataFromPhysFallback = 0;
     u64 metadataChecksumBad = 0;
     u64 metadataUnrestorable = 0; ///< No usable source for the block.
     u64 dataPagesRestored = 0;

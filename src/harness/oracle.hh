@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The host-side recovery oracle, shared by the registry fuzzer
+ * (tests/test_registry_fuzz.cc), the crash campaign, and the
+ * crash-point model checker (harness/crashmc).
+ *
+ * The oracle judges a warm reboot from *outside* the restore path:
+ * before recovery runs it parses the (possibly damaged) surviving
+ * registry image itself, decides independently which dirty metadata
+ * entries the RestorePolicy is obliged to refuse, and snapshots the
+ * disk block of each — the never-restore-known-bad invariant then
+ * reduces to "every frozen block is byte-identical after the
+ * metadata restore". After recovery it additionally checks the exact
+ * accounting equation: every dirty metadata entry lands in exactly
+ * one of {restored, quarantined, contested, unrestorable}.
+ *
+ * The refusal predicate mirrors the hardened restore: a Changing
+ * entry has up to two candidate sources — the shadow copy and, since
+ * endWrite clears the shadow pointer before the commit flip, the
+ * page itself — and is known-bad only when a candidate was available
+ * to check and none matched the entry checksum. Keeping predicate
+ * and restore in lockstep is the point of factoring the oracle out:
+ * there is exactly one statement of what recovery must refuse.
+ */
+
+#ifndef RIO_HARNESS_ORACLE_HH
+#define RIO_HARNESS_ORACLE_HH
+
+#include <vector>
+
+#include "core/warmreboot.hh"
+#include "sim/machine.hh"
+#include "support/types.hh"
+
+namespace rio::harness
+{
+
+/** Read the current on-disk bytes of one file-system block
+ *  (host-side, no simulated time charged). */
+std::vector<u8> diskBlockBytes(sim::Machine &machine, u64 block);
+
+/** One disk block the restore must leave byte-identical. */
+struct FrozenBlock
+{
+    u64 block = 0;
+    std::vector<u8> before;
+};
+
+/** What the oracle learned from the pre-recovery image. */
+struct OracleCapture
+{
+    /** Dirty metadata entries the accounting equation must cover. */
+    u64 dirtyMeta = 0;
+    /** Snapshots of every block the policy is obliged to refuse. */
+    std::vector<FrozenBlock> frozen;
+};
+
+/**
+ * Parse the surviving image and freeze the blocks @p policy must
+ * refuse. Call after the crash (and any corruption stage), before
+ * constructing the WarmReboot.
+ */
+OracleCapture captureRecoveryOracle(sim::Machine &machine,
+                                    const core::RestorePolicy &policy);
+
+/** Post-recovery verdict; all three lists/flags empty+true == pass. */
+struct OracleVerdict
+{
+    /** Frozen blocks whose bytes changed: known-bad reached disk. */
+    std::vector<u64> violatedBlocks;
+    /** restored + quarantined + contested + unrestorable == dirty. */
+    bool accountingExact = true;
+
+    bool
+    ok() const
+    {
+        return violatedBlocks.empty() && accountingExact;
+    }
+};
+
+/** Judge a finished metadata restore against the capture. */
+OracleVerdict checkRecoveryOracle(sim::Machine &machine,
+                                  const OracleCapture &capture,
+                                  const core::WarmRebootReport &report);
+
+} // namespace rio::harness
+
+#endif // RIO_HARNESS_ORACLE_HH

@@ -4,6 +4,7 @@
 
 #include "fault/models.hh"
 #include "harness/crashcampaign.hh"
+#include "harness/crashmc.hh"
 #include "harness/report.hh"
 #include "sim/crash.hh"
 
@@ -210,6 +211,154 @@ campaignToJson(const CampaignResult &result,
                fmt(stats->trialsPerSecond(), 2) + "}";
     }
     out += "\n}\n";
+    return out;
+}
+
+std::string
+mcPointToJson(const McPointRecord &record)
+{
+    std::string out = "{";
+    out += "\"workload\":\"" +
+           jsonEscape(mcWorkloadName(
+               static_cast<McWorkloadKind>(record.workload))) +
+           "\"";
+    out += ",\"eventIndex\":" + num(record.eventIndex);
+    out += ",\"eventClass\":\"" +
+           jsonEscape(mcEventClassName(
+               static_cast<McEventClass>(record.eventClass))) +
+           "\"";
+    out += ",\"eventAddr\":" + num(record.eventAddr);
+    out += ",\"seed\":" + num(record.seed);
+    out += ",\"pointSeed\":" + num(record.pointSeed);
+    out += ",\"crashed\":" + boolean(record.crashed);
+    out += ",\"recovered\":" + boolean(record.recovered);
+    out += ",\"oracleOk\":" + boolean(record.oracleOk);
+    out += ",\"metadataRestored\":" + num(record.metadataRestored);
+    out += ",\"metadataFromShadow\":" + num(record.metadataFromShadow);
+    out += ",\"metadataFromPhysFallback\":" +
+           num(record.metadataFromPhysFallback);
+    out += ",\"metadataQuarantined\":" +
+           num(record.metadataQuarantined);
+    out += ",\"metadataUnrestorable\":" +
+           num(record.metadataUnrestorable);
+    out += ",\"corruptFiles\":" + num(record.corruptFiles);
+    out += ",\"opsCompleted\":" + num(record.opsCompleted);
+    out += ",\"failure\":\"" + jsonEscape(record.failure) + "\"";
+    out += "}";
+    return out;
+}
+
+std::string
+mcSummaryToJson(const McResult &result, const CrashMcConfig &config)
+{
+    std::string out = "{\n";
+    out += "  \"experiment\": \"crashmc\",\n";
+    out += "  \"seed\": " + num(config.seed) + ",\n";
+    out += "  \"ops\": " + num(config.ops) + ",\n";
+    out += "  \"hardened\": " + boolean(config.hardened) + ",\n";
+    out += "  \"shadowMetadata\": " + boolean(config.shadowMetadata) +
+           ",\n";
+    out += "  \"workloads\": [\n";
+    bool firstWorkload = true;
+    for (const McWorkloadResult &workload : result.workloads) {
+        if (!firstWorkload)
+            out += ",\n";
+        firstWorkload = false;
+        out += "    {\"name\": \"" +
+               jsonEscape(mcWorkloadName(workload.kind)) +
+               "\", \"events\": " + num(workload.totalEvents) +
+               ", \"pointsRun\": " + num(workload.pointsRun) +
+               ", \"recovered\": " + num(workload.recoveredPoints) +
+               ", \"unrecovered\": " +
+               num(workload.unrecoveredPoints) +
+               ", \"drift\": " + num(workload.driftPoints) +
+               ", \"perClass\": {";
+        bool firstClass = true;
+        for (u32 cls = 0; cls < kMcNumEventClasses; ++cls) {
+            if (workload.perClass[cls] == 0)
+                continue;
+            if (!firstClass)
+                out += ", ";
+            firstClass = false;
+            out += "\"" +
+                   jsonEscape(mcEventClassName(
+                       static_cast<McEventClass>(cls))) +
+                   "\": " + num(workload.perClass[cls]);
+        }
+        out += "}}";
+    }
+    out += "\n  ],\n";
+
+    // Minimal repro records for every failing point: exactly the
+    // coordinates tests/test_crashmc_corpus.cc replays.
+    out += "  \"counterexamples\": [\n";
+    bool firstFail = true;
+    for (const McWorkloadResult &workload : result.workloads) {
+        for (const McPointRecord &point : workload.points) {
+            if (point.recovered)
+                continue;
+            if (!firstFail)
+                out += ",\n";
+            firstFail = false;
+            out += "    {\"workload\": \"" +
+                   jsonEscape(mcWorkloadName(workload.kind)) +
+                   "\", \"eventIndex\": " + num(point.eventIndex) +
+                   ", \"eventClass\": \"" +
+                   jsonEscape(mcEventClassName(
+                       static_cast<McEventClass>(point.eventClass))) +
+                   "\", \"seed\": " + num(point.seed) +
+                   ", \"failure\": \"" + jsonEscape(point.failure) +
+                   "\"}";
+        }
+    }
+    out += "\n  ],\n";
+    out += "  \"totalUnrecovered\": " + num(result.totalUnrecovered());
+    out += "\n}\n";
+    return out;
+}
+
+std::string
+mcRenderSummary(const McResult &result, const CrashMcConfig &config)
+{
+    std::string out;
+    out += "crashmc: seed " + num(config.seed) + ", ops " +
+           num(config.ops) + ", restore " +
+           std::string(config.hardened ? "hardened" : "trusting") +
+           ", shadowMetadata " +
+           std::string(config.shadowMetadata ? "on" : "off") + "\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-12s %8s %10s %12s %6s\n",
+                  "workload", "events", "recovered", "unrecovered",
+                  "drift");
+    out += line;
+    for (const McWorkloadResult &workload : result.workloads) {
+        std::snprintf(
+            line, sizeof(line), "%-12s %8llu %10llu %12llu %6llu\n",
+            mcWorkloadName(workload.kind),
+            static_cast<unsigned long long>(workload.totalEvents),
+            static_cast<unsigned long long>(workload.recoveredPoints),
+            static_cast<unsigned long long>(
+                workload.unrecoveredPoints),
+            static_cast<unsigned long long>(workload.driftPoints));
+        out += line;
+        out += "  classes:";
+        for (u32 cls = 0; cls < kMcNumEventClasses; ++cls) {
+            if (workload.perClass[cls] == 0)
+                continue;
+            out += " " + std::string(mcEventClassName(
+                             static_cast<McEventClass>(cls))) +
+                   "=" + num(workload.perClass[cls]);
+        }
+        out += "\n";
+        for (const McPointRecord &point : workload.points) {
+            if (point.recovered)
+                continue;
+            out += "  FAIL k=" + num(point.eventIndex) + " (" +
+                   mcEventClassName(
+                       static_cast<McEventClass>(point.eventClass)) +
+                   "): " + point.failure + "\n";
+        }
+    }
     return out;
 }
 

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Promoted crash-point corpus: minimal repro records harvested from
+ * exhaustive crashmc enumerations (bench/crashmc_main), replayed as
+ * ordinary ctest cases by test_crashmc_corpus.cc.
+ *
+ * Each record pins one crash point — (workload, event index) under a
+ * fixed (seed, ops) — together with the configuration it ran under
+ * and the expected outcome. The failing-then-guarded pairs document
+ * the endWrite commit window: under RestorePolicy::trusting() the
+ * crash loses a completed update (the counterexample), while the
+ * hardened physAddr-fallback restore recovers the very same point.
+ *
+ * To harvest new entries: run bench/crashmc_main with a weakened
+ * configuration (RIO_MC_HARDENED=0 or RIO_MC_SHADOW=0) and copy the
+ * coordinates from the "counterexamples" array of crashmc.json.
+ * Event indices are only meaningful for the exact (seed, ops,
+ * shadowMetadata) they were recorded under — the trace is
+ * deterministic in those, and test_crashmc_corpus.cc re-records it
+ * before replaying.
+ */
+
+#ifndef RIO_TESTS_CRASHMC_CORPUS_HH
+#define RIO_TESTS_CRASHMC_CORPUS_HH
+
+#include "harness/crashmc.hh"
+
+namespace tests
+{
+
+struct CrashMcCase
+{
+    rio::harness::McWorkloadKind workload;
+    rio::u64 eventIndex;
+    rio::u64 seed;
+    rio::u32 ops;
+    bool hardened;
+    bool shadowMetadata;
+    bool expectRecovered;
+    const char *note;
+};
+
+inline constexpr CrashMcCase kCrashMcCorpus[] = {
+    // The endWrite commit window, replayed as a failing-then-guarded
+    // pair: events 60/61/62 of the seed-1 ops-4 shadow-flip trace
+    // are the shadow-clear store (as a checked bus store), the same
+    // store as a protocol field-write, and the pre-flip commit step.
+    {rio::harness::McWorkloadKind::ShadowFlip, 60, 1, 4,
+     /*hardened=*/false, /*shadow=*/true, /*recovers=*/false,
+     "trusting: crash after the shadow-clear store loses the "
+     "completed update (shadow-or-bust has no source)"},
+    {rio::harness::McWorkloadKind::ShadowFlip, 60, 1, 4,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "hardened: the same point recovers via the physAddr fallback"},
+    {rio::harness::McWorkloadKind::ShadowFlip, 62, 1, 4,
+     /*hardened=*/false, /*shadow=*/true, /*recovers=*/false,
+     "trusting: crash at the pre-flip commit step"},
+    {rio::harness::McWorkloadKind::ShadowFlip, 62, 1, 4,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "hardened: the same commit-window point recovers"},
+
+    // Shadowing disabled: a mid-update registry store strands the
+    // entry with no consistent source; even the hardened restore
+    // cannot conjure one. Documents why shadowMetadata exists.
+    {rio::harness::McWorkloadKind::ShadowFlip, 27, 1, 4,
+     /*hardened=*/true, /*shadow=*/false, /*recovers=*/false,
+     "no shadow pages: mid-update metadata store is unrecoverable"},
+
+    // Journal workload commit-record boundaries: crashing at the
+    // first and last disk-flush events of the bounded run must leave
+    // a volume the journal replay brings back consistent.
+    {rio::harness::McWorkloadKind::Journal, 0, 1, 4,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "first commit-record flush boundary"},
+    {rio::harness::McWorkloadKind::Journal, 11, 1, 4,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "last flush boundary of the bounded run"},
+};
+
+} // namespace tests
+
+#endif // RIO_TESTS_CRASHMC_CORPUS_HH

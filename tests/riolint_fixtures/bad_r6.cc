@@ -1,0 +1,46 @@
+// riolint fixture: R6 shadow-protocol typestate violations. The
+// protocol is open -> write -> close -> flip; each function below
+// breaks one of the orderings the warm reboot cannot repair.
+namespace rio::core
+{
+
+// Field write with no window open: the store either traps against
+// the protected registry page or lands unjournaled.
+void
+RioSystem::writeWithoutWindow(u64 index)
+{
+    writeEntryField32(index, L::kOffDirty, 1);
+}
+
+// Commit flip while the data page is still open: a crash after the
+// flip publishes an Active entry whose contents are mid-write.
+void
+RioSystem::flipBeforeClose(Addr page, u64 index)
+{
+    openPage(page);
+    openPage(registryPageOf(index));
+    writeEntryField32(index, L::kOffChecksum, 7);
+    writeEntryField32(index, L::kOffState, L::kStateActive);
+    closePage(registryPageOf(index));
+    closePage(page);
+}
+
+// Window left open at function end (and this is not beginWrite's
+// sanctioned handoff to endWrite).
+void
+RioSystem::forgetsToClose(u64 index)
+{
+    openPage(registryPageOf(index));
+    writeEntryField32(index, L::kOffDirty, 0);
+}
+
+// closePage with nothing open.
+void
+RioSystem::closesTwice(Addr page)
+{
+    openPage(page);
+    closePage(page);
+    closePage(page);
+}
+
+} // namespace rio::core

@@ -171,3 +171,66 @@ TEST(StoreAudit, ResetRestartsTheWindowProtocol)
     rig.machine.bus().store8(pool.base, 0xff);
     EXPECT_EQ(rig.audit->violations().size(), 1u);
 }
+
+namespace
+{
+
+/** Counts checked stores, optionally only those inside one region. */
+class CountingObserver final : public sim::StoreObserver
+{
+  public:
+    CountingObserver(Addr base, Addr end) : base_(base), end_(end) {}
+
+    u64 total = 0;
+    u64 inRegion = 0;
+
+    void
+    onCheckedStore(Addr pa, u64 len) override
+    {
+        (void)len;
+        ++total;
+        if (pa >= base_ && pa < end_)
+            ++inRegion;
+    }
+
+  private:
+    Addr base_;
+    Addr end_;
+};
+
+} // namespace
+
+TEST(StoreObserver, ComposesWithStoreAuditAndDetachesClean)
+{
+    // The crashmc recording hook and the runtime store audit watch
+    // the same checked-store path and must not disturb each other:
+    // the audit sees every store (and still attributes violations)
+    // while the observer is attached, and detaching the observer
+    // reverts the bus to the plain-pointer fast path with no residue.
+    Rig rig(os::ProtectionMode::Off);
+    const auto &pool =
+        rig.machine.mem().region(sim::RegionKind::BufPool);
+
+    CountingObserver observer(pool.base, pool.end());
+    rig.machine.bus().setStoreObserver(&observer);
+    rig.audit->clearViolations();
+
+    rig.writeWorkload();
+    EXPECT_GT(observer.total, 0u);
+    EXPECT_GT(observer.inRegion, 0u);
+    EXPECT_TRUE(rig.audit->violations().empty());
+
+    // A wild store reaches both: the audit flags it, the observer
+    // still counts it (it fires post-store, independent of verdict).
+    const u64 before = observer.inRegion;
+    rig.machine.bus().store8(pool.base, 0xff);
+    EXPECT_EQ(rig.audit->violations().size(), 1u);
+    EXPECT_EQ(observer.inRegion, before + 1);
+
+    // Detach: stores keep flowing, the count freezes.
+    rig.machine.bus().setStoreObserver(nullptr);
+    EXPECT_EQ(rig.machine.bus().storeObserver(), nullptr);
+    const u64 frozen = observer.total;
+    rig.machine.bus().store8(pool.base + 1, 0x00);
+    EXPECT_EQ(observer.total, frozen);
+}

@@ -19,17 +19,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/registry.hh"
 #include "core/rio.hh"
 #include "core/warmreboot.hh"
 #include "fault/postcrash.hh"
+#include "harness/oracle.hh"
 #include "os/kernel.hh"
 #include "registry_fuzz_corpus.hh"
 #include "sim/machine.hh"
-#include "support/checksum.hh"
 #include "support/rng.hh"
 #include "workload/script.hh"
 
@@ -49,19 +48,6 @@ machineConfig(u64 seed)
     c.swapBytes = 16ull << 20;
     c.seed = seed;
     return c;
-}
-
-std::vector<u8>
-diskBlockBytes(sim::Machine &machine, u64 block)
-{
-    std::vector<u8> bytes;
-    bytes.reserve(sim::kSectorsPerBlock * sim::kSectorSize);
-    for (u64 s = 0; s < sim::kSectorsPerBlock; ++s) {
-        const auto sector = machine.disk().peekSector(
-            static_cast<SectorNo>(block * sim::kSectorsPerBlock + s));
-        bytes.insert(bytes.end(), sector.begin(), sector.end());
-    }
-    return bytes;
 }
 
 } // namespace
@@ -119,73 +105,29 @@ TEST_P(RegistryFuzz, HardenedRecoverySurvivesACorruptedImage)
         machine, support::Rng(seed * 2654435761ull + 1), postConfig);
     const auto damage = corruptor.corrupt();
 
-    // Host-side oracle, independent of the restore path: parse the
-    // damaged registry and snapshot the disk block of every entry
-    // the hardened policy must refuse (contested claims and
-    // checksum-mismatched sources).
-    auto &mem = machine.mem();
-    const auto parsed = core::parseRegistry(mem.image(), mem);
-    const u64 diskBlocks =
-        machine.disk().numSectors() / sim::kSectorsPerBlock;
-    std::unordered_map<u64, u32> claims;
-    u64 dirtyMeta = 0;
-    for (const core::RegistryEntry &entry : parsed.entries) {
-        if (entry.kind == core::RegistryLayout::kKindMetadata &&
-            entry.dirty) {
-            ++dirtyMeta;
-            ++claims[entry.diskBlock];
-        }
-    }
-    struct Frozen
-    {
-        u64 block;
-        std::vector<u8> before;
-    };
-    std::vector<Frozen> frozen;
-    for (const core::RegistryEntry &entry : parsed.entries) {
-        if (entry.kind != core::RegistryLayout::kKindMetadata ||
-            !entry.dirty || entry.diskBlock >= diskBlocks)
-            continue;
-        bool knownBad = claims[entry.diskBlock] > 1;
-        if (!knownBad && entry.checksum != 0) {
-            const Addr source =
-                entry.state == core::RegistryLayout::kStateChanging
-                    ? entry.shadowAddr
-                    : entry.physAddr;
-            if (source != 0 &&
-                source + sim::kPageSize <= mem.size()) {
-                const u64 n =
-                    std::min<u64>(entry.size, sim::kPageSize);
-                knownBad = support::checksum32(std::span<const u8>(
-                               mem.raw() + source, n)) !=
-                           entry.checksum;
-            }
-        }
-        if (knownBad) {
-            frozen.push_back(
-                {entry.diskBlock,
-                 diskBlockBytes(machine, entry.diskBlock)});
-        }
-    }
+    // Host-side oracle, independent of the restore path (shared with
+    // the crash campaign and crashmc — see harness/oracle.hh): parse
+    // the damaged registry and snapshot the disk block of every
+    // entry the hardened policy must refuse.
+    const auto capture = harness::captureRecoveryOracle(
+        machine, core::RestorePolicy::hardened());
 
     core::WarmReboot warm(machine); // RestorePolicy::hardened()
     auto report = warm.dumpAndRestoreMetadata();
 
+    const auto verdict =
+        harness::checkRecoveryOracle(machine, capture, report);
+
     // (a) Never restore known-bad: every block the oracle froze is
     // byte-identical after the metadata restore.
-    for (const Frozen &f : frozen) {
-        EXPECT_EQ(diskBlockBytes(machine, f.block), f.before)
-            << "known-bad metadata reached disk block " << f.block
-            << " at seed " << seed;
+    for (const u64 block : verdict.violatedBlocks) {
+        ADD_FAILURE() << "known-bad metadata reached disk block "
+                      << block << " at seed " << seed;
     }
 
     // (b) Exact accounting: every dirty metadata entry is restored,
     // quarantined, rejected as contested, or unrestorable.
-    EXPECT_EQ(report.metadataRestored +
-                  report.recovery.metadataQuarantined +
-                  report.recovery.duplicateClaims +
-                  report.metadataUnrestorable,
-              dirtyMeta)
+    EXPECT_TRUE(verdict.accountingExact)
         << "restore accounting leaks entries at seed " << seed;
 
     if (std::getenv("RIO_FUZZ_PROFILE") != nullptr) {
@@ -214,7 +156,7 @@ TEST_P(RegistryFuzz, HardenedRecoverySurvivesACorruptedImage)
                 report.recovery.shadowChecksumBad),
             static_cast<unsigned long long>(
                 report.metadataUnrestorable),
-            frozen.size());
+            capture.frozen.size());
     }
 
     // (c) The recovered volume boots, fsck repairs what the

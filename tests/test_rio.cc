@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "core/rio.hh"
+#include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
 #include "workload/script.hh"
@@ -256,6 +257,122 @@ TEST(RioShadow, EntryIsChangingDuringWindowActiveAfter)
     EXPECT_EQ(entry->state, core::RegistryLayout::kStateActive);
     EXPECT_EQ(entry->shadowAddr, 0u);
     buf.brelse(ref);
+}
+
+namespace
+{
+
+/** Crashes the machine at the first Commit protocol step — i.e. in
+ *  endWrite after size/checksum/shadow:=0 are stored but before the
+ *  state flips back to Active (the commit window). */
+class CommitCrasher final : public core::RioProtocolObserver
+{
+  public:
+    explicit CommitCrasher(sim::Machine &machine) : machine_(machine)
+    {
+    }
+
+    bool fired() const { return fired_; }
+
+    void
+    onProtocolStep(Step step, Addr) override
+    {
+        if (fired_ || step != Step::Commit)
+            return;
+        fired_ = true;
+        machine_.crash(sim::CrashCause::KernelPanic,
+                       "commit-window crash");
+    }
+
+  private:
+    sim::Machine &machine_;
+    bool fired_ = false;
+};
+
+} // namespace
+
+TEST(RioShadow, CrashInCommitWindowIsRecoverableFromThePageItself)
+{
+    // The endWrite store order is size, checksum, shadow := 0,
+    // state := Active. A crash between the shadow clear and the
+    // flip leaves a Changing entry with no shadow — but the update
+    // itself is complete (closePage already ran), so the page
+    // matches the entry checksum and the hardened restore must
+    // recover it via the physAddr fallback. The trusting policy is
+    // shadow-or-bust and must give the entry up.
+    RioRig rig(os::ProtectionMode::Off);
+    auto &buf = rig.kernel->bufferCache();
+    auto ref = buf.bread(1, rig.kernel->ufs().geometry().itStart);
+    const Addr page = buf.pageAddr(ref);
+    {
+        // Dirty the block first: only dirty metadata is shadowed.
+        os::BufferCache::WriteWindow window(buf, ref);
+        window.store8(8001, 7);
+    }
+
+    CommitCrasher crasher(rig.machine);
+    rig.rio->setProtocolObserver(&crasher);
+    bool crashed = false;
+    try {
+        os::BufferCache::WriteWindow window(buf, ref);
+        window.store8(8000, 1);
+    } catch (const sim::CrashException &crash) {
+        rig.machine.noteCrash(crash.when());
+        crashed = true;
+    }
+    rig.rio->setProtocolObserver(nullptr);
+    ASSERT_TRUE(crashed);
+    ASSERT_TRUE(crasher.fired());
+
+    // The surviving image shows exactly the commit window: entry
+    // still Changing, shadow already cleared, checksum current.
+    auto entry = rig.rio->entryFor(page);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->state, core::RegistryLayout::kStateChanging);
+    EXPECT_EQ(entry->shadowAddr, 0u);
+
+    rig.rio->deactivate();
+    rig.rio.reset();
+    rig.kernel.reset();
+    rig.machine.reset(sim::ResetKind::Warm);
+
+    core::WarmReboot warm(rig.machine); // hardened
+    auto report = warm.dumpAndRestoreMetadata();
+    EXPECT_EQ(report.metadataFromPhysFallback, 1u)
+        << "the completed update must be restored from the page";
+    EXPECT_EQ(report.metadataUnrestorable, 0u);
+
+    // Re-run the same scenario under the trusting restore: with the
+    // shadow already cleared it has no source it is willing to use.
+    {
+        RioRig rig2(os::ProtectionMode::Off);
+        auto &buf2 = rig2.kernel->bufferCache();
+        auto ref2 =
+            buf2.bread(1, rig2.kernel->ufs().geometry().itStart);
+        {
+            os::BufferCache::WriteWindow window(buf2, ref2);
+            window.store8(8001, 7);
+        }
+        CommitCrasher crasher2(rig2.machine);
+        rig2.rio->setProtocolObserver(&crasher2);
+        try {
+            os::BufferCache::WriteWindow window(buf2, ref2);
+            window.store8(8000, 1);
+        } catch (const sim::CrashException &crash) {
+            rig2.machine.noteCrash(crash.when());
+        }
+        rig2.rio->setProtocolObserver(nullptr);
+        rig2.rio->deactivate();
+        rig2.rio.reset();
+        rig2.kernel.reset();
+        rig2.machine.reset(sim::ResetKind::Warm);
+
+        core::WarmReboot trusting(rig2.machine,
+                                  core::RestorePolicy::trusting());
+        auto trustingReport = trusting.dumpAndRestoreMetadata();
+        EXPECT_EQ(trustingReport.metadataUnrestorable, 1u)
+            << "trusting is shadow-or-bust in the commit window";
+    }
 }
 
 TEST(RioRegistry, ParserSkipsCorruptEntries)

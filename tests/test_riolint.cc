@@ -128,6 +128,57 @@ void RioSystem::setDirty(Addr page, bool dirty) {
     EXPECT_EQ(countRule(findings, Rule::R5RegistryMutation), 0);
 }
 
+TEST(Riolint, R6FiresOnProtocolTypestateViolations)
+{
+    const auto findings = lintFixture("bad_r6.cc");
+    // Write without a window, flip before close, window left open,
+    // and an unmatched closePage: four distinct findings.
+    EXPECT_EQ(countRule(findings, Rule::R6ShadowProtocol), 4);
+}
+
+TEST(Riolint, R6AcceptsTheRealProtocolIncludingTheHandoff)
+{
+    // install's single window, plus the sanctioned cross-function
+    // handoff: beginWrite leaves the data page open, endWrite closes
+    // it before committing in its own registry window.
+    const auto findings = riolint::lintSource("src/core/rio.cc", R"(
+void RioSystem::install(Addr page, u64 index) {
+    openPage(registryPageOf(index));
+    writeEntryField32(index, L::kOffMagic, L::kMagic);
+    writeEntryField32(index, L::kOffState, L::kStateActive);
+    closePage(registryPageOf(index));
+}
+void RioSystem::beginWrite(Addr page, u64 index) {
+    openPage(registryPageOf(index));
+    writeEntryField32(index, L::kOffState, L::kStateChanging);
+    closePage(registryPageOf(index));
+    openPage(page);
+}
+void RioSystem::endWrite(Addr page, u64 index) {
+    closePage(page);
+    openPage(registryPageOf(index));
+    writeEntryField64(index, L::kOffShadow, 0);
+    writeEntryField32(index, L::kOffState, L::kStateActive);
+    closePage(registryPageOf(index));
+}
+)");
+    EXPECT_EQ(countRule(findings, Rule::R6ShadowProtocol), 0);
+}
+
+TEST(Riolint, R6IgnoresInterfaceStubs)
+{
+    // A no-op endWrite override (e.g. the null CacheGuard) never
+    // touches the protocol and must not trip the inherited-window
+    // convention.
+    const auto findings = riolint::lintSource("src/os/guard.hh", R"(
+class NullGuard {
+    void beginWrite(Addr) override {}
+    void endWrite(Addr, u32) override {}
+};
+)");
+    EXPECT_EQ(countRule(findings, Rule::R6ShadowProtocol), 0);
+}
+
 TEST(Riolint, AnnotationSuppressesButStillReports)
 {
     const auto findings = lintFixture("clean_allowed.cc");

@@ -492,14 +492,27 @@ TEST(WarmReboot, MidUpdateEntryWithoutShadowIsUnrestorable)
 
     const u64 index = changingSlot(rig.machine);
     ASSERT_NE(index, ~0ull);
-    // The shadow pointer did not survive: no consistent source left.
+    // The shadow pointer did not survive: no consistent source left
+    // (the page itself is torn mid-update).
     putField<u64>(registrySlot(rig.machine, index),
                   Layout::kOffShadow, 0);
 
+    // Hardened probes the page as a fallback candidate, finds it
+    // fails the checksum, and quarantines rather than restoring a
+    // torn block.
     core::WarmReboot warm(rig.machine);
     auto report = warm.dumpAndRestoreMetadata();
     EXPECT_EQ(report.metadataFromShadow, 0u);
-    EXPECT_EQ(report.metadataUnrestorable, 1u);
+    EXPECT_EQ(report.metadataFromPhysFallback, 0u);
+    EXPECT_GE(report.recovery.metadataQuarantined, 1u);
+    EXPECT_EQ(report.metadataUnrestorable, 0u);
+
+    // Trusting never looks past the missing shadow: unrestorable.
+    core::WarmReboot trusting(rig.machine,
+                              core::RestorePolicy::trusting());
+    auto report2 = trusting.dumpAndRestoreMetadata();
+    EXPECT_EQ(report2.metadataFromShadow, 0u);
+    EXPECT_EQ(report2.metadataUnrestorable, 1u);
 }
 
 TEST(WarmReboot, CorruptedShadowCopyIsQuarantined)

@@ -45,6 +45,7 @@ parseRuleId(const std::string &id, Rule &out)
         {"R1", Rule::R1CheckedStore},   {"R2", Rule::R2Determinism},
         {"R3", Rule::R3LockOrder},      {"R4", Rule::R4ErrorFlow},
         {"R5", Rule::R5RegistryMutation},
+        {"R6", Rule::R6ShadowProtocol},
     };
     for (const auto &[name, rule] : kIds) {
         if (id == name) {
@@ -687,6 +688,155 @@ runR5(Linter &lint)
     }
 }
 
+// --- R6: shadow-page protocol typestate ------------------------------
+
+/**
+ * The shadow-page protocol is a typestate: open the registry page,
+ * write entry fields, close it, and commit with the state flip as
+ * the last store of its own window. Counting openPage/closePage per
+ * function catches the orderings the warm reboot cannot repair:
+ *
+ *  - a writeEntryField* with no window open — the store would trap
+ *    against a protected page, or worse, silently succeed on an
+ *    unprotected build and leave no crash-consistent source;
+ *  - a flip to kStateActive while more than one window is open —
+ *    the data page has not been closed, so a crash after the flip
+ *    publishes an entry whose contents are still being written;
+ *  - a closePage with no window open, and a window still open when
+ *    the function returns.
+ *
+ * The one sanctioned cross-function handoff is beginWrite/endWrite:
+ * beginWrite returns with the written page's window open (exactly
+ * one), and endWrite starts by closing it. The rule encodes that
+ * pair: endWrite begins with one inherited window, beginWrite may
+ * end with one.
+ */
+void
+runR6(Linter &lint)
+{
+    const auto &toks = lint.toks;
+
+    int depth = 0;
+    std::string pending;
+    std::string current;
+    int currentDepth = -1;
+    bool frozen = false;
+    int open = 0; ///< Protocol windows open in this function.
+    int lastOpenLine = 0;
+    bool sawStep = false; ///< Any protocol call in this function.
+
+    auto leaveFunction = [&]() {
+        const bool handoff = current == "beginWrite" && open == 1;
+        // sawStep keeps interface stubs (a no-op endWrite override)
+        // from tripping over the inherited-window convention.
+        if (open > 0 && sawStep && !handoff) {
+            lint.flag(Rule::R6ShadowProtocol, lastOpenLine,
+                      "openPage window still open at function end; "
+                      "every open needs a matching closePage");
+        }
+        open = 0;
+        sawStep = false;
+        current.clear();
+        currentDepth = -1;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Tok &tok = toks[i];
+        if (tok.text == "{") {
+            ++depth;
+            if (!pending.empty() && currentDepth < 0) {
+                current = pending;
+                currentDepth = depth;
+                // endWrite inherits the data-page window beginWrite
+                // left open.
+                open = current == "endWrite" ? 1 : 0;
+                sawStep = false;
+                pending.clear();
+            }
+            frozen = false;
+            continue;
+        }
+        if (tok.text == "}") {
+            --depth;
+            if (currentDepth > 0 && depth < currentDepth)
+                leaveFunction();
+            continue;
+        }
+        if (tok.text == ";") {
+            pending.clear();
+            frozen = false;
+            continue;
+        }
+        if (tok.text == ":" && !pending.empty()) {
+            frozen = true; // Constructor initializer list.
+            continue;
+        }
+        if (tok.kind != 'i')
+            continue;
+
+        const bool isCall = lint.nextIs(i, "(");
+        if (isCall && currentDepth < 0 && !frozen)
+            pending = tok.text;
+        if (!isCall)
+            continue;
+        // A declaration (`void openPage(`) or the definition itself
+        // (`RioSystem::openPage(`) is not a protocol step.
+        if (i > 0 &&
+            (toks[i - 1].kind == 'i' || toks[i - 1].text == "::")) {
+            continue;
+        }
+
+        if (tok.text == "openPage") {
+            ++open;
+            sawStep = true;
+            lastOpenLine = tok.line;
+        } else if (tok.text == "closePage") {
+            sawStep = true;
+            if (open == 0) {
+                lint.flag(Rule::R6ShadowProtocol, tok.line,
+                          "closePage without a matching openPage");
+            } else {
+                --open;
+            }
+        } else if (tok.text == "writeEntryField32" ||
+                   tok.text == "writeEntryField64") {
+            sawStep = true;
+            if (open == 0) {
+                lint.flag(Rule::R6ShadowProtocol, tok.line,
+                          tok.text +
+                              " outside an openPage/closePage "
+                              "window; open the registry page first");
+                continue;
+            }
+            if (tok.text != "writeEntryField32")
+                continue;
+            // The commit flip: writeEntryField32(.., kOffState,
+            // kStateActive). Scan the argument list for both idents.
+            bool offState = false;
+            bool stateActive = false;
+            int parens = 0;
+            for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                if (toks[j].text == "(") {
+                    ++parens;
+                } else if (toks[j].text == ")") {
+                    if (--parens == 0)
+                        break;
+                } else if (toks[j].text == "kOffState") {
+                    offState = true;
+                } else if (toks[j].text == "kStateActive") {
+                    stateActive = true;
+                }
+            }
+            if (offState && stateActive && open != 1) {
+                lint.flag(Rule::R6ShadowProtocol, tok.line,
+                          "state flip to Active while another page "
+                          "window is still open; close the data page "
+                          "before committing");
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Report formatting
 // ---------------------------------------------------------------------
@@ -733,6 +883,7 @@ ruleId(Rule rule)
       case Rule::R3LockOrder: return "R3";
       case Rule::R4ErrorFlow: return "R4";
       case Rule::R5RegistryMutation: return "R5";
+      case Rule::R6ShadowProtocol: return "R6";
     }
     return "?";
 }
@@ -751,6 +902,8 @@ ruleTitle(Rule rule)
         return "error flow";
       case Rule::R5RegistryMutation:
         return "registry mutation protocol";
+      case Rule::R6ShadowProtocol:
+        return "shadow-page protocol typestate";
     }
     return "?";
 }
@@ -858,6 +1011,7 @@ lintSource(const std::string &path, const std::string &content)
     runR3(lint);
     runR4(lint);
     runR5(lint);
+    runR6(lint);
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
                   return std::tie(a.file, a.line) <

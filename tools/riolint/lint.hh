@@ -27,6 +27,12 @@
  *  - R5 registry-mutation: Registry entry writes (writeEntryField*)
  *    are legal only inside the shadow-page protocol entry points in
  *    core/rio.cc.
+ *  - R6 shadow-protocol: the protocol is a typestate —
+ *    openPage -> writeEntryField* -> closePage -> state flip. Within
+ *    a function, a registry field write outside an open window, a
+ *    flip to Active while more than one window is open (data page
+ *    not yet closed), an unmatched closePage, and a window left open
+ *    at function end are all flagged.
  *
  * A violation is silenced by annotating the offending line (or the
  * line above it) with `// riolint:allow(R<n>) <reason>`. Suppressed
@@ -49,6 +55,7 @@ enum class Rule
     R3LockOrder,
     R4ErrorFlow,
     R5RegistryMutation,
+    R6ShadowProtocol,
 };
 
 /** Short rule id, e.g. "R1". */
