@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Campaign-throughput benchmark: runs a reduced Table 1 crash
+ * campaign — this repo's own "heavy traffic", millions of simulated
+ * bus operations per trial — and records trials/sec plus the
+ * corruption totals to BENCH_campaign.json, the second point on the
+ * performance trajectory next to bench_server's. The corruption
+ * totals double as a fixed-seed sanity anchor: at a given seed and
+ * trial count they must not move when optimizations land.
+ *
+ * Scale knobs (environment):
+ *   RIO_BC_CRASHES  crashes per campaign cell    (default 3)
+ *   RIO_BC_JSON     output path       (default BENCH_campaign.json)
+ *   RIO_T1_JOBS     worker threads               (0 = all)
+ *   RIO_SEED        campaign seed                (default 1)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/crashcampaign.hh"
+#include "harness/pool.hh"
+#include "harness/sink.hh"
+
+#include "emit_bench.hh"
+
+using namespace rio;
+
+int
+main()
+{
+    harness::CampaignConfig config;
+    config.crashesPerCell =
+        static_cast<u32>(harness::envU64("RIO_BC_CRASHES", 3));
+    config.jsonDir.clear(); // This binary emits its own JSON.
+    const std::string jsonPath =
+        harness::envStr("RIO_BC_JSON", "BENCH_campaign.json");
+
+    std::printf("bench_campaign: %u crashes/cell, %u workers\n",
+                config.crashesPerCell,
+                harness::resolveJobs(config.jobs));
+
+    harness::CrashCampaign campaign(config);
+    harness::CampaignStats stats;
+    const harness::CampaignResult result =
+        campaign.runAll(nullptr, &stats);
+
+    std::printf("throughput: %llu trials (%llu runs) in %.1f s with "
+                "%u workers = %.2f trials/s\n",
+                static_cast<unsigned long long>(stats.trials),
+                static_cast<unsigned long long>(stats.attempts),
+                stats.wallSeconds, stats.jobs,
+                stats.trialsPerSecond());
+
+    benchio::JsonObject throughput;
+    throughput.put("trials", stats.trials);
+    throughput.put("attempts", stats.attempts);
+    throughput.put("wall_seconds", stats.wallSeconds);
+    throughput.put("trials_per_sec", stats.trialsPerSecond());
+    throughput.put("jobs", static_cast<u64>(stats.jobs));
+
+    benchio::JsonObject anchor;
+    static const struct
+    {
+        const char *name;
+        harness::SystemKind kind;
+    } kSystems[] = {
+        {"disk", harness::SystemKind::DiskWriteThrough},
+        {"rio_no_protection", harness::SystemKind::RioNoProtection},
+        {"rio_protected", harness::SystemKind::RioWithProtection},
+    };
+    for (const auto &system : kSystems) {
+        benchio::JsonObject row;
+        row.put("crashes", result.totalCrashes(system.kind));
+        row.put("corruptions", result.totalCorruptions(system.kind));
+        row.put("saves", result.totalSaves(system.kind));
+        anchor.put(system.name, row);
+    }
+
+    benchio::JsonObject body;
+    benchio::JsonObject cfgObj;
+    cfgObj.put("seed", config.seed);
+    cfgObj.put("crashes_per_cell",
+               static_cast<u64>(config.crashesPerCell));
+    body.put("config", cfgObj);
+    body.put("throughput", throughput);
+    body.put("corruption_anchor", anchor);
+
+    return benchio::writeBenchFile(jsonPath, "campaign", 1, body)
+               ? 0
+               : 1;
+}

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Sustained-traffic server benchmark (the departmental file server of
+ * section 7 run as a load generator): an op stream with zipfian file
+ * popularity and a configurable append-mail / overwrite-doc / read
+ * mix drives one simulated kernel for a configurable number of ops,
+ * recording a per-op *simulated-time* latency histogram per op type
+ * (p50/p99/p999) plus host-side ops/sec throughput.
+ *
+ * The run is performed twice at the same seed — once with the MemBus
+ * last-translation cache disabled, once enabled — on two worker-pool
+ * threads; the arms must agree bit-exactly on simulated time (the
+ * optimization is invisible to the simulation) and their host
+ * throughputs quantify the checked-store fast path win. A third,
+ * store-only microbenchmark isolates the raw translate() cost.
+ *
+ * Results go to BENCH_server.json (see bench/emit_bench.hh); every
+ * future PR re-runs this to extend the performance trajectory.
+ *
+ * Scale knobs (environment):
+ *   RIO_BS_OPS        measured ops per arm       (default 1000000)
+ *   RIO_BS_WARMUP     untimed warmup ops         (default ops/20)
+ *   RIO_BS_MAILBOXES  mailbox population         (default 64)
+ *   RIO_BS_DOCS       document population        (default 256)
+ *   RIO_BS_THETA      zipfian skew               (default 0.99)
+ *   RIO_BS_MIX_MAIL   P(append-mail op)          (default 0.5)
+ *   RIO_BS_MIX_DOC    P(overwrite-doc op)        (default 0.3)
+ *   RIO_BS_MICRO_OPS  store-microbench ops/arm   (default 4000000)
+ *   RIO_BS_JSON       output path        (default BENCH_server.json)
+ *   RIO_SEED          op-stream seed             (default 1)
+ */
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/rio.hh"
+#include "harness/bench.hh"
+#include "harness/hconfig.hh"
+#include "harness/pool.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+#include "workload/modelfs.hh"
+#include "workload/serverclient.hh"
+
+#include "emit_bench.hh"
+
+using namespace rio;
+
+namespace
+{
+
+struct ServerBenchConfig
+{
+    u64 seed = harness::envU64("RIO_SEED", 1);
+    u64 ops = harness::envU64("RIO_BS_OPS", 1'000'000);
+    u64 warmup = harness::envU64("RIO_BS_WARMUP", 0); // 0 = ops/20
+    u32 mailboxes =
+        static_cast<u32>(harness::envU64("RIO_BS_MAILBOXES", 64));
+    u32 docs = static_cast<u32>(harness::envU64("RIO_BS_DOCS", 256));
+    double theta = harness::envF64("RIO_BS_THETA", 0.99);
+    double mixMail = harness::envF64("RIO_BS_MIX_MAIL", 0.5);
+    double mixDoc = harness::envF64("RIO_BS_MIX_DOC", 0.3);
+    u64 microOps = harness::envU64("RIO_BS_MICRO_OPS", 4'000'000);
+    std::string jsonPath =
+        harness::envStr("RIO_BS_JSON", "BENCH_server.json");
+};
+
+struct OpClassResult
+{
+    harness::LatencyHistogram hist;
+    u64 attempted = 0;
+    u64 succeeded = 0;
+};
+
+struct ArmResult
+{
+    OpClassResult mail, doc, read;
+    harness::LatencyHistogram all;
+    SimNs simEndNs = 0;
+    double hostSeconds = 0;
+    u64 busLoads = 0;
+    u64 busStores = 0;
+    u64 tlbHits = 0;
+    u64 tlbMisses = 0;
+    u64 damaged = 0;
+    u64 readMismatches = 0;
+
+    double
+    opsPerSec() const
+    {
+        return hostSeconds > 0
+                   ? static_cast<double>(all.count()) / hostSeconds
+                   : 0.0;
+    }
+};
+
+/** One full server run; @p translationCache selects the arm. */
+ArmResult
+runServerArm(const ServerBenchConfig &cfg, bool translationCache)
+{
+    sim::MachineConfig machineConfig =
+        harness::perfMachineConfig(cfg.seed);
+    sim::Machine machine(machineConfig);
+    machine.bus().setTranslationCache(translationCache);
+
+    const os::KernelConfig kernelConfig =
+        os::systemPreset(os::SystemPreset::RioProtected);
+    core::RioOptions rioOptions;
+    rioOptions.protection = kernelConfig.protection;
+    core::RioSystem rio(machine, rioOptions);
+    os::Kernel kernel(machine, kernelConfig);
+    kernel.boot(&rio, true);
+
+    wl::ServerClient::Config clientConfig;
+    clientConfig.mailboxes = cfg.mailboxes;
+    clientConfig.docs = cfg.docs;
+    clientConfig.mailboxRotateBytes = 256 * 1024;
+    wl::ServerClient client(clientConfig, cfg.seed * 2654435761u + 7);
+    client.createDirs(kernel);
+
+    wl::ModelFs model;
+    // Pre-populate every file so zipf-tail reads hit real documents
+    // instead of ENOENT (a year-old server has no empty namespace).
+    for (u64 doc = 0; doc < cfg.docs; ++doc)
+        client.overwriteDoc(kernel, model, doc);
+    for (u64 box = 0; box < cfg.mailboxes; ++box)
+        client.deliverMail(kernel, model, box);
+
+    support::Rng pick(cfg.seed * 0x9e3779b97f4a7c15ull + 1);
+    const harness::Zipfian zipfMail(cfg.mailboxes, cfg.theta);
+    const harness::Zipfian zipfDocs(cfg.docs, cfg.theta);
+
+    ArmResult result;
+    const u64 warmup =
+        cfg.warmup != 0 ? cfg.warmup : cfg.ops / 20;
+    const u64 total = warmup + cfg.ops;
+    const auto hostStart = std::chrono::steady_clock::now();
+    for (u64 i = 0; i < total; ++i) {
+        const bool measured = i >= warmup;
+        const double roll = pick.real();
+        const SimNs t0 = machine.clock().now();
+        OpClassResult *cls = nullptr;
+        bool ok;
+        if (roll < cfg.mixMail) {
+            ok = client.deliverMail(kernel, model,
+                                    zipfMail.sample(pick));
+            cls = &result.mail;
+        } else if (roll < cfg.mixMail + cfg.mixDoc) {
+            ok = client.overwriteDoc(kernel, model,
+                                     zipfDocs.sample(pick));
+            cls = &result.doc;
+        } else {
+            ok = client.readDoc(kernel, model,
+                                zipfDocs.sample(pick));
+            cls = &result.read;
+        }
+        if (measured) {
+            const u64 latency = machine.clock().now() - t0;
+            cls->hist.record(latency);
+            result.all.record(latency);
+            ++cls->attempted;
+            if (ok)
+                ++cls->succeeded;
+        }
+    }
+    result.hostSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - hostStart)
+            .count();
+    result.simEndNs = machine.clock().now();
+    result.busLoads = machine.bus().stats().loads;
+    result.busStores = machine.bus().stats().stores;
+    result.tlbHits = machine.tlb().hits();
+    result.tlbMisses = machine.tlb().misses();
+    result.damaged = client.audit(kernel, model).damaged;
+    result.readMismatches = client.readMismatches();
+    return result;
+}
+
+/**
+ * Store-only microbenchmark: raw checked store64s against an
+ * identity-mapped machine with KSEG forced through the TLB (the Rio
+ * protected configuration), isolating translate() from the rest of
+ * the kernel. Returns host ns/op and the final simulated time.
+ */
+struct MicroResult
+{
+    double hostNsPerOp = 0;
+    SimNs simEndNs = 0;
+};
+
+MicroResult
+runStoreMicro(u64 ops, bool translationCache)
+{
+    sim::MachineConfig config;
+    config.physMemBytes = 16ull << 20;
+    config.diskBytes = 16ull << 20;
+    config.swapBytes = 16ull << 20;
+    sim::Machine machine(config);
+    machine.pageTable().initIdentity();
+    machine.cpu().setMapKsegThroughTlb(true);
+    machine.bus().setTranslationCache(translationCache);
+
+    const Addr heap =
+        machine.mem().region(sim::RegionKind::KernelHeap).base;
+    const auto hostStart = std::chrono::steady_clock::now();
+    for (u64 i = 0; i < ops; ++i) {
+        // Walk within one page: the fast path's best case, and the
+        // slow path's best case too (always a TLB hit).
+        machine.bus().store64(heap + ((i * 8) & (sim::kPageSize - 1)),
+                              i);
+    }
+    MicroResult result;
+    result.hostNsPerOp =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - hostStart)
+            .count() /
+        static_cast<double>(ops);
+    result.simEndNs = machine.clock().now();
+    return result;
+}
+
+benchio::JsonObject
+histJson(const OpClassResult &cls)
+{
+    benchio::JsonObject obj;
+    obj.put("attempted", cls.attempted);
+    obj.put("succeeded", cls.succeeded);
+    obj.put("p50_ns", cls.hist.percentile(50));
+    obj.put("p99_ns", cls.hist.percentile(99));
+    obj.put("p999_ns", cls.hist.percentile(99.9));
+    obj.put("mean_ns", cls.hist.mean());
+    obj.put("min_ns", cls.hist.min());
+    obj.put("max_ns", cls.hist.max());
+    return obj;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ServerBenchConfig cfg;
+
+    std::printf("bench_server: %llu ops/arm, %u mailboxes, %u docs, "
+                "theta %.2f, mix %.2f/%.2f/%.2f\n",
+                static_cast<unsigned long long>(cfg.ops),
+                cfg.mailboxes, cfg.docs, cfg.theta, cfg.mixMail,
+                cfg.mixDoc, 1.0 - cfg.mixMail - cfg.mixDoc);
+
+    // Both arms are independent machines — fan them out on the pool.
+    harness::WorkerPool pool(2);
+    ArmResult arms[2]; // [0] = cache off, [1] = cache on.
+    harness::parallelFor(pool, 2, [&](std::size_t arm) {
+        arms[arm] = runServerArm(cfg, arm == 1);
+    });
+    const ArmResult &off = arms[0];
+    const ArmResult &on = arms[1];
+
+    // The optimization must be invisible to the simulation.
+    const bool identical =
+        off.simEndNs == on.simEndNs &&
+        off.busLoads == on.busLoads &&
+        off.busStores == on.busStores &&
+        off.tlbHits == on.tlbHits && off.tlbMisses == on.tlbMisses;
+    std::printf("arms sim-identical: %s (end %llu ns, %llu loads, "
+                "%llu stores, %llu TLB hits)\n",
+                identical ? "yes" : "NO (BUG)",
+                static_cast<unsigned long long>(on.simEndNs),
+                static_cast<unsigned long long>(on.busLoads),
+                static_cast<unsigned long long>(on.busStores),
+                static_cast<unsigned long long>(on.tlbHits));
+
+    std::printf("throughput: %.0f ops/s (fast path on) vs %.0f "
+                "ops/s (off) = %.2fx\n",
+                on.opsPerSec(), off.opsPerSec(),
+                off.opsPerSec() > 0
+                    ? on.opsPerSec() / off.opsPerSec()
+                    : 0.0);
+    std::printf("latency (sim): p50 %llu ns, p99 %llu ns, p999 %llu "
+                "ns over %llu ops\n",
+                static_cast<unsigned long long>(
+                    on.all.percentile(50)),
+                static_cast<unsigned long long>(
+                    on.all.percentile(99)),
+                static_cast<unsigned long long>(
+                    on.all.percentile(99.9)),
+                static_cast<unsigned long long>(on.all.count()));
+    std::printf("audit: %llu damaged, %llu read mismatches\n",
+                static_cast<unsigned long long>(on.damaged),
+                static_cast<unsigned long long>(on.readMismatches));
+
+    const MicroResult microOff = runStoreMicro(cfg.microOps, false);
+    const MicroResult microOn = runStoreMicro(cfg.microOps, true);
+    const bool microIdentical = microOff.simEndNs == microOn.simEndNs;
+    std::printf("store micro: %.1f ns/op (on) vs %.1f ns/op (off) = "
+                "%.2fx, sim-identical: %s\n",
+                microOn.hostNsPerOp, microOff.hostNsPerOp,
+                microOn.hostNsPerOp > 0
+                    ? microOff.hostNsPerOp / microOn.hostNsPerOp
+                    : 0.0,
+                microIdentical ? "yes" : "NO (BUG)");
+
+    benchio::JsonObject config;
+    config.put("seed", cfg.seed);
+    config.put("ops", cfg.ops);
+    config.put("mailboxes", static_cast<u64>(cfg.mailboxes));
+    config.put("docs", static_cast<u64>(cfg.docs));
+    config.put("zipf_theta", cfg.theta);
+    config.put("mix_mail", cfg.mixMail);
+    config.put("mix_doc", cfg.mixDoc);
+    config.put("mix_read", 1.0 - cfg.mixMail - cfg.mixDoc);
+    config.put("preset", "RioProtected");
+
+    benchio::JsonObject latency;
+    OpClassResult overall;
+    overall.hist = on.all;
+    overall.attempted =
+        on.mail.attempted + on.doc.attempted + on.read.attempted;
+    overall.succeeded =
+        on.mail.succeeded + on.doc.succeeded + on.read.succeeded;
+    latency.put("all", histJson(overall));
+    latency.put("append_mail", histJson(on.mail));
+    latency.put("overwrite_doc", histJson(on.doc));
+    latency.put("read", histJson(on.read));
+
+    benchio::JsonObject throughput;
+    throughput.put("ops_per_sec", on.opsPerSec());
+    throughput.put("ops_per_sec_fastpath_off", off.opsPerSec());
+    throughput.put("host_seconds", on.hostSeconds);
+    throughput.put("sim_seconds",
+                   static_cast<double>(on.simEndNs) /
+                       static_cast<double>(sim::kNsPerSec));
+
+    benchio::JsonObject fastpath;
+    fastpath.put("server_speedup",
+                 off.opsPerSec() > 0
+                     ? on.opsPerSec() / off.opsPerSec()
+                     : 0.0);
+    fastpath.put("store_ns_per_op_on", microOn.hostNsPerOp);
+    fastpath.put("store_ns_per_op_off", microOff.hostNsPerOp);
+    fastpath.put("store_speedup",
+                 microOn.hostNsPerOp > 0
+                     ? microOff.hostNsPerOp / microOn.hostNsPerOp
+                     : 0.0);
+    fastpath.put("sim_identical", identical && microIdentical);
+
+    benchio::JsonObject integrity;
+    integrity.put("damaged", on.damaged);
+    integrity.put("read_mismatches", on.readMismatches);
+    integrity.put("bus_loads", on.busLoads);
+    integrity.put("bus_stores", on.busStores);
+    integrity.put("tlb_hits", on.tlbHits);
+    integrity.put("tlb_misses", on.tlbMisses);
+
+    benchio::JsonObject body;
+    body.put("config", config);
+    body.put("latency", latency);
+    body.put("throughput", throughput);
+    body.put("fastpath", fastpath);
+    body.put("integrity", integrity);
+    const bool wrote =
+        benchio::writeBenchFile(cfg.jsonPath, "server", 1, body);
+
+    const bool healthy = identical && microIdentical &&
+                         on.damaged == 0 &&
+                         on.readMismatches == 0 && wrote;
+    return healthy ? 0 : 1;
+}

@@ -6,94 +6,24 @@
  * year of that server's life: a steady stream of client requests,
  * an OS crash every two months (the paper's pessimistic estimate),
  * a warm reboot after each, and an audit of every stored file at the
- * end of the year.
+ * end of the year. The client logic lives in wl::ServerClient,
+ * shared with bench/bench_server, and mirrors the actual outcome of
+ * every system call into the ModelFs oracle so the audit is exact.
  */
 
 #include <cstdio>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "core/rio.hh"
 #include "core/warmreboot.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
-#include "support/rng.hh"
 #include "workload/modelfs.hh"
 #include "workload/script.hh"
+#include "workload/serverclient.hh"
 
 using namespace rio;
-
-namespace
-{
-
-/** A simple mail/files client: appends to mailboxes, saves drafts. */
-class Clients
-{
-  public:
-    Clients(u64 seed) : rng_(seed) {}
-
-    void
-    request(os::Kernel &kernel, wl::ModelFs &model)
-    {
-        auto &vfs = kernel.vfs();
-        os::Process proc(1);
-        const double roll = rng_.real();
-        if (roll < 0.5) {
-            // Mail delivery: append to a mailbox.
-            const std::string box =
-                "/server/mail/user" + std::to_string(rng_.below(8));
-            std::vector<u8> mail(rng_.between(256, 4096));
-            wl::fillPattern(mail, rng_.next());
-            auto flags = os::OpenFlags::readWrite(true);
-            flags.append = true;
-            auto fd = vfs.open(proc, box, flags);
-            if (fd.ok()) {
-                if (vfs.write(proc, fd.value(), mail).ok()) {
-                    const auto *old = model.contents(box);
-                    model.writeFile(box, old ? old->size() : 0, mail);
-                }
-                rio::wl::tolerate(vfs.close(proc, fd.value()));
-            }
-        } else if (roll < 0.8) {
-            // Save a document.
-            const std::string doc =
-                "/server/docs/paper" +
-                std::to_string(rng_.below(32)) + ".tex";
-            std::vector<u8> text(rng_.between(2048, 32768));
-            wl::fillPattern(text, rng_.next());
-            auto fd =
-                vfs.open(proc, doc, os::OpenFlags::writeOnly());
-            if (fd.ok()) {
-                if (vfs.write(proc, fd.value(), text).ok()) {
-                    model.removeFile(doc);
-                    model.writeFile(doc, 0, text);
-                }
-                rio::wl::tolerate(vfs.close(proc, fd.value()));
-            }
-        } else {
-            // Read something back (client fetch).
-            const std::string doc =
-                "/server/docs/paper" +
-                std::to_string(rng_.below(32)) + ".tex";
-            auto st = vfs.stat(doc);
-            if (st.ok()) {
-                auto fd =
-                    vfs.open(proc, doc, os::OpenFlags::readOnly());
-                if (fd.ok()) {
-                    std::vector<u8> bytes(st.value().size);
-                    rio::wl::tolerate(vfs.read(proc, fd.value(), bytes));
-                    rio::wl::tolerate(vfs.close(proc, fd.value()));
-                }
-            }
-        }
-    }
-
-  private:
-    support::Rng rng_;
-};
-
-} // namespace
 
 int
 main()
@@ -112,12 +42,10 @@ main()
     auto rio = std::make_unique<core::RioSystem>(machine, rioOptions);
     auto kernel = std::make_unique<os::Kernel>(machine, kernelConfig);
     kernel->boot(rio.get(), true);
-    rio::wl::tolerate(kernel->vfs().mkdir("/server"));
-    rio::wl::tolerate(kernel->vfs().mkdir("/server/mail"));
-    rio::wl::tolerate(kernel->vfs().mkdir("/server/docs"));
 
     wl::ModelFs model;
-    Clients clients(42);
+    wl::ServerClient clients(wl::ServerClient::Config{}, 42);
+    clients.createDirs(*kernel);
 
     const int kCrashes = 6; // A year at one crash per two months.
     u64 requestsServed = 0;
@@ -158,26 +86,7 @@ main()
     }
 
     // Year-end audit: every mailbox and document intact?
-    os::Process auditor(2);
-    u64 intact = 0, damaged = 0;
-    for (const auto &[path, expected] : model.files()) {
-        auto fd = kernel->vfs().open(auditor, path,
-                                     os::OpenFlags::readOnly());
-        if (!fd.ok()) {
-            ++damaged;
-            continue;
-        }
-        std::vector<u8> bytes(expected.size());
-        auto n = kernel->vfs().read(auditor, fd.value(), bytes);
-        rio::wl::tolerate(kernel->vfs().close(auditor, fd.value()));
-        if (n.ok() && n.value() == expected.size() &&
-            std::equal(expected.begin(), expected.end(),
-                       bytes.begin())) {
-            ++intact;
-        } else {
-            ++damaged;
-        }
-    }
+    const auto audit = clients.audit(*kernel, model);
 
     std::printf("\nyear summary: %llu requests served, %d crashes "
                 "survived\n",
@@ -185,8 +94,14 @@ main()
                 kCrashes);
     std::printf("audit: %llu files intact, %llu damaged, %llu "
                 "reliability disk writes during service\n",
-                static_cast<unsigned long long>(intact),
-                static_cast<unsigned long long>(damaged),
+                static_cast<unsigned long long>(audit.intact),
+                static_cast<unsigned long long>(audit.damaged),
                 0ull);
-    return damaged == 0 ? 0 : 1;
+    if (clients.readMismatches() != 0) {
+        std::printf("audit: %llu read-time mismatches\n",
+                    static_cast<unsigned long long>(
+                        clients.readMismatches()));
+        return 1;
+    }
+    return audit.damaged == 0 ? 0 : 1;
 }

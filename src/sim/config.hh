@@ -133,6 +133,16 @@ struct MachineConfig
      */
     u64 rebootScribbleBytes = 4096;
 
+    /**
+     * Size of the kernel virtual address space in pages: the page
+     * table covers VPNs [0, vaSpacePages). 0 means "same as the
+     * number of physical pages", the identity-mapped default. Raising
+     * it lets the kernel map virtual pages above the top of physical
+     * memory (the page table grows to match); the bus bounds virtual
+     * addresses against this, not against physical memory.
+     */
+    u64 vaSpacePages = 0;
+
     /** Seed for the machine-level RNG (disk rotation phase etc.). */
     u64 seed = 1;
 

@@ -2,13 +2,34 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
-#include <sstream>
 
 #include "sim/audit.hh"
 
 namespace rio::sim
 {
+
+namespace
+{
+
+/**
+ * Fault-message formatter for the cold paths. Produces exactly what
+ * `ostream << "..." << std::hex << va` used to (lowercase, no
+ * leading zeros) — these strings end up in campaign JSONL records,
+ * so they must stay byte-identical — without dragging ostringstream
+ * construction into code reachable from the store fast path.
+ */
+std::string
+faultMessage(const char *prefix, Addr va)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s0x%llx", prefix,
+                  static_cast<unsigned long long>(va));
+    return buf;
+}
+
+} // namespace
 
 MemBus::MemBus(PhysMem &mem, PageTable &pt, Tlb &tlb, Cpu &cpu,
                SimClock &clock, const CostModel &costs)
@@ -20,9 +41,8 @@ void
 MemBus::machineCheck(Addr va)
 {
     ++stats_.machineChecks;
-    std::ostringstream msg;
-    msg << "illegal address 0x" << std::hex << va;
-    throw CrashException(CrashCause::MachineCheck, msg.str(),
+    throw CrashException(CrashCause::MachineCheck,
+                         faultMessage("illegal address ", va),
                          clock_.now());
 }
 
@@ -32,15 +52,17 @@ MemBus::protectionFault(Addr va)
     ++stats_.protectionFaults;
     if (policy_)
         policy_->onProtectionStop(va);
-    std::ostringstream msg;
-    msg << "write to protected address 0x" << std::hex << va;
-    throw CrashException(CrashCause::ProtectionFault, msg.str(),
+    throw CrashException(CrashCause::ProtectionFault,
+                         faultMessage("write to protected address ", va),
                          clock_.now());
 }
 
 Addr
 MemBus::translateMapped(Addr va, bool write, Addr orig)
 {
+    // Bound against the page table's VA space, not physical memory:
+    // a small-RAM config may still map virtual pages above the top
+    // of RAM (MachineConfig::vaSpacePages).
     const u64 vpn = va >> kPageShift;
     if (vpn >= pt_.numPages())
         machineCheck(orig);
@@ -64,24 +86,15 @@ MemBus::translateMapped(Addr va, bool write, Addr orig)
     const Addr pa = (pte.pfn << kPageShift) | (va & (kPageSize - 1));
     if (pa >= mem_.size())
         machineCheck(orig); // Corrupted PTE redirected us off the end.
-    return pa;
-}
 
-Addr
-MemBus::translate(Addr va, bool write)
-{
-    if (isKsegAddr(va)) {
-        const Addr pa = ksegToPhys(va);
-        if (!cpu_.mapKsegThroughTlb()) {
-            if (pa >= mem_.size())
-                machineCheck(va);
-            return pa; // TLB bypass: no protection possible here.
-        }
-        return translateMapped(pa, write, va);
-    }
-    if (va >= mem_.size())
-        machineCheck(va);
-    return translateMapped(va, write, va);
+    // Remember the translation for the inline fast path. Safe even
+    // for a read on a read-only page: the fast path re-checks the
+    // writable bit and falls back here for a faulting store.
+    tcVpn_ = vpn;
+    tcPaBase_ = pa & ~(kPageSize - 1);
+    tcWritable_ = pte.writable;
+    tcGen_ = tcEnabled_ ? tlb_.generation() : kTcInvalidGen;
+    return pa;
 }
 
 SimNs
@@ -216,11 +229,11 @@ MemBus::readBytes(Addr va, std::span<u8> out)
         const u64 in_page = kPageSize - (cur & (kPageSize - 1));
         const u64 chunk =
             std::min<u64>(in_page, out.size() - done);
+        ++stats_.loads;
         const Addr pa = translate(cur, false);
         std::memcpy(out.data() + done, mem_.raw() + pa, chunk);
         done += chunk;
     }
-    ++stats_.loads;
     stats_.bytesCopied += out.size();
 }
 
@@ -234,6 +247,7 @@ MemBus::writeBytes(Addr va, std::span<const u8> in)
         const Addr cur = va + done;
         const u64 in_page = kPageSize - (cur & (kPageSize - 1));
         const u64 chunk = std::min<u64>(in_page, in.size() - done);
+        ++stats_.stores;
         const Addr pa = translate(cur, true);
         patchCheck(pa, (chunk + 7) / 8);
         auditStore(pa, chunk);
@@ -241,7 +255,6 @@ MemBus::writeBytes(Addr va, std::span<const u8> in)
         observeStore(pa, chunk);
         done += chunk;
     }
-    ++stats_.stores;
     stats_.bytesCopied += in.size();
 }
 
@@ -257,7 +270,9 @@ MemBus::copy(Addr dst, Addr src, u64 n)
         const u64 in_src = kPageSize - (s & (kPageSize - 1));
         const u64 in_dst = kPageSize - (d & (kPageSize - 1));
         const u64 chunk = std::min({in_src, in_dst, n - done});
+        ++stats_.loads;
         const Addr spa = translate(s, false);
+        ++stats_.stores;
         const Addr dpa = translate(d, true);
         patchCheck(dpa, (chunk + 7) / 8);
         auditStore(dpa, chunk);
@@ -265,8 +280,6 @@ MemBus::copy(Addr dst, Addr src, u64 n)
         observeStore(dpa, chunk);
         done += chunk;
     }
-    ++stats_.loads;
-    ++stats_.stores;
     stats_.bytesCopied += n;
 }
 
@@ -280,6 +293,7 @@ MemBus::set(Addr dst, u8 value, u64 n)
         const Addr cur = dst + done;
         const u64 in_page = kPageSize - (cur & (kPageSize - 1));
         const u64 chunk = std::min<u64>(in_page, n - done);
+        ++stats_.stores;
         const Addr pa = translate(cur, true);
         patchCheck(pa, (chunk + 7) / 8);
         auditStore(pa, chunk);
@@ -287,7 +301,6 @@ MemBus::set(Addr dst, u8 value, u64 n)
         observeStore(pa, chunk);
         done += chunk;
     }
-    ++stats_.stores;
     stats_.bytesCopied += n;
 }
 

@@ -77,6 +77,13 @@ class ProtectionPolicy
     virtual void onProtectionStop(Addr pa) = 0;
 };
 
+/**
+ * Bus traffic counters. Scalar accesses count one load/store each;
+ * bulk operations (readBytes/writeBytes/copy/set) count one load
+ * and/or store per page-sized chunk they touch — i.e. per bus access
+ * performed — with the byte volume in bytesCopied. A bulk op fully
+ * inside one page therefore counts exactly like a scalar access.
+ */
 struct BusStats
 {
     u64 loads = 0;
@@ -117,9 +124,52 @@ class MemBus
 
     /**
      * Translate @p va for a read or write access.
+     *
+     * The common case — same page as the previous translation, no
+     * TLB change since — is served inline from a one-entry
+     * last-translation cache; everything else (TLB walk, faults,
+     * cache refill) lives in the out-of-line translateMapped(). The
+     * cache is keyed on the TLB generation counter, so TLB fills,
+     * invalidations and flushes (and therefore all protection
+     * changes, which always invalidate) implicitly invalidate it.
+     * The fast path charges the same stats as the TLB-hit slow path,
+     * keeping campaign results bit-identical at fixed seeds.
+     *
      * @throws CrashException on machine check or protection fault.
      */
-    Addr translate(Addr va, bool write);
+    Addr
+    translate(Addr va, bool write)
+    {
+        Addr mapped = va;
+        if (isKsegAddr(va)) {
+            mapped = ksegToPhys(va);
+            if (!cpu_.mapKsegThroughTlb()) {
+                if (mapped >= mem_.size()) [[unlikely]]
+                    machineCheck(va);
+                return mapped; // TLB bypass: no protection possible.
+            }
+        }
+        if (tcEnabled_ && tcGen_ == tlb_.generation() &&
+            (mapped >> kPageShift) == tcVpn_ &&
+            (!write || tcWritable_)) {
+            tlb_.noteHit();
+            return tcPaBase_ | (mapped & (kPageSize - 1));
+        }
+        return translateMapped(mapped, write, va);
+    }
+
+    /**
+     * Enable/disable the last-translation cache (on by default).
+     * Exists for A/B benchmarking and equivalence tests; results are
+     * identical either way, only host-side speed differs.
+     */
+    void
+    setTranslationCache(bool on)
+    {
+        tcEnabled_ = on;
+        tcGen_ = kTcInvalidGen;
+    }
+    bool translationCache() const { return tcEnabled_; }
 
     /** Enable/disable the code-patching store checks. */
     void setCodePatching(bool on) { codePatching_ = on; }
@@ -172,6 +222,17 @@ class MemBus
     StoreObserver *observer_ = nullptr;
     bool codePatching_ = false;
     BusStats stats_;
+
+    /** @{ Last-translation cache (see translate()). Valid iff
+     * tcGen_ == tlb_.generation(); populated by translateMapped()
+     * after a translation passes every check. */
+    static constexpr u64 kTcInvalidGen = ~0ull;
+    bool tcEnabled_ = true;
+    u64 tcGen_ = kTcInvalidGen;
+    u64 tcVpn_ = 0;
+    Addr tcPaBase_ = 0;
+    bool tcWritable_ = false;
+    /** @} */
 };
 
 } // namespace rio::sim

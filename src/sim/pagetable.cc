@@ -11,8 +11,8 @@ PageTable::PageTable(PhysMem &mem)
     // riolint:allow(R1) the MMU owns the PTE slab; all walks below go
     // through the bounds-checked span carved out here.
     : slots_(mem.raw() + mem.region(RegionKind::PageTables).base,
-             mem.numPages() * 8),
-      numPages_(mem.numPages())
+             mem.vaPages() * 8),
+      numPages_(mem.vaPages()), physPages_(mem.numPages())
 {
     assert(numPages_ * 8 <= mem.region(RegionKind::PageTables).size);
 }
@@ -20,13 +20,17 @@ PageTable::PageTable(PhysMem &mem)
 void
 PageTable::initIdentity()
 {
-    for (u64 vpn = 0; vpn < numPages_; ++vpn) {
+    for (u64 vpn = 0; vpn < physPages_; ++vpn) {
         Pte pte;
         pte.valid = vpn != 0; // Page 0 stays unmapped (null page).
         pte.writable = true;
         pte.pfn = vpn;
         write(vpn, pte);
     }
+    // Virtual pages above physical memory start unmapped (also after
+    // a warm reboot, where the preserved image may hold stale PTEs).
+    for (u64 vpn = physPages_; vpn < numPages_; ++vpn)
+        write(vpn, Pte{});
 }
 
 Pte

@@ -60,10 +60,20 @@ class PageTable
   public:
     explicit PageTable(PhysMem &mem);
 
-    /** Number of mappable pages (== physical pages). */
+    /**
+     * Number of mappable virtual pages — the VA-space bound the bus
+     * checks before walking. Equal to the physical page count unless
+     * MachineConfig::vaSpacePages raises it.
+     */
     u64 numPages() const { return numPages_; }
 
-    /** Identity-map every physical page, writable. Called at boot. */
+    /** Number of physical page frames. */
+    u64 physPages() const { return physPages_; }
+
+    /**
+     * Identity-map every physical page, writable; invalidate any
+     * virtual pages above physical memory. Called at boot.
+     */
     void initIdentity();
 
     /** Read the PTE for virtual page @p vpn (hardware walk). */
@@ -80,6 +90,7 @@ class PageTable
      * through bounds-checked accessors over this span. */
     std::span<u8> slots_;
     u64 numPages_;
+    u64 physPages_;
 };
 
 } // namespace rio::sim

@@ -1,5 +1,6 @@
 #include "sim/physmem.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -34,7 +35,8 @@ PhysMem::PhysMem(const MachineConfig &config)
     bytes_.assign(total, 0);
 
     const u64 num_pages = total >> kPageShift;
-    const u64 pt_bytes = roundUp(num_pages * 8, kPageSize);
+    vaPages_ = std::max(config.vaSpacePages, num_pages);
+    const u64 pt_bytes = roundUp(vaPages_ * 8, kPageSize);
 
     Addr cursor = 0;
     auto place = [&](RegionKind kind, u64 size) {

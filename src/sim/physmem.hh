@@ -64,6 +64,9 @@ class PhysMem
     u64 size() const { return bytes_.size(); }
     u64 numPages() const { return size() >> kPageShift; }
 
+    /** Virtual pages the page table covers (>= numPages()). */
+    u64 vaPages() const { return vaPages_; }
+
     /** Raw host pointer; used by the bus and by host-side tooling. */
     u8 *raw() { return bytes_.data(); }
     const u8 *raw() const { return bytes_.data(); }
@@ -88,6 +91,7 @@ class PhysMem
   private:
     std::vector<u8> bytes_;
     std::vector<Region> regions_;
+    u64 vaPages_ = 0;
 };
 
 } // namespace rio::sim

@@ -21,14 +21,17 @@ Tlb::fill(u64 vpn, const Pte &pte)
     entry.valid = true;
     entry.vpn = vpn;
     entry.pte = pte;
+    ++generation_;
 }
 
 void
 Tlb::invalidatePage(u64 vpn)
 {
     Entry &entry = entries_[indexOf(vpn)];
-    if (entry.valid && entry.vpn == vpn)
+    if (entry.valid && entry.vpn == vpn) {
         entry.valid = false;
+        ++generation_;
+    }
 }
 
 void
@@ -36,6 +39,7 @@ Tlb::flushAll()
 {
     for (auto &entry : entries_)
         entry.valid = false;
+    ++generation_;
 }
 
 } // namespace rio::sim

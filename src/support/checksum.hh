@@ -11,6 +11,8 @@
 #ifndef RIO_SUPPORT_CHECKSUM_HH
 #define RIO_SUPPORT_CHECKSUM_HH
 
+#include <bit>
+#include <cstring>
 #include <span>
 
 #include "support/types.hh"
@@ -18,14 +20,38 @@
 namespace rio::support
 {
 
-/** Checksum a byte span. Never returns 0 (0 means "no checksum"). */
+/**
+ * Checksum a byte span. Never returns 0 (0 means "no checksum").
+ *
+ * The mixing chain is inherently sequential (each step feeds the
+ * next), so the speedup comes from issuing one 8-byte load per word
+ * instead of eight 1-byte loads and extracting bytes with shifts;
+ * the per-byte mixing is unchanged, so the result is bit-identical
+ * to the reference byte-at-a-time loop (which remains as the tail /
+ * big-endian fallback).
+ */
 inline u32
 checksum32(std::span<const u8> bytes)
 {
     u64 hash = 0xcbf29ce484222325ull;
     u64 pos = 0x9e3779b9ull;
-    for (u8 byte : bytes) {
-        hash ^= byte + pos;
+    std::size_t i = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+        for (; i + 8 <= bytes.size(); i += 8) {
+            u64 word;
+            // riolint:allow(R1) host-side word load of the input
+            // span; not a simulated-memory access.
+            std::memcpy(&word, bytes.data() + i, 8);
+            for (int b = 0; b < 8; ++b) {
+                hash ^= (word & 0xff) + pos;
+                hash *= 0x100000001b3ull;
+                pos += 0x9e3779b9ull;
+                word >>= 8;
+            }
+        }
+    }
+    for (; i < bytes.size(); ++i) {
+        hash ^= bytes[i] + pos;
         hash *= 0x100000001b3ull;
         pos += 0x9e3779b9ull;
     }

@@ -1,0 +1,218 @@
+#include "workload/serverclient.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "workload/script.hh"
+
+namespace rio::wl
+{
+
+namespace
+{
+
+std::vector<u8>
+prefix(const std::vector<u8> &data, u64 n)
+{
+    return {data.begin(),
+            data.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+/**
+ * After attempting to write @p data at offset @p base of @p path,
+ * mirror into the model however many bytes actually landed. Even a
+ * *failed* write may have stored a prefix before hitting ENOSPC, so
+ * the file's resulting size — not the write's return value — is the
+ * authoritative count.
+ */
+u64
+mirrorWrite(os::Vfs &vfs, ModelFs &model, const std::string &path,
+            u64 base, const std::vector<u8> &data)
+{
+    auto st = vfs.stat(path);
+    const u64 end = st.ok() ? st.value().size : base;
+    const u64 written =
+        end > base ? std::min<u64>(end - base, data.size()) : 0;
+    if (written > 0)
+        model.writeFile(path, base, prefix(data, written));
+    return written;
+}
+
+} // namespace
+
+ServerClient::ServerClient(const Config &config, u64 seed)
+    : config_(config), rng_(seed), proc_(1)
+{}
+
+void
+ServerClient::createDirs(os::Kernel &kernel)
+{
+    tolerate(kernel.vfs().mkdir(config_.root));
+    tolerate(kernel.vfs().mkdir(config_.root + "/mail"));
+    tolerate(kernel.vfs().mkdir(config_.root + "/docs"));
+}
+
+std::string
+ServerClient::mailboxPath(u64 box) const
+{
+    return config_.root + "/mail/user" + std::to_string(box);
+}
+
+std::string
+ServerClient::docPath(u64 doc) const
+{
+    return config_.root + "/docs/paper" + std::to_string(doc) +
+           ".tex";
+}
+
+bool
+ServerClient::deliverMail(os::Kernel &kernel, ModelFs &model,
+                          u64 box)
+{
+    auto &vfs = kernel.vfs();
+    const std::string path = mailboxPath(box % config_.mailboxes);
+    std::vector<u8> mail(rng_.between(config_.mailMin,
+                                      config_.mailMax));
+    fillPattern(mail, rng_.next());
+
+    if (config_.mailboxRotateBytes != 0) {
+        const auto *cur = model.contents(path);
+        if (cur &&
+            cur->size() + mail.size() > config_.mailboxRotateBytes) {
+            if (!vfs.truncate(path, 0).ok())
+                return false;
+            model.truncateFile(path, 0);
+        }
+    }
+
+    auto flags = os::OpenFlags::readWrite(true);
+    flags.append = true;
+    auto fd = vfs.open(proc_, path, flags);
+    if (!fd.ok())
+        return false;
+    // The append offset the kernel will use is the inode size now;
+    // ask the file system rather than trusting the model, so a
+    // mirroring mistake cannot compound.
+    auto st = vfs.stat(path);
+    const u64 base = st.ok() ? st.value().size : 0;
+    auto n = vfs.write(proc_, fd.value(), mail);
+    const u64 written = mirrorWrite(vfs, model, path, base, mail);
+    tolerate(vfs.close(proc_, fd.value()));
+    return n.ok() && written == mail.size();
+}
+
+bool
+ServerClient::overwriteDoc(os::Kernel &kernel, ModelFs &model,
+                           u64 doc)
+{
+    auto &vfs = kernel.vfs();
+    const std::string path = docPath(doc % config_.docs);
+    std::vector<u8> text(rng_.between(config_.docMin,
+                                      config_.docMax));
+    fillPattern(text, rng_.next());
+
+    auto fd = vfs.open(proc_, path, os::OpenFlags::writeOnly());
+    if (!fd.ok())
+        return false;
+    // The open already created-or-truncated the real file. Mirror
+    // that state *before* attempting the write: if the write fails
+    // or is short, the oracle must not keep the pre-open contents.
+    model.removeFile(path);
+    model.truncateFile(path, 0);
+    auto n = vfs.write(proc_, fd.value(), text);
+    const u64 written = mirrorWrite(vfs, model, path, 0, text);
+    tolerate(vfs.close(proc_, fd.value()));
+    return n.ok() && written == text.size();
+}
+
+bool
+ServerClient::readDoc(os::Kernel &kernel, ModelFs &model, u64 doc)
+{
+    auto &vfs = kernel.vfs();
+    const std::string path = docPath(doc % config_.docs);
+    const auto *expected = model.contents(path);
+    auto st = vfs.stat(path);
+    if (!st.ok()) {
+        if (expected != nullptr)
+            ++readMismatches_;
+        return false;
+    }
+    auto fd = vfs.open(proc_, path, os::OpenFlags::readOnly());
+    if (!fd.ok())
+        return false;
+    std::vector<u8> bytes(st.value().size);
+    auto n = vfs.read(proc_, fd.value(), bytes);
+    tolerate(vfs.close(proc_, fd.value()));
+    if (!n.ok())
+        return false;
+    if (expected &&
+        (st.value().size != expected->size() ||
+         n.value() != expected->size() ||
+         !std::equal(expected->begin(), expected->end(),
+                     bytes.begin())))
+        ++readMismatches_;
+    return true;
+}
+
+void
+ServerClient::request(os::Kernel &kernel, ModelFs &model)
+{
+    const double roll = rng_.real();
+    if (roll < 0.5)
+        deliverMail(kernel, model, rng_.below(config_.mailboxes));
+    else if (roll < 0.8)
+        overwriteDoc(kernel, model, rng_.below(config_.docs));
+    else
+        readDoc(kernel, model, rng_.below(config_.docs));
+}
+
+ServerClient::AuditResult
+ServerClient::audit(os::Kernel &kernel, const ModelFs &model)
+{
+    auto &vfs = kernel.vfs();
+    os::Process auditor(2);
+    AuditResult result;
+
+    for (const auto &[path, expected] : model.files()) {
+        auto st = vfs.stat(path);
+        // The size check matters: reading expected.size() bytes from
+        // a file that grew past the model would compare equal.
+        if (!st.ok() || st.value().size != expected.size()) {
+            ++result.damaged;
+            continue;
+        }
+        auto fd = vfs.open(auditor, path, os::OpenFlags::readOnly());
+        if (!fd.ok()) {
+            ++result.damaged;
+            continue;
+        }
+        std::vector<u8> bytes(expected.size());
+        auto n = vfs.read(auditor, fd.value(), bytes);
+        tolerate(vfs.close(auditor, fd.value()));
+        if (n.ok() && n.value() == expected.size() &&
+            std::equal(expected.begin(), expected.end(),
+                       bytes.begin()))
+            ++result.intact;
+        else
+            ++result.damaged;
+    }
+
+    // Stray files the model does not know about are damage too.
+    for (const std::string sub : {"/mail", "/docs"}) {
+        auto entries = vfs.readdir(config_.root + sub);
+        if (!entries.ok())
+            continue;
+        for (const auto &entry : entries.value()) {
+            if (entry.name == "." || entry.name == "..")
+                continue;
+            const std::string path =
+                config_.root + sub + "/" + entry.name;
+            if (!model.fileExists(path))
+                ++result.damaged;
+        }
+    }
+    return result;
+}
+
+} // namespace rio::wl

