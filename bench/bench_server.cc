@@ -137,6 +137,8 @@ runServerArm(const ServerBenchConfig &cfg, bool translationCache)
     const u64 warmup =
         cfg.warmup != 0 ? cfg.warmup : cfg.ops / 20;
     const u64 total = warmup + cfg.ops;
+    // riolint:allow(R2) host wall-clock measures harness throughput
+    // only; simulated results come from the deterministic sim clock.
     const auto hostStart = std::chrono::steady_clock::now();
     for (u64 i = 0; i < total; ++i) {
         const bool measured = i >= warmup;
@@ -168,6 +170,7 @@ runServerArm(const ServerBenchConfig &cfg, bool translationCache)
     }
     result.hostSeconds =
         std::chrono::duration<double>(
+            // riolint:allow(R2) host wall-clock, reporting only.
             std::chrono::steady_clock::now() - hostStart)
             .count();
     result.simEndNs = machine.clock().now();
@@ -206,6 +209,8 @@ runStoreMicro(u64 ops, bool translationCache)
 
     const Addr heap =
         machine.mem().region(sim::RegionKind::KernelHeap).base;
+    // riolint:allow(R2) host wall-clock measures harness throughput
+    // only; simulated results come from the deterministic sim clock.
     const auto hostStart = std::chrono::steady_clock::now();
     for (u64 i = 0; i < ops; ++i) {
         // Walk within one page: the fast path's best case, and the
@@ -216,6 +221,7 @@ runStoreMicro(u64 ops, bool translationCache)
     MicroResult result;
     result.hostNsPerOp =
         std::chrono::duration<double, std::nano>(
+            // riolint:allow(R2) host wall-clock, reporting only.
             std::chrono::steady_clock::now() - hostStart)
             .count() /
         static_cast<double>(ops);

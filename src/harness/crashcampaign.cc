@@ -84,6 +84,7 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
         kernelConfig.updateIntervalNs = config_.rioIdleFlushNs;
     }
     kernelConfig.ioRetry.enabled = config_.ioRetryEnabled;
+    kernelConfig.lockdep = config_.lockdep;
 
     std::unique_ptr<core::RioSystem> rio;
     if (isRio(kind)) {

@@ -191,6 +191,12 @@ struct CampaignConfig
     u32 maxRecoveryPasses = 4;
     /** @} */
 
+    /** Lockdep rank validator on the kernel lock table
+     *  (RIO_T1_LOCKDEP). Pure bookkeeping: trial records must be
+     *  byte-identical with it on or off, and the determinism tests
+     *  prove it. */
+    bool lockdep = envBool("RIO_T1_LOCKDEP", true);
+
     /** Campaign slice; defaults cover the paper's full 3 x 13 grid.
      *  Reduced slices keep the determinism tests fast. */
     std::vector<SystemKind> systems{SystemKind::DiskWriteThrough,

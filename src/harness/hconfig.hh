@@ -20,6 +20,9 @@
  *                    ablation_recovery default)
  *   RIO_T1_HARDENED  hardened RestorePolicy for warm reboot
  *                    (default 1; 0 = pre-hardening trusting restore)
+ *   RIO_T1_LOCKDEP   lockdep rank validator on the kernel lock
+ *                    table (default 1; results are byte-identical
+ *                    either way)
  *   RIO_DISKFAULT_INTENSITY
  *                    faulty-disk model intensity for the campaign
  *                    (default 0 = pristine device; 1.0 = the

@@ -25,7 +25,10 @@ BufferCache::init(CacheGuard &guard, sim::Disk &disk)
     poolBase_ = pool.base;
     numBufs_ = pool.pages();
     arena_ = heap_.alloc(numBufs_ * kHeaderSize);
-    bufLock_ = locks_.add("bufcache", arena_, numBufs_ * kHeaderSize);
+    // riolint:rank(bufLock_, 30) innermost: getblk/bread nest inside
+    // both the filesystem lock (ufs_dir) and the ubc lock (fill/spill).
+    bufLock_ = locks_.add("bufcache", LockRank{30}, arena_,
+                          numBufs_ * kHeaderSize);
     staging_.assign(sim::kPageSize, 0);
 
     auto &bus = machine_.bus();

@@ -115,6 +115,14 @@ struct KernelConfig
 
     /** Disk I/O retry/remap discipline (see IoRetryPolicy). */
     IoRetryPolicy ioRetry;
+
+    /**
+     * Lockdep-style rank validator on the kernel lock table (see
+     * os/locks.hh). Pure bookkeeping — results are byte-identical
+     * with it on or off — so it defaults on; the knob exists to
+     * prove exactly that in the campaign determinism tests.
+     */
+    bool lockdep = true;
 };
 
 /** The eight system configurations evaluated in Table 2. */

@@ -37,6 +37,7 @@ Kernel::Kernel(sim::Machine &machine, const KernelConfig &config)
       vfs_(machine, procs_, heap_, config_, ufs_, ubc_, buf_)
 {
     kcopy_.setHeapHint(&heap_);
+    locks_.setLockdep(config_.lockdep);
     if (config_.fs == FsKind::Mfs) {
         ramDisk_ = std::make_unique<sim::Disk>(
             machine.config().diskBytes, ramCosts_,

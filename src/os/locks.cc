@@ -8,9 +8,11 @@ LockTable::LockTable(sim::Machine &machine, KProcTable &procs)
 {}
 
 LockId
-LockTable::add(std::string name, Addr guardBase, u64 guardSize)
+LockTable::add(std::string name, LockRank rank, Addr guardBase,
+               u64 guardSize)
 {
-    locks_.push_back({std::move(name), false, guardBase, guardSize});
+    locks_.push_back(
+        {std::move(name), rank.value, false, guardBase, guardSize});
     return static_cast<LockId>(locks_.size() - 1);
 }
 
@@ -40,11 +42,57 @@ LockTable::armSyncFault(support::Rng &rng)
     faultCountdown_ = faultRng_.between(2, 64);
 }
 
+/**
+ * Record an acquire on the validator's held stack and check it
+ * against the lattice. Pure bookkeeping — no RNG, no clock — so the
+ * validator cannot perturb seed-reproducible results. The check runs
+ * on the caller's *intent*, before the fault hook: a missed acquire
+ * still reflects the nesting the code asked for.
+ */
+void
+LockTable::lockdepAcquire(LockId lockId)
+{
+    ++lockdepEvents_;
+    const Lock &lock = locks_.at(lockId);
+    if (lock.rank != 0) {
+        for (const LockId heldId : heldStack_) {
+            const Lock &held = locks_.at(heldId);
+            if (held.rank != 0 && lock.rank <= held.rank) {
+                ++rankViolations_;
+                if (violationLog_.size() < 16) {
+                    violationLog_.push_back(
+                        "acquire " + lock.name + " (rank " +
+                        std::to_string(lock.rank) +
+                        ") while holding " + held.name + " (rank " +
+                        std::to_string(held.rank) + ")");
+                }
+            }
+        }
+    }
+    heldStack_.push_back(lockId);
+}
+
+/** Pop the most recent occurrence of @p lockId off the held stack
+ * (releases are allowed out of order; only ranks are validated). */
+void
+LockTable::lockdepRelease(LockId lockId)
+{
+    for (auto it = heldStack_.rbegin(); it != heldStack_.rend();
+         ++it) {
+        if (*it == lockId) {
+            heldStack_.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
 void
 LockTable::acquire(LockId lockId)
 {
     ++acquires_;
     procs_.enter(ProcId::LockAcquire);
+    if (lockdepOn_)
+        lockdepAcquire(lockId);
     Lock &lock = locks_.at(lockId);
     if (faultFires()) {
         // Missed acquire: the critical section runs unlocked. Model a
@@ -72,6 +120,12 @@ LockTable::acquire(LockId lockId)
 void
 LockTable::releaseQuiet(LockId lockId)
 {
+    // Quiet releases run while a crash exception unwinds; keep the
+    // held stack honest but do not count a validator event, so the
+    // unwind path is invisible to the event tally the guard-unwind
+    // regression test pins.
+    if (lockdepOn_)
+        lockdepRelease(lockId);
     locks_.at(lockId).held = false;
 }
 
@@ -79,6 +133,10 @@ void
 LockTable::release(LockId lockId)
 {
     procs_.enter(ProcId::LockRelease);
+    if (lockdepOn_) {
+        ++lockdepEvents_;
+        lockdepRelease(lockId);
+    }
     Lock &lock = locks_.at(lockId);
     if (faultFires()) {
         return; // Missed release: lock stays held forever.

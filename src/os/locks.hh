@@ -9,6 +9,15 @@
  *  - a missed acquire models a race: with some probability the
  *    unprotected critical section interleaves with "another thread"
  *    and scribbles a few bytes of the data the lock guards.
+ *
+ * Locks also carry a *rank* in the kernel's lock lattice (declared
+ * beside each add site with a `riolint:rank` annotation riolint
+ * cross-checks). A lockdep-style validator records every acquire
+ * against the stack of locks already held: acquiring a ranked lock
+ * at a rank <= the deepest ranked lock held is a recorded ordering
+ * violation — pure bookkeeping, no RNG and no clock, so enabling it
+ * cannot perturb seed-reproducible results. Tier-1 tests assert the
+ * violation count stays zero.
  */
 
 #ifndef RIO_OS_LOCKS_HH
@@ -28,6 +37,17 @@ namespace rio::os
 
 using LockId = u32;
 
+/**
+ * Position in the lock lattice. Strongly typed so rank and guard
+ * arguments cannot be swapped silently; 0 means unranked (exempt
+ * from ordering checks). Ranks must strictly increase inward:
+ * filesystem (10) -> ubc (20) -> bufcache (30).
+ */
+struct LockRank
+{
+    u32 value = 0;
+};
+
 class LockTable
 {
   public:
@@ -36,10 +56,13 @@ class LockTable
     /**
      * Register a lock.
      * @param name Diagnostic name.
+     * @param rank Lattice rank (0 = unranked). Keep the literal in
+     *     sync with the riolint:rank annotation at the call site.
      * @param guardBase Base of the data this lock guards (0 = none).
      * @param guardSize Size of the guarded range.
      */
-    LockId add(std::string name, Addr guardBase = 0, u64 guardSize = 0);
+    LockId add(std::string name, LockRank rank = {},
+               Addr guardBase = 0, u64 guardSize = 0);
 
     /** Late-bind the guarded range (arenas allocated after boot). */
     void setGuard(LockId lock, Addr guardBase, u64 guardSize);
@@ -89,10 +112,29 @@ class LockTable
     u64 acquires() const { return acquires_; }
     u64 racesInjected() const { return races_; }
 
+    /** Enable/disable the lockdep validator (on by default). */
+    void setLockdep(bool on) { lockdepOn_ = on; }
+
+    /** Rank-ordering violations the validator recorded. */
+    u64 rankViolations() const { return rankViolations_; }
+
+    /** Acquire/release events the validator processed. */
+    u64 lockdepEvents() const { return lockdepEvents_; }
+
+    /** Locks currently on the validator's held stack. */
+    std::size_t heldDepth() const { return heldStack_.size(); }
+
+    /** Human-readable log of the first few violations. */
+    const std::vector<std::string> &rankViolationLog() const
+    {
+        return violationLog_;
+    }
+
   private:
     struct Lock
     {
         std::string name;
+        u32 rank = 0;
         bool held = false;
         Addr guardBase = 0;
         u64 guardSize = 0;
@@ -104,11 +146,19 @@ class LockTable
     u64 acquires_ = 0;
     u64 races_ = 0;
 
+    bool lockdepOn_ = true;
+    std::vector<LockId> heldStack_;
+    u64 rankViolations_ = 0;
+    u64 lockdepEvents_ = 0;
+    std::vector<std::string> violationLog_;
+
     bool faultArmed_ = false;
     u64 faultCountdown_ = 0;
     support::Rng faultRng_{0};
 
     bool faultFires();
+    void lockdepAcquire(LockId lockId);
+    void lockdepRelease(LockId lockId);
 };
 
 } // namespace rio::os

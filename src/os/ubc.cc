@@ -21,7 +21,10 @@ Ubc::init(CacheGuard &guard, BackingStore &backing)
     poolBase_ = pool.base;
     numPages_ = pool.pages();
     arena_ = heap_.alloc(numPages_ * kHeaderSize);
-    ubcLock_ = locks_.add("ubc", arena_, numPages_ * kHeaderSize);
+    // riolint:rank(ubcLock_, 20) middle: getPage's fill/spill path
+    // reaches the buffer cache (rank 30) through Ufs::fillPage.
+    ubcLock_ = locks_.add("ubc", LockRank{20}, arena_,
+                          numPages_ * kHeaderSize);
 
     auto &bus = machine_.bus();
     index_.clear();

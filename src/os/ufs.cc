@@ -15,7 +15,8 @@ Ufs::Ufs(sim::Machine &machine, KProcTable &procs, KCopy &kcopy,
     : machine_(machine), procs_(procs), kcopy_(kcopy), locks_(locks),
       config_(config), buf_(buf), ubc_(ubc)
 {
-    fsLock_ = locks_.add("filesystem");
+    // riolint:rank(fsLock_, 10) outermost: taken at syscall entry.
+    fsLock_ = locks_.add("filesystem", LockRank{10});
     scratch_.assign(kBlockSize, 0);
 }
 

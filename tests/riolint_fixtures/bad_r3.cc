@@ -1,5 +1,11 @@
-// riolint fixture: R3 lock-order violation. The canonical order is
-// fsLock_ < bufLock_ < ubcLock_; this function inverts it.
+// riolint fixture: R3 rank-lattice violation. Ranks are declared
+// with riolint:rank annotations (in the live tree they sit beside
+// the LockTable::add sites); ranks must strictly increase inward,
+// and this function acquires a lower-ranked lock while holding a
+// higher one.
+//
+// riolint:rank(fsLock_, 10)
+// riolint:rank(ubcLock_, 20)
 namespace rio::os
 {
 

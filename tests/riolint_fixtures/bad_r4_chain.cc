@@ -1,0 +1,33 @@
+// riolint fixture: R4 statement-position holes. Each of these used
+// to slip past the statement detector: a `this->`-qualified call,
+// the final call of a `a.b().c()` chain, and both sides of a
+// statement-level comma expression. The declarations carry
+// [[nodiscard]] so the only findings are the four dropped results.
+namespace rio::os
+{
+
+[[nodiscard]] OsStatus flushQuietly(Dev dev);
+
+[[nodiscard]] Result<u64> writeBlock(Dev dev, BlockNo block);
+
+void
+Ufs::sloppyChains(Dev dev)
+{
+    // Dropped: `this->` qualification is still statement position.
+    this->flushQuietly(dev);
+
+    // Dropped: the chain's final result vanishes.
+    fs().cache().flushQuietly(dev);
+
+    // Dropped twice: both operands of a statement-level comma.
+    flushQuietly(dev), writeBlock(dev, 1);
+
+    // Consumed results — none of these may be flagged.
+    if (this->flushQuietly(dev) != OsStatus::Ok)
+        return;
+    const auto s = fs().cache().flushQuietly(dev);
+    (void)flushQuietly(dev);
+    check(flushQuietly(dev), writeBlock(dev, 2));
+}
+
+} // namespace rio::os

@@ -1,0 +1,32 @@
+// riolint fixture: R7 deadlock-potential cycle. Neither lock is
+// ranked, so R3's lattice has nothing to say — but the two call
+// paths nest the same locks in opposite orders, and the cycle in the
+// acquired-while-held graph is deadlock potential even though each
+// function looks locally consistent.
+namespace rio::os
+{
+
+void
+Ufs::pathOne()
+{
+    LockTable::Guard outer(locks_, aLock_);
+    takeBUnderA();
+}
+
+void
+Ufs::takeBUnderA()
+{
+    LockTable::Guard inner(locks_, bLock_);
+    doWork();
+}
+
+void
+Ufs::pathTwo()
+{
+    // The opposite nesting: a under b, closing the cycle.
+    LockTable::Guard outer(locks_, bLock_);
+    LockTable::Guard inner(locks_, aLock_);
+    doWork();
+}
+
+} // namespace rio::os

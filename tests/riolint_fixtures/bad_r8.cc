@@ -1,0 +1,41 @@
+// riolint fixture: R8 crash-capable operations under a bare
+// acquire(). A crash exception unwinds past the release, the lock
+// stays held, and the next acquire deadlocks the rebooted kernel —
+// LockTable::Guard's releaseQuiet path exists precisely to make
+// this safe. Three seeded findings:
+//   1. a disk-retry call (crash-capable) under a bare lock;
+//   2. the same reached transitively through a helper that panics;
+//   3. a bare acquire with no release on any path.
+namespace rio::os
+{
+
+void
+Ufs::writesUnderBareLock()
+{
+    locks_.acquire(fsLock_);
+    retryWrite(dev_, block_);
+    locks_.release(fsLock_);
+}
+
+void
+Ufs::panicHelper()
+{
+    machine_.crash(CrashCause::KernelPanic, "fixture panic");
+}
+
+void
+Ufs::crashesTransitively()
+{
+    locks_.acquire(fsLock_);
+    panicHelper();
+    locks_.release(fsLock_);
+}
+
+void
+Ufs::forgetsRelease()
+{
+    locks_.acquire(fsLock_);
+    doWork();
+}
+
+} // namespace rio::os

@@ -217,9 +217,8 @@ struct CampaignOutput
 };
 
 CampaignOutput
-runReduced(u64 seed, u32 jobs)
+runReduced(const CampaignConfig &config)
 {
-    const CampaignConfig config = reducedConfig(seed, jobs);
     CrashCampaign campaign(config);
 
     std::ostringstream jsonl;
@@ -236,6 +235,12 @@ runReduced(u64 seed, u32 jobs)
     out.table = CrashCampaign::renderTable1(out.result, config);
     out.json = campaignToJson(out.result, config, nullptr);
     return out;
+}
+
+CampaignOutput
+runReduced(u64 seed, u32 jobs)
+{
+    return runReduced(reducedConfig(seed, jobs));
 }
 
 } // namespace
@@ -270,6 +275,26 @@ TEST(CampaignParallel, ByteIdenticalAcrossThreadCounts)
         for (const auto &cell : system)
             crashes += cell.crashes;
     EXPECT_GT(crashes, 0u);
+}
+
+TEST(CampaignParallel, LockdepDoesNotPerturbResults)
+{
+    // The lockdep validator is pure bookkeeping — no RNG draws, no
+    // clock reads — so Table 1 must come out byte-identical with it
+    // on or off. If this breaks, lockdep has grown a side effect
+    // that perturbs seed-reproducible campaigns.
+    CampaignConfig on = reducedConfig(42, 2);
+    on.lockdep = true;
+    CampaignConfig off = reducedConfig(42, 2);
+    off.lockdep = false;
+
+    const CampaignOutput a = runReduced(on);
+    const CampaignOutput b = runReduced(off);
+    EXPECT_TRUE(a.result == b.result);
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.jsonl, b.jsonl);
+    EXPECT_EQ(a.table, b.table);
+    EXPECT_EQ(a.json, b.json);
 }
 
 TEST(CampaignParallel, DifferentSeedsProduceDifferentResults)

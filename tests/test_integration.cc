@@ -158,6 +158,13 @@ TEST(Integration, JournalWrapCheckpointsAndStaysConsistent)
         }
     }
     EXPECT_GT(kernel.journal().recordsWritten(), 32u);
+    // Lockdep is on by default: a heavy workload must not produce a
+    // single rank-ordering violation in the fs -> ubc -> buf lattice.
+    EXPECT_GT(kernel.locks().lockdepEvents(), 0u);
+    EXPECT_EQ(kernel.locks().rankViolations(), 0u)
+        << (kernel.locks().rankViolationLog().empty()
+                ? std::string()
+                : kernel.locks().rankViolationLog()[0]);
     kernel.shutdown();
 
     os::Kernel second(machine,

@@ -84,7 +84,7 @@ TEST_F(LocksTest, GuardReleasesQuietlyDuringUnwind)
 TEST_F(LocksTest, SyncFaultEventuallyDeadlocksOrRaces)
 {
     const auto &heap = machine_.mem().region(sim::RegionKind::KernelHeap);
-    const os::LockId lock = locks_.add("guarded", heap.base, 4096);
+    const os::LockId lock = locks_.add("guarded", os::LockRank{}, heap.base, 4096);
     support::Rng rng(11);
     locks_.armSyncFault(rng);
 
@@ -109,7 +109,7 @@ TEST_F(LocksTest, SyncFaultEventuallyDeadlocksOrRaces)
 TEST_F(LocksTest, RaceCanScribbleGuardedBytes)
 {
     const auto &heap = machine_.mem().region(sim::RegionKind::KernelHeap);
-    const os::LockId lock = locks_.add("guarded", heap.base, 4096);
+    const os::LockId lock = locks_.add("guarded", os::LockRank{}, heap.base, 4096);
     support::Rng rng(13);
     locks_.armSyncFault(rng);
 
@@ -131,4 +131,116 @@ TEST_F(LocksTest, RaceCanScribbleGuardedBytes)
     // Across enough missed acquires, the race model must scribble
     // into the guarded range at least once.
     EXPECT_TRUE(corrupted);
+}
+
+TEST_F(LocksTest, LockdepAcceptsIncreasingRanks)
+{
+    const os::LockId fs = locks_.add("fs", os::LockRank{10});
+    const os::LockId ubc = locks_.add("ubc", os::LockRank{20});
+    const os::LockId buf = locks_.add("buf", os::LockRank{30});
+    locks_.acquire(fs);
+    locks_.acquire(ubc);
+    locks_.acquire(buf);
+    EXPECT_EQ(locks_.heldDepth(), 3u);
+    locks_.release(buf);
+    locks_.release(ubc);
+    locks_.release(fs);
+    EXPECT_EQ(locks_.rankViolations(), 0u);
+    EXPECT_EQ(locks_.lockdepEvents(), 6u);
+    EXPECT_EQ(locks_.heldDepth(), 0u);
+}
+
+TEST_F(LocksTest, LockdepRecordsInvertedRankOrder)
+{
+    const os::LockId fs = locks_.add("fs", os::LockRank{10});
+    const os::LockId buf = locks_.add("buf", os::LockRank{30});
+    locks_.acquire(buf);
+    locks_.acquire(fs); // Rank 10 under rank 30: inverted.
+    EXPECT_EQ(locks_.rankViolations(), 1u);
+    ASSERT_EQ(locks_.rankViolationLog().size(), 1u);
+    EXPECT_NE(locks_.rankViolationLog()[0].find("fs"),
+              std::string::npos);
+    EXPECT_NE(locks_.rankViolationLog()[0].find("buf"),
+              std::string::npos);
+    locks_.release(fs);
+    locks_.release(buf);
+}
+
+TEST_F(LocksTest, LockdepRejectsEqualRanks)
+{
+    // Two locks at the same rank cannot nest in either order — that
+    // is exactly the symmetric nesting R7 calls a cycle.
+    const os::LockId a = locks_.add("a", os::LockRank{20});
+    const os::LockId b = locks_.add("b", os::LockRank{20});
+    locks_.acquire(a);
+    locks_.acquire(b);
+    EXPECT_EQ(locks_.rankViolations(), 1u);
+    locks_.release(b);
+    locks_.release(a);
+}
+
+TEST_F(LocksTest, LockdepExemptsUnrankedLocks)
+{
+    const os::LockId ranked = locks_.add("ranked", os::LockRank{30});
+    const os::LockId plain = locks_.add("plain");
+    locks_.acquire(ranked);
+    locks_.acquire(plain); // Unranked incoming: exempt.
+    locks_.release(plain);
+    locks_.release(ranked);
+    locks_.acquire(plain);
+    locks_.acquire(ranked); // Unranked held: exempt.
+    locks_.release(ranked);
+    locks_.release(plain);
+    EXPECT_EQ(locks_.rankViolations(), 0u);
+    EXPECT_EQ(locks_.lockdepEvents(), 8u);
+}
+
+TEST_F(LocksTest, LockdepOffDoesNoBookkeeping)
+{
+    locks_.setLockdep(false);
+    const os::LockId buf = locks_.add("buf", os::LockRank{30});
+    const os::LockId fs = locks_.add("fs", os::LockRank{10});
+    locks_.acquire(buf);
+    locks_.acquire(fs); // Would be a violation with lockdep on.
+    locks_.release(fs);
+    locks_.release(buf);
+    EXPECT_EQ(locks_.lockdepEvents(), 0u);
+    EXPECT_EQ(locks_.rankViolations(), 0u);
+    EXPECT_EQ(locks_.heldDepth(), 0u);
+}
+
+TEST_F(LocksTest, GuardUnwindCrashTakesQuietReleasePath)
+{
+    // A crash injected inside release() must unwind through the
+    // outer Guard's releaseQuiet() path without terminating the
+    // host, and lockdep must not count the quiet release as an
+    // event.
+    const os::LockId outer = locks_.add("outer", os::LockRank{10});
+    const os::LockId inner = locks_.add("inner", os::LockRank{20});
+    bool crashed = false;
+    try {
+        os::LockTable::Guard a(locks_, outer);
+        os::LockTable::Guard b(locks_, inner);
+        procs_.arm(os::ProcId::LockRelease,
+                   {os::Manifestation::Kind::PanicNow});
+        // Scope exit: b's dtor calls release(inner), which panics
+        // inside the instrumented procedure entry; a's dtor then
+        // sees the in-flight exception and releases quietly.
+    } catch (const sim::CrashException &) {
+        crashed = true;
+    }
+    EXPECT_TRUE(crashed);
+    // Only the two acquires count: the crashed release died before
+    // its event, and the quiet release records none.
+    EXPECT_EQ(locks_.lockdepEvents(), 2u);
+    EXPECT_EQ(locks_.rankViolations(), 0u);
+    // The crashed release never completed, so the inner lock is
+    // still held — the missed-release semantics the fault model
+    // depends on. A reboot-style quiet release clears it.
+    EXPECT_EQ(locks_.heldDepth(), 1u);
+    locks_.releaseQuiet(inner);
+    EXPECT_EQ(locks_.heldDepth(), 0u);
+    EXPECT_NO_THROW(locks_.acquire(inner));
+    locks_.release(inner);
+    EXPECT_EQ(locks_.rankViolations(), 0u);
 }

@@ -79,6 +79,8 @@ TEST(Riolint, R3FiresOnInvertedLockOrder)
 TEST(Riolint, R3AcceptsCanonicalOrder)
 {
     const auto findings = riolint::lintSource("src/os/good.cc", R"(
+// riolint:rank(fsLock_, 10)
+// riolint:rank(bufLock_, 30)
 void Ufs::goodNesting() {
     LockTable::Guard outer(locks_, fsLock_);
     {
@@ -89,6 +91,58 @@ void Ufs::goodNesting() {
 }
 )");
     EXPECT_EQ(countRule(findings, Rule::R3LockOrder), 0);
+}
+
+TEST(Riolint, R3FlagsInterproceduralInversion)
+{
+    // The inversion is invisible per-function: the helper's acquire
+    // only breaks the lattice through the call edge.
+    const auto findings = riolint::lintSource("src/os/bad.cc", R"(
+// riolint:rank(fsLock_, 10)
+// riolint:rank(bufLock_, 30)
+void Ufs::lockedHelper() {
+    LockTable::Guard g(locks_, fsLock_);
+    doWork();
+}
+void Ufs::caller() {
+    LockTable::Guard g(locks_, bufLock_);
+    lockedHelper();
+}
+)");
+    ASSERT_EQ(countRule(findings, Rule::R3LockOrder), 1);
+    for (const Finding &f : findings) {
+        if (f.rule == Rule::R3LockOrder) {
+            EXPECT_NE(f.message.find("via call to lockedHelper"),
+                      std::string::npos)
+                << f.message;
+        }
+    }
+}
+
+TEST(Riolint, R3RequiresRankAnnotationAtAddSites)
+{
+    const auto findings = riolint::lintSource("src/os/drift.cc", R"(
+void Ufs::attach() {
+    fsLock_ = locks_.add("filesystem", LockRank{10});
+}
+)");
+    ASSERT_EQ(countRule(findings, Rule::R3LockOrder), 1);
+    EXPECT_NE(findings[0].message.find("riolint:rank"),
+              std::string::npos);
+}
+
+TEST(Riolint, R3FlagsRankAnnotationDrift)
+{
+    // The annotation says 10 but the code registers 20: the lattice
+    // the linter checks would no longer be the one the runtime
+    // lockdep enforces.
+    const auto findings = riolint::lintSource("src/os/drift.cc", R"(
+void Ufs::attach() {
+    // riolint:rank(fsLock_, 10)
+    fsLock_ = locks_.add("filesystem", LockRank{20});
+}
+)");
+    EXPECT_EQ(countRule(findings, Rule::R3LockOrder), 1);
 }
 
 TEST(Riolint, R4FiresOnDroppedResults)
@@ -110,6 +164,14 @@ void carefulCaller(Dev dev) {
 }
 )");
     EXPECT_EQ(countRule(findings, Rule::R4ErrorFlow), 0);
+}
+
+TEST(Riolint, R4FiresOnStatementPositionChains)
+{
+    const auto findings = lintFixture("bad_r4_chain.cc");
+    // this->, chain end, and both comma operands: four drops; the
+    // consumed variants below them must stay silent.
+    EXPECT_EQ(countRule(findings, Rule::R4ErrorFlow), 4);
 }
 
 TEST(Riolint, R5FiresOutsideProtocolEntryPoints)
@@ -161,8 +223,46 @@ void RioSystem::endWrite(Addr page, u64 index) {
     writeEntryField32(index, L::kOffState, L::kStateActive);
     closePage(registryPageOf(index));
 }
+void BufferCache::diskFill(Addr page, u64 index) {
+    install(page, index);
+    beginWrite(page, index);
+    dmaWrite(page);
+    endWrite(page, index);
+}
 )");
     EXPECT_EQ(countRule(findings, Rule::R6ShadowProtocol), 0);
+}
+
+TEST(Riolint, R6TracksWindowsThroughCalls)
+{
+    // A window opened inside a helper and never closed leaks at the
+    // outermost caller — the root function is where the finding
+    // lands, since every callee's delta is visible there.
+    const auto leaky = riolint::lintSource("src/core/rio.cc", R"(
+void RioSystem::opener(Addr page) {
+    openPage(page);
+}
+void RioSystem::leaky(Addr page) {
+    opener(page);
+}
+)");
+    EXPECT_EQ(countRule(leaky, Rule::R6ShadowProtocol), 1);
+
+    // Splitting open and close across helpers is fine as long as the
+    // root balances them.
+    const auto balanced = riolint::lintSource("src/core/rio.cc", R"(
+void RioSystem::opener(Addr page) {
+    openPage(page);
+}
+void RioSystem::closer(Addr page) {
+    closePage(page);
+}
+void RioSystem::balanced(Addr page) {
+    opener(page);
+    closer(page);
+}
+)");
+    EXPECT_EQ(countRule(balanced, Rule::R6ShadowProtocol), 0);
 }
 
 TEST(Riolint, R6IgnoresInterfaceStubs)
@@ -177,6 +277,38 @@ class NullGuard {
 };
 )");
     EXPECT_EQ(countRule(findings, Rule::R6ShadowProtocol), 0);
+}
+
+TEST(Riolint, R7FiresOnLockCycleAcrossFunctions)
+{
+    const auto findings = lintFixture("bad_r7.cc");
+    ASSERT_EQ(countRule(findings, Rule::R7DeadlockCycle), 1);
+    for (const Finding &f : findings) {
+        if (f.rule == Rule::R7DeadlockCycle) {
+            EXPECT_NE(f.message.find("aLock_"), std::string::npos);
+            EXPECT_NE(f.message.find("bLock_"), std::string::npos);
+        }
+    }
+}
+
+TEST(Riolint, R8FiresOnCrashCapableCallsUnderBareLocks)
+{
+    const auto findings = lintFixture("bad_r8.cc");
+    // Direct retryWrite, transitive panic, and a missing release.
+    EXPECT_EQ(countRule(findings, Rule::R8CrashWhileLocked), 3);
+}
+
+TEST(Riolint, R8AcceptsGuardedCrashCapableCalls)
+{
+    // A Guard releases via releaseQuiet on the unwind path, so a
+    // crash under it is exactly what the design intends.
+    const auto findings = riolint::lintSource("src/os/good.cc", R"(
+void Ufs::writesUnderGuard() {
+    LockTable::Guard g(locks_, fsLock_);
+    retryWrite(dev_, block_);
+}
+)");
+    EXPECT_EQ(countRule(findings, Rule::R8CrashWhileLocked), 0);
 }
 
 TEST(Riolint, AnnotationSuppressesButStillReports)
@@ -228,6 +360,26 @@ TEST(Riolint, JsonReportCarriesPerDirectoryCounts)
     EXPECT_NE(json.find("\"directories\""), std::string::npos);
     EXPECT_NE(json.find("\"src/fault\""), std::string::npos);
     EXPECT_NE(json.find("\"violations\": 0"), std::string::npos);
+}
+
+TEST(Riolint, LockGraphArtifactsDescribeTheLattice)
+{
+    const riolint::Report report =
+        riolint::lintTree(RIO_SOURCE_ROOT);
+
+    // DOT: all three ranked kernel locks, no red (cycle) nodes.
+    EXPECT_NE(report.lockDot.find("digraph"), std::string::npos);
+    EXPECT_NE(report.lockDot.find("fsLock_"), std::string::npos);
+    EXPECT_NE(report.lockDot.find("ubcLock_"), std::string::npos);
+    EXPECT_NE(report.lockDot.find("bufLock_"), std::string::npos);
+    EXPECT_EQ(report.lockDot.find("color=red"), std::string::npos);
+
+    // JSON: the machine-readable mirror, with an empty cycle list.
+    const std::string &json = report.lockJson;
+    EXPECT_NE(json.find("\"locks\""), std::string::npos);
+    EXPECT_NE(json.find("\"edges\""), std::string::npos);
+    EXPECT_NE(json.find("\"rank\": 30"), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\": []"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Gated clang-tidy runner.
+
+Runs a curated set of concurrency-* and bugprone-* checks over the
+kernel sources and compares the resulting diagnostics against a
+committed baseline, so clang-tidy can gate CI without a flag day:
+pre-existing findings live in the baseline, and the job fails only
+when a *new* fingerprint appears.
+
+A fingerprint is `<repo-relative-path>:<check-name>` — deliberately
+line-insensitive so unrelated edits that shift line numbers do not
+invalidate the baseline, while any new (file, check) pair trips the
+gate.
+
+Usage:
+    python3 tools/ci/clang_tidy_gate.py --build-dir build-lint
+    python3 tools/ci/clang_tidy_gate.py --build-dir build-lint --update
+
+The build dir must have been configured with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON. `--update` regenerates the
+baseline in place; commit the result with an explanation of the
+accepted findings.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+# Curated: every concurrency check, plus the bugprone checks that
+# matter for a crash-injecting simulator (lifetime bugs that ASan
+# only catches when a test happens to reach them).
+DEFAULT_CHECKS = ",".join(
+    [
+        "-*",
+        "concurrency-*",
+        "bugprone-use-after-move",
+        "bugprone-dangling-handle",
+        "bugprone-infinite-loop",
+        "bugprone-sizeof-expression",
+        "bugprone-suspicious-semicolon",
+        "bugprone-copy-constructor-init",
+        "bugprone-undefined-memory-manipulation",
+    ]
+)
+
+DEFAULT_ROOTS = ["src", "tools/riolint", "bench", "examples"]
+
+DIAG_RE = re.compile(
+    r"^(?P<path>/[^:]+):(?P<line>\d+):\d+:\s+"
+    r"(?:warning|error):\s.*\[(?P<checks>[A-Za-z0-9.,_-]+)\]\s*$"
+)
+
+
+def listSources(buildDir, repoRoot, roots):
+    dbPath = os.path.join(buildDir, "compile_commands.json")
+    if not os.path.isfile(dbPath):
+        sys.exit(
+            f"error: {dbPath} not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+        )
+    with open(dbPath, encoding="utf-8") as db:
+        entries = json.load(db)
+    prefixes = [os.path.join(repoRoot, r) + os.sep for r in roots]
+    files = sorted(
+        {
+            os.path.realpath(e["file"])
+            for e in entries
+            if any(os.path.realpath(e["file"]).startswith(p) for p in prefixes)
+        }
+    )
+    return files
+
+
+def runTidy(tidy, buildDir, checks, path):
+    proc = subprocess.run(
+        [tidy, "-p", buildDir, f"-checks={checks}", "--quiet", path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    return proc.stdout
+
+
+def fingerprints(output, repoRoot):
+    found = set()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        rel = os.path.relpath(m.group("path"), repoRoot)
+        if rel.startswith(".."):
+            continue  # diagnostics from system headers
+        for check in m.group("checks").split(","):
+            found.add(f"{rel}:{check}")
+    return found
+
+
+def readBaseline(path):
+    if not os.path.isfile(path):
+        return set()
+    entries = set()
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def writeBaseline(path, entries):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(
+            "# clang-tidy baseline: accepted `path:check` fingerprints.\n"
+            "# Regenerate with:\n"
+            "#   python3 tools/ci/clang_tidy_gate.py"
+            " --build-dir build-lint --update\n"
+            "# New findings not listed here fail CI.\n"
+        )
+        for entry in sorted(entries):
+            f.write(entry + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument(
+        "--baseline", default="tools/ci/clang_tidy_baseline.txt"
+    )
+    parser.add_argument("--checks", default=DEFAULT_CHECKS)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--update", action="store_true")
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit(f"error: {args.clang_tidy} not found on PATH")
+
+    repoRoot = os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+    )
+    files = listSources(args.build_dir, repoRoot, DEFAULT_ROOTS)
+    if not files:
+        sys.exit("error: no sources matched the compile database")
+    print(f"clang-tidy gate: {len(files)} files, checks={args.checks}")
+
+    current = set()
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        outputs = pool.map(
+            lambda f: runTidy(
+                args.clang_tidy, args.build_dir, args.checks, f
+            ),
+            files,
+        )
+        for out in outputs:
+            current |= fingerprints(out, repoRoot)
+
+    baselinePath = os.path.join(repoRoot, args.baseline)
+    if args.update:
+        writeBaseline(baselinePath, current)
+        print(f"baseline updated: {len(current)} fingerprints")
+        return 0
+
+    baseline = readBaseline(baselinePath)
+    fresh = sorted(current - baseline)
+    stale = sorted(baseline - current)
+    for entry in stale:
+        print(f"note: baseline entry no longer reported: {entry}")
+    if stale:
+        print("note: run with --update to shrink the baseline")
+    if fresh:
+        print(f"FAIL: {len(fresh)} new clang-tidy finding(s):")
+        for entry in fresh:
+            print(f"  {entry}")
+        return 1
+    print(f"OK: no new findings ({len(current)} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,9 @@
 #include <set>
 #include <sstream>
 
+#include "callgraph.hh"
+#include "lockgraph.hh"
+
 namespace riolint
 {
 
@@ -15,252 +18,7 @@ namespace
 {
 
 // ---------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------
-
-struct Tok
-{
-    std::string text;
-    int line = 0;
-    char kind = 'p'; ///< 'i' ident, 'n' number, 's' string, 'p' punct.
-};
-
-struct Annotation
-{
-    Rule rule;
-    std::string reason;
-};
-
-struct Scan
-{
-    std::vector<Tok> toks;
-    /** Line -> annotations written on that line's comments. */
-    std::map<int, std::vector<Annotation>> notes;
-};
-
-bool
-parseRuleId(const std::string &id, Rule &out)
-{
-    static const std::pair<const char *, Rule> kIds[] = {
-        {"R1", Rule::R1CheckedStore},   {"R2", Rule::R2Determinism},
-        {"R3", Rule::R3LockOrder},      {"R4", Rule::R4ErrorFlow},
-        {"R5", Rule::R5RegistryMutation},
-        {"R6", Rule::R6ShadowProtocol},
-    };
-    for (const auto &[name, rule] : kIds) {
-        if (id == name) {
-            out = rule;
-            return true;
-        }
-    }
-    return false;
-}
-
-/** Pull riolint:allow(R<n>) <reason> annotations out of a comment. */
-void
-harvestAnnotations(const std::string &comment, int line, Scan &scan)
-{
-    static const std::string kTag = "riolint:allow(";
-    std::size_t at = 0;
-    while ((at = comment.find(kTag, at)) != std::string::npos) {
-        const std::size_t idStart = at + kTag.size();
-        const std::size_t close = comment.find(')', idStart);
-        if (close == std::string::npos)
-            return;
-        Rule rule;
-        if (parseRuleId(comment.substr(idStart, close - idStart),
-                        rule)) {
-            std::string reason = comment.substr(close + 1);
-            while (!reason.empty() &&
-                   std::isspace(static_cast<unsigned char>(
-                       reason.front()))) {
-                reason.erase(reason.begin());
-            }
-            while (!reason.empty() &&
-                   std::isspace(static_cast<unsigned char>(
-                       reason.back()))) {
-                reason.pop_back();
-            }
-            scan.notes[line].push_back({rule, std::move(reason)});
-        }
-        at = close;
-    }
-}
-
-Scan
-tokenize(const std::string &src)
-{
-    Scan scan;
-    int line = 1;
-    std::size_t i = 0;
-    const std::size_t n = src.size();
-
-    auto peek = [&](std::size_t off) -> char {
-        return i + off < n ? src[i + off] : '\0';
-    };
-
-    while (i < n) {
-        const char c = src[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        if (c == '/' && peek(1) == '/') {
-            const std::size_t end = src.find('\n', i);
-            const std::size_t stop = end == std::string::npos ? n : end;
-            harvestAnnotations(src.substr(i, stop - i), line, scan);
-            i = stop;
-            continue;
-        }
-        if (c == '/' && peek(1) == '*') {
-            std::size_t j = i + 2;
-            int commentLine = line;
-            std::string text;
-            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-                if (src[j] == '\n') {
-                    harvestAnnotations(text, commentLine, scan);
-                    text.clear();
-                    ++line;
-                    commentLine = line;
-                } else {
-                    text.push_back(src[j]);
-                }
-                ++j;
-            }
-            harvestAnnotations(text, commentLine, scan);
-            i = j + 2 < n ? j + 2 : n;
-            continue;
-        }
-        if (c == '"' || c == '\'') {
-            // Raw strings: R"delim( ... )delim"
-            if (c == '"' && i > 0 && src[i - 1] == 'R' &&
-                !scan.toks.empty() && scan.toks.back().text == "R") {
-                const std::size_t open = src.find('(', i);
-                std::string delim =
-                    src.substr(i + 1, open - (i + 1));
-                const std::string closer = ")" + delim + "\"";
-                std::size_t end = src.find(closer, open);
-                if (end == std::string::npos)
-                    end = n;
-                else
-                    end += closer.size();
-                line += static_cast<int>(
-                    std::count(src.begin() + static_cast<long>(i),
-                               src.begin() + static_cast<long>(end),
-                               '\n'));
-                scan.toks.back() = {"\"\"", line, 's'};
-                i = end;
-                continue;
-            }
-            std::size_t j = i + 1;
-            while (j < n && src[j] != c) {
-                if (src[j] == '\\')
-                    ++j;
-                if (src[j] == '\n')
-                    ++line;
-                ++j;
-            }
-            scan.toks.push_back({std::string(1, c) + "...", line, 's'});
-            i = j + 1;
-            continue;
-        }
-        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-            std::size_t j = i;
-            while (j < n &&
-                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
-                    src[j] == '_')) {
-                ++j;
-            }
-            scan.toks.push_back({src.substr(i, j - i), line, 'i'});
-            i = j;
-            continue;
-        }
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-            std::size_t j = i;
-            while (j < n &&
-                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
-                    src[j] == '.' || src[j] == '\'')) {
-                ++j;
-            }
-            scan.toks.push_back({src.substr(i, j - i), line, 'n'});
-            i = j;
-            continue;
-        }
-        // Multi-char punctuation the rules care about.
-        static const char *kDigraphs[] = {"::", "->", "[[", "]]"};
-        bool matched = false;
-        for (const char *d : kDigraphs) {
-            if (c == d[0] && peek(1) == d[1]) {
-                scan.toks.push_back({d, line, 'p'});
-                i += 2;
-                matched = true;
-                break;
-            }
-        }
-        if (matched)
-            continue;
-        scan.toks.push_back({std::string(1, c), line, 'p'});
-        ++i;
-    }
-    return scan;
-}
-
-// ---------------------------------------------------------------------
-// Annotation resolution
-// ---------------------------------------------------------------------
-
-/**
- * Maps each code line to the annotations covering it. An annotation
- * covers the line it is written on; when that line carries no code,
- * it covers the next line that does (so a multi-line explanatory
- * comment above the offending statement works naturally).
- */
-class AllowMap
-{
-  public:
-    AllowMap(const Scan &scan)
-    {
-        std::set<int> codeLines;
-        for (const Tok &tok : scan.toks)
-            codeLines.insert(tok.line);
-        for (const auto &[line, notes] : scan.notes) {
-            int covered = line;
-            if (!codeLines.count(line)) {
-                auto next = codeLines.upper_bound(line);
-                if (next == codeLines.end())
-                    continue;
-                covered = *next;
-            }
-            for (const Annotation &note : notes)
-                byLine_[covered].push_back(note);
-        }
-    }
-
-    /** Returns the annotation for (line, rule), or nullptr. */
-    const Annotation *
-    lookup(int line, Rule rule) const
-    {
-        auto it = byLine_.find(line);
-        if (it == byLine_.end())
-            return nullptr;
-        for (const Annotation &note : it->second) {
-            if (note.rule == rule)
-                return &note;
-        }
-        return nullptr;
-    }
-
-  private:
-    std::map<int, std::vector<Annotation>> byLine_;
-};
-
-// ---------------------------------------------------------------------
-// Rule machinery
+// Per-file rule machinery
 // ---------------------------------------------------------------------
 
 struct Linter
@@ -409,87 +167,6 @@ runR2(Linter &lint)
     }
 }
 
-// --- R3: lock order --------------------------------------------------
-
-/** Canonical acquisition order for the named kernel locks. */
-const std::map<std::string, int> kLockRank = {
-    {"fsLock_", 0},
-    {"bufLock_", 1},
-    {"ubcLock_", 2},
-};
-
-void
-runR3(Linter &lint)
-{
-    struct Held
-    {
-        int depth;
-        int rank;
-        std::string name;
-    };
-    std::vector<Held> held;
-    int depth = 0;
-    const auto &toks = lint.toks;
-
-    auto acquire = [&](const std::string &name, int line) {
-        const int rank = kLockRank.at(name);
-        for (const Held &h : held) {
-            if (h.rank >= rank) {
-                lint.flag(Rule::R3LockOrder, line,
-                          "acquires " + name + " while holding " +
-                              h.name +
-                              " (canonical order: fsLock_ < "
-                              "bufLock_ < ubcLock_)");
-                break;
-            }
-        }
-        held.push_back({depth, rank, name});
-    };
-
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-        const Tok &tok = toks[i];
-        if (tok.text == "{") {
-            ++depth;
-            continue;
-        }
-        if (tok.text == "}") {
-            --depth;
-            while (!held.empty() && held.back().depth > depth)
-                held.pop_back();
-            continue;
-        }
-        if (tok.kind != 'i')
-            continue;
-        // LockTable::Guard name(locks, <lock>);
-        if (tok.text == "Guard") {
-            std::size_t j = i + 1;
-            if (lint.at(j) && toks[j].kind == 'i')
-                ++j; // Skip the guard variable name.
-            if (lint.at(j) && toks[j].text == "(" && lint.at(j + 2) &&
-                toks[j + 2].text == "," && lint.at(j + 3) &&
-                kLockRank.count(toks[j + 3].text)) {
-                acquire(toks[j + 3].text, toks[j + 3].line);
-            }
-            continue;
-        }
-        // locks_.acquire(<lock>) / .release(<lock>)
-        if (tok.text == "acquire" && lint.nextIs(i, "(") &&
-            lint.at(i + 2) && kLockRank.count(toks[i + 2].text)) {
-            acquire(toks[i + 2].text, toks[i + 2].line);
-        } else if (tok.text == "release" && lint.nextIs(i, "(") &&
-                   lint.at(i + 2) &&
-                   kLockRank.count(toks[i + 2].text)) {
-            const std::string &name = toks[i + 2].text;
-            for (auto it = held.rbegin(); it != held.rend(); ++it) {
-                if (it->name == name) {
-                    held.erase(std::next(it).base());
-                    break;
-                }
-            }
-        }
-    }
-}
-
 // --- R4: error flow --------------------------------------------------
 
 bool
@@ -516,6 +193,74 @@ skipStatusType(const std::vector<Tok> &toks, std::size_t i)
         }
     }
     return j;
+}
+
+/**
+ * First token of the postfix chain ending in the call at @p i: walks
+ * back over `.`/`->`/`::` links, where each earlier element is an
+ * identifier (including `this`) or a balanced `name(...)`/`name[...]`
+ * group. `fs.cache().flushQuietly(...)` starts at `fs`.
+ */
+std::size_t
+chainStart(const std::vector<Tok> &toks, std::size_t i)
+{
+    std::size_t s = i;
+    while (s >= 2) {
+        const std::string &link = toks[s - 1].text;
+        if (link != "." && link != "->" && link != "::")
+            break;
+        std::size_t e = s - 2;
+        if (toks[e].text == ")" || toks[e].text == "]") {
+            const std::string closer = toks[e].text;
+            const std::string opener = closer == ")" ? "(" : "[";
+            int bal = 1;
+            std::size_t k = e;
+            while (k > 0 && bal > 0) {
+                --k;
+                if (toks[k].text == closer)
+                    ++bal;
+                else if (toks[k].text == opener)
+                    --bal;
+            }
+            if (bal != 0)
+                break;
+            if (k > 0 && toks[k - 1].kind == 'i')
+                s = k - 1;
+            else
+                s = k;
+        } else if (toks[e].kind == 'i') {
+            s = e;
+        } else {
+            break;
+        }
+    }
+    return s;
+}
+
+/** Is the comma right before token @p commaIdx a statement-level
+ * comma operator (vs an argument separator)? Scan left: a `;`/`{`/`}`
+ * at depth 0 before any unmatched opening paren means statement
+ * level. */
+bool
+statementComma(const std::vector<Tok> &toks, std::size_t commaIdx)
+{
+    int bal = 0;
+    std::size_t k = commaIdx;
+    while (k > 0) {
+        --k;
+        const std::string &t = toks[k].text;
+        if (t == ")" || t == "]") {
+            ++bal;
+        } else if (t == "(" || t == "[") {
+            if (bal == 0)
+                return false;
+            --bal;
+        } else if (bal == 0 &&
+                   (t == ";" || t == "{" || t == "}")) {
+            return true;
+        }
+    }
+    return true;
 }
 
 void
@@ -563,7 +308,11 @@ runR4(Linter &lint)
     }
 
     // Pass 2: statement-position calls to local status functions
-    // whose result is dropped.
+    // whose result is dropped. The statement position is judged at
+    // the *start of the postfix chain*, so `this->f()`, the final
+    // call of `a.b().f()`, and both sides of a statement-level comma
+    // are all caught; a call whose result feeds a further `.`/`->`
+    // member access is consumed and skipped.
     for (std::size_t i = 0; i < toks.size(); ++i) {
         if (toks[i].kind != 'i' || !statusFns.count(toks[i].text) ||
             !lint.nextIs(i, "(") || declNameIdx.count(i)) {
@@ -571,15 +320,28 @@ runR4(Linter &lint)
         }
         if (i == 0)
             continue;
-        const Tok &prev = toks[i - 1];
+        const std::size_t close = matchForward(toks, i + 1);
+        if (close + 1 < toks.size() &&
+            (toks[close + 1].text == "." ||
+             toks[close + 1].text == "->")) {
+            continue; // Mid-chain: the result is the receiver.
+        }
+        const std::size_t s = chainStart(toks, i);
+        if (s == 0)
+            continue;
+        const Tok &prev = toks[s - 1];
         bool dropped = false;
-        if (prev.text == ";" || prev.text == "{" || prev.text == "}") {
+        if (prev.text == ";" || prev.text == "{" ||
+            prev.text == "}" || prev.text == "else" ||
+            prev.text == "do") {
             dropped = true;
+        } else if (prev.text == ",") {
+            dropped = statementComma(toks, s - 1);
         } else if (prev.text == ")") {
             // Either a cast — (void)call() — or a control clause:
             // if (x) call();. Walk back to the matching '('.
             int parens = 1;
-            std::size_t k = i - 1;
+            std::size_t k = s - 1;
             while (k > 0 && parens > 0) {
                 --k;
                 if (toks[k].text == ")")
@@ -688,13 +450,21 @@ runR5(Linter &lint)
     }
 }
 
-// --- R6: shadow-page protocol typestate ------------------------------
+// --- R6: shadow-page protocol typestate (interprocedural) ------------
 
 /**
  * The shadow-page protocol is a typestate: open the registry page,
  * write entry fields, close it, and commit with the state flip as
- * the last store of its own window. Counting openPage/closePage per
- * function catches the orderings the warm reboot cannot repair:
+ * the last store of its own window. Window counts are per-function
+ * but *propagate through the call graph*: each function gets a net
+ * window delta (opens minus closes, plus its callees' deltas), and
+ * the number of windows inherited at entry is the maximum open count
+ * observed at any call site that reaches it. That makes the
+ * sanctioned beginWrite -> endWrite handoff fall out of the callers
+ * that pair them — including RAII ctor/dtor pairs like
+ * BufferCache::WriteWindow — instead of being special-cased by name.
+ *
+ * Flagged orderings are the ones the warm reboot cannot repair:
  *
  *  - a writeEntryField* with no window open — the store would trap
  *    against a protected page, or worse, silently succeed on an
@@ -702,140 +472,330 @@ runR5(Linter &lint)
  *  - a flip to kStateActive while more than one window is open —
  *    the data page has not been closed, so a crash after the flip
  *    publishes an entry whose contents are still being written;
- *  - a closePage with no window open, and a window still open when
- *    the function returns.
- *
- * The one sanctioned cross-function handoff is beginWrite/endWrite:
- * beginWrite returns with the written page's window open (exactly
- * one), and endWrite starts by closing it. The rule encodes that
- * pair: endWrite begins with one inherited window, beginWrite may
- * end with one.
+ *  - a closePage (direct or through a callee) with no window open;
+ *  - more windows open at the end of a *root* function (one no
+ *    scanned call site reaches) than it inherited. Non-roots charge
+ *    their surplus to their callers; an RAII ctor whose matching
+ *    dtor closes the same net count is exempt.
  */
-void
-runR6(Linter &lint)
+class ProtocolAnalysis
 {
-    const auto &toks = lint.toks;
+  public:
+    explicit ProtocolAnalysis(const CallGraph &graph)
+        : graph_(graph)
+    {
+    }
 
-    int depth = 0;
-    std::string pending;
-    std::string current;
-    int currentDepth = -1;
-    bool frozen = false;
-    int open = 0; ///< Protocol windows open in this function.
-    int lastOpenLine = 0;
-    bool sawStep = false; ///< Any protocol call in this function.
+    void
+    run(std::vector<RawFinding> &out)
+    {
+        extractEvents();
+        computeDeltas();
+        pairRaii();
+        propagateEntries();
+        check(out);
+    }
 
-    auto leaveFunction = [&]() {
-        const bool handoff = current == "beginWrite" && open == 1;
-        // sawStep keeps interface stubs (a no-op endWrite override)
-        // from tripping over the inherited-window convention.
-        if (open > 0 && sawStep && !handoff) {
-            lint.flag(Rule::R6ShadowProtocol, lastOpenLine,
-                      "openPage window still open at function end; "
-                      "every open needs a matching closePage");
-        }
-        open = 0;
-        sawStep = false;
-        current.clear();
-        currentDepth = -1;
+  private:
+    struct ProtoEvent
+    {
+        enum Kind
+        {
+            Open,
+            Close,
+            Write,
+            Flip,
+            Call,
+        };
+        Kind kind = Open;
+        std::string name; ///< Token text for diagnostics.
+        std::size_t callIdx = 0;
+        int line = 0;
     };
 
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-        const Tok &tok = toks[i];
-        if (tok.text == "{") {
-            ++depth;
-            if (!pending.empty() && currentDepth < 0) {
-                current = pending;
-                currentDepth = depth;
-                // endWrite inherits the data-page window beginWrite
-                // left open.
-                open = current == "endWrite" ? 1 : 0;
-                sawStep = false;
-                pending.clear();
-            }
-            frozen = false;
-            continue;
-        }
-        if (tok.text == "}") {
-            --depth;
-            if (currentDepth > 0 && depth < currentDepth)
-                leaveFunction();
-            continue;
-        }
-        if (tok.text == ";") {
-            pending.clear();
-            frozen = false;
-            continue;
-        }
-        if (tok.text == ":" && !pending.empty()) {
-            frozen = true; // Constructor initializer list.
-            continue;
-        }
-        if (tok.kind != 'i')
-            continue;
+    const CallGraph &graph_;
+    std::vector<std::vector<ProtoEvent>> events_;
+    std::vector<int> delta_;
+    std::vector<int> entry_;
+    std::vector<char> raiiExempt_;
 
-        const bool isCall = lint.nextIs(i, "(");
-        if (isCall && currentDepth < 0 && !frozen)
-            pending = tok.text;
-        if (!isCall)
-            continue;
-        // A declaration (`void openPage(`) or the definition itself
-        // (`RioSystem::openPage(`) is not a protocol step.
-        if (i > 0 &&
-            (toks[i - 1].kind == 'i' || toks[i - 1].text == "::")) {
-            continue;
-        }
+    static constexpr int kClamp = 8;
 
-        if (tok.text == "openPage") {
-            ++open;
-            sawStep = true;
-            lastOpenLine = tok.line;
-        } else if (tok.text == "closePage") {
-            sawStep = true;
-            if (open == 0) {
-                lint.flag(Rule::R6ShadowProtocol, tok.line,
-                          "closePage without a matching openPage");
-            } else {
-                --open;
-            }
-        } else if (tok.text == "writeEntryField32" ||
-                   tok.text == "writeEntryField64") {
-            sawStep = true;
-            if (open == 0) {
-                lint.flag(Rule::R6ShadowProtocol, tok.line,
-                          tok.text +
-                              " outside an openPage/closePage "
-                              "window; open the registry page first");
-                continue;
-            }
-            if (tok.text != "writeEntryField32")
-                continue;
-            // The commit flip: writeEntryField32(.., kOffState,
-            // kStateActive). Scan the argument list for both idents.
-            bool offState = false;
-            bool stateActive = false;
-            int parens = 0;
-            for (std::size_t j = i + 1; j < toks.size(); ++j) {
-                if (toks[j].text == "(") {
-                    ++parens;
-                } else if (toks[j].text == ")") {
-                    if (--parens == 0)
-                        break;
-                } else if (toks[j].text == "kOffState") {
-                    offState = true;
-                } else if (toks[j].text == "kStateActive") {
-                    stateActive = true;
+    void
+    extractEvents()
+    {
+        const auto &fns = graph_.functions();
+        events_.assign(fns.size(), {});
+        for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+            const Function &fn = fns[fi];
+            const auto &toks =
+                graph_.file(fn.fileIndex).scan.toks;
+
+            std::map<std::size_t, std::size_t> callAt;
+            for (std::size_t c = 0; c < fn.calls.size(); ++c)
+                callAt[fn.calls[c].tokIndex] = c;
+
+            for (std::size_t k = fn.bodyBegin;
+                 k <= fn.bodyEnd && k < toks.size(); ++k) {
+                const Tok &t = toks[k];
+                if (t.kind != 'i')
+                    continue;
+                const bool isCall =
+                    k + 1 < toks.size() && toks[k + 1].text == "(";
+                // A declaration (`void openPage(`) or a qualified
+                // non-member spelling is not a protocol step.
+                const bool declLike =
+                    k > 0 && (toks[k - 1].kind == 'i' ||
+                              toks[k - 1].text == "::");
+                ProtoEvent ev;
+                ev.name = t.text;
+                ev.line = t.line;
+                if (isCall && !declLike && t.text == "openPage") {
+                    ev.kind = ProtoEvent::Open;
+                } else if (isCall && !declLike &&
+                           t.text == "closePage") {
+                    ev.kind = ProtoEvent::Close;
+                } else if (isCall && !declLike &&
+                           (t.text == "writeEntryField32" ||
+                            t.text == "writeEntryField64")) {
+                    ev.kind = isFlip(toks, k) ? ProtoEvent::Flip
+                                              : ProtoEvent::Write;
+                } else if (callAt.count(k)) {
+                    ev.kind = ProtoEvent::Call;
+                    ev.callIdx = callAt[k];
+                } else {
+                    continue;
                 }
-            }
-            if (offState && stateActive && open != 1) {
-                lint.flag(Rule::R6ShadowProtocol, tok.line,
-                          "state flip to Active while another page "
-                          "window is still open; close the data page "
-                          "before committing");
+                events_[fi].push_back(std::move(ev));
             }
         }
     }
-}
+
+    /** writeEntryField32 with both kOffState and kStateActive in its
+     * argument list is the commit flip. */
+    static bool
+    isFlip(const std::vector<Tok> &toks, std::size_t i)
+    {
+        if (toks[i].text != "writeEntryField32")
+            return false;
+        bool offState = false;
+        bool stateActive = false;
+        const std::size_t close = matchForward(toks, i + 1);
+        for (std::size_t j = i + 2; j < close && j < toks.size();
+             ++j) {
+            if (toks[j].text == "kOffState")
+                offState = true;
+            else if (toks[j].text == "kStateActive")
+                stateActive = true;
+        }
+        return offState && stateActive;
+    }
+
+    /** Net delta a call site contributes: the candidate definition
+     * with the largest nonzero delta magnitude (virtual-dispatch
+     * stubs with delta 0 lose to the real implementation). */
+    int
+    callDelta(const Function &fn, const ProtoEvent &ev) const
+    {
+        int best = 0;
+        for (std::size_t target :
+             graph_.resolve(fn, fn.calls[ev.callIdx])) {
+            const int d = delta_[target];
+            if (d != 0 && std::abs(d) > std::abs(best))
+                best = d;
+        }
+        return best;
+    }
+
+    void
+    computeDeltas()
+    {
+        const auto &fns = graph_.functions();
+        delta_.assign(fns.size(), 0);
+        for (int pass = 0; pass < 20; ++pass) {
+            bool changed = false;
+            for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+                int d = 0;
+                for (const ProtoEvent &ev : events_[fi]) {
+                    if (ev.kind == ProtoEvent::Open)
+                        ++d;
+                    else if (ev.kind == ProtoEvent::Close)
+                        --d;
+                    else if (ev.kind == ProtoEvent::Call)
+                        d += callDelta(fns[fi], ev);
+                }
+                d = std::clamp(d, -kClamp, kClamp);
+                if (d != delta_[fi]) {
+                    delta_[fi] = d;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+        }
+    }
+
+    /** A ctor that nets open windows paired with a dtor of the same
+     * class netting them closed is the RAII handoff idiom: the ctor
+     * is exempt from the end-of-function check and the dtor starts
+     * with the ctor's windows inherited. */
+    void
+    pairRaii()
+    {
+        const auto &fns = graph_.functions();
+        raiiExempt_.assign(fns.size(), 0);
+        entry_.assign(fns.size(), 0);
+        for (std::size_t ci = 0; ci < fns.size(); ++ci) {
+            const Function &ctor = fns[ci];
+            if (ctor.className.empty() ||
+                ctor.name != ctor.className || delta_[ci] <= 0)
+                continue;
+            for (std::size_t di = 0; di < fns.size(); ++di) {
+                const Function &dtor = fns[di];
+                if (dtor.className != ctor.className ||
+                    dtor.name != "~" + ctor.className)
+                    continue;
+                if (delta_[di] == -delta_[ci]) {
+                    raiiExempt_[ci] = 1;
+                    entry_[di] =
+                        std::max(entry_[di], delta_[ci]);
+                }
+            }
+        }
+    }
+
+    void
+    propagateEntries()
+    {
+        const auto &fns = graph_.functions();
+        for (int pass = 0; pass < 20; ++pass) {
+            bool changed = false;
+            for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+                int open = entry_[fi];
+                for (const ProtoEvent &ev : events_[fi]) {
+                    switch (ev.kind) {
+                      case ProtoEvent::Open:
+                        ++open;
+                        break;
+                      case ProtoEvent::Close:
+                        open = std::max(open - 1, 0);
+                        break;
+                      case ProtoEvent::Call:
+                        for (std::size_t target : graph_.resolve(
+                                 fns[fi], fn_calls(fi, ev))) {
+                            const int inherited =
+                                std::min(open, kClamp);
+                            if (inherited > entry_[target]) {
+                                entry_[target] = inherited;
+                                changed = true;
+                            }
+                        }
+                        open = std::clamp(
+                            open + callDelta(fns[fi], ev), 0,
+                            kClamp);
+                        break;
+                      default:
+                        break;
+                    }
+                    open = std::min(open, kClamp);
+                }
+            }
+            if (!changed)
+                break;
+        }
+    }
+
+    const CallSite &
+    fn_calls(std::size_t fi, const ProtoEvent &ev) const
+    {
+        return graph_.functions()[fi].calls[ev.callIdx];
+    }
+
+    void
+    check(std::vector<RawFinding> &out)
+    {
+        const auto &fns = graph_.functions();
+        for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+            const Function &fn = fns[fi];
+            // Inherited windows belong to *other* pages the callers
+            // are working on (the UBC fill path holds its page's
+            // window while the UFS fills it through the buffer
+            // cache). `floor` tracks how many of those remain: the
+            // flip check only counts windows opened locally, and a
+            // close with no local window consumes an inherited one
+            // (the beginWrite -> endWrite handoff).
+            int open = entry_[fi];
+            int floor = entry_[fi];
+            int lastRaiseLine = fn.line;
+            for (const ProtoEvent &ev : events_[fi]) {
+                switch (ev.kind) {
+                  case ProtoEvent::Open:
+                    ++open;
+                    lastRaiseLine = ev.line;
+                    break;
+                  case ProtoEvent::Close:
+                    if (open <= 0) {
+                        out.push_back(
+                            {Rule::R6ShadowProtocol, fn.fileIndex,
+                             ev.line,
+                             "closePage without a matching "
+                             "openPage"});
+                    } else {
+                        --open;
+                        floor = std::min(floor, open);
+                    }
+                    break;
+                  case ProtoEvent::Write:
+                  case ProtoEvent::Flip:
+                    if (open <= 0) {
+                        out.push_back(
+                            {Rule::R6ShadowProtocol, fn.fileIndex,
+                             ev.line,
+                             ev.name +
+                                 " outside an openPage/closePage "
+                                 "window; open the registry page "
+                                 "first"});
+                        break;
+                    }
+                    if (ev.kind == ProtoEvent::Flip &&
+                        open - floor != 1) {
+                        out.push_back(
+                            {Rule::R6ShadowProtocol, fn.fileIndex,
+                             ev.line,
+                             "state flip to Active while another "
+                             "page window is still open; close the "
+                             "data page before committing"});
+                    }
+                    break;
+                  case ProtoEvent::Call: {
+                    const int d = callDelta(fn, ev);
+                    if (open + d < 0) {
+                        out.push_back(
+                            {Rule::R6ShadowProtocol, fn.fileIndex,
+                             ev.line,
+                             "call to " + ev.name +
+                                 "() closes a protocol window, but "
+                                 "none is open here"});
+                    }
+                    if (d > 0)
+                        lastRaiseLine = ev.line;
+                    open = std::clamp(open + d, 0, kClamp);
+                    floor = std::min(floor, open);
+                    break;
+                  }
+                }
+            }
+            if (open > entry_[fi] && !graph_.hasCallers(fi) &&
+                !raiiExempt_[fi]) {
+                out.push_back(
+                    {Rule::R6ShadowProtocol, fn.fileIndex,
+                     lastRaiseLine,
+                     "openPage window still open at function end; "
+                     "every open needs a matching closePage"});
+            }
+        }
+    }
+};
 
 // ---------------------------------------------------------------------
 // Report formatting
@@ -872,6 +832,62 @@ struct Tally
     int allowed = 0;
 };
 
+// ---------------------------------------------------------------------
+// Whole-program driver
+// ---------------------------------------------------------------------
+
+Report
+lintProgram(const std::vector<SourceFile> &files)
+{
+    Report report;
+
+    std::vector<AllowMap> allows;
+    allows.reserve(files.size());
+    for (const SourceFile &file : files)
+        allows.emplace_back(file.scan);
+
+    // Per-file rules.
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        Linter lint{files[f].path, files[f].scan.toks, allows[f],
+                    report.findings};
+        runR1(lint);
+        runR2(lint);
+        runR4(lint);
+        runR5(lint);
+    }
+
+    // Whole-program rules over the call graph.
+    const CallGraph graph(files);
+    std::vector<RawFinding> raw;
+    ProtocolAnalysis protocol(graph);
+    protocol.run(raw);
+    LockAnalysis locks(graph);
+    locks.run(raw);
+    report.lockDot = locks.dot();
+    report.lockJson = locks.jsonReport();
+
+    for (const RawFinding &rf : raw) {
+        Finding finding;
+        finding.rule = rf.rule;
+        finding.file = files[rf.fileIndex].path;
+        finding.line = rf.line;
+        finding.message = rf.message;
+        if (const Annotation *note =
+                allows[rf.fileIndex].lookup(rf.line, rf.rule)) {
+            finding.allowed = true;
+            finding.reason = note->reason;
+        }
+        report.findings.push_back(std::move(finding));
+    }
+
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line) <
+                         std::tie(b.file, b.line);
+              });
+    return report;
+}
+
 } // namespace
 
 const char *
@@ -884,6 +900,8 @@ ruleId(Rule rule)
       case Rule::R4ErrorFlow: return "R4";
       case Rule::R5RegistryMutation: return "R5";
       case Rule::R6ShadowProtocol: return "R6";
+      case Rule::R7DeadlockCycle: return "R7";
+      case Rule::R8CrashWhileLocked: return "R8";
     }
     return "?";
 }
@@ -897,13 +915,17 @@ ruleTitle(Rule rule)
       case Rule::R2Determinism:
         return "determinism";
       case Rule::R3LockOrder:
-        return "lock acquisition order";
+        return "lock-rank lattice";
       case Rule::R4ErrorFlow:
         return "error flow";
       case Rule::R5RegistryMutation:
         return "registry mutation protocol";
       case Rule::R6ShadowProtocol:
         return "shadow-page protocol typestate";
+      case Rule::R7DeadlockCycle:
+        return "deadlock-potential lock cycle";
+      case Rule::R8CrashWhileLocked:
+        return "crash-capable operation under bare lock";
     }
     return "?";
 }
@@ -1002,22 +1024,9 @@ Report::json() const
 std::vector<Finding>
 lintSource(const std::string &path, const std::string &content)
 {
-    const Scan scan = tokenize(content);
-    const AllowMap allow(scan);
-    std::vector<Finding> findings;
-    Linter lint{path, scan.toks, allow, findings};
-    runR1(lint);
-    runR2(lint);
-    runR3(lint);
-    runR4(lint);
-    runR5(lint);
-    runR6(lint);
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  return std::tie(a.file, a.line) <
-                         std::tie(b.file, b.line);
-              });
-    return findings;
+    std::vector<SourceFile> files;
+    files.push_back({path, tokenize(content)});
+    return lintProgram(files).findings;
 }
 
 Report
@@ -1025,6 +1034,7 @@ lintFiles(const std::vector<std::string> &paths,
           const std::string &root)
 {
     Report report;
+    std::vector<SourceFile> files;
     for (const std::string &path : paths) {
         const std::filesystem::path full =
             std::filesystem::path(root) / path;
@@ -1039,29 +1049,40 @@ lintFiles(const std::vector<std::string> &paths,
         }
         std::ostringstream buf;
         buf << in.rdbuf();
-        auto found = lintSource(path, buf.str());
-        report.findings.insert(report.findings.end(), found.begin(),
-                               found.end());
+        files.push_back({path, tokenize(buf.str())});
     }
+    Report program = lintProgram(files);
+    report.findings.insert(report.findings.end(),
+                           program.findings.begin(),
+                           program.findings.end());
+    report.lockDot = std::move(program.lockDot);
+    report.lockJson = std::move(program.lockJson);
     return report;
 }
 
 Report
 lintTree(const std::string &root)
 {
+    static const char *kRoots[] = {"src", "bench", "examples",
+                                   "tools"};
     std::vector<std::string> paths;
-    const std::filesystem::path base =
-        std::filesystem::path(root) / "src";
-    for (const auto &entry :
-         std::filesystem::recursive_directory_iterator(base)) {
-        if (!entry.is_regular_file())
+    for (const char *sub : kRoots) {
+        const std::filesystem::path base =
+            std::filesystem::path(root) / sub;
+        if (!std::filesystem::is_directory(base))
             continue;
-        const std::string ext = entry.path().extension().string();
-        if (ext != ".cc" && ext != ".hh")
-            continue;
-        paths.push_back(
-            std::filesystem::relative(entry.path(), root)
-                .generic_string());
+        for (const auto &entry :
+             std::filesystem::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext =
+                entry.path().extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp")
+                continue;
+            paths.push_back(
+                std::filesystem::relative(entry.path(), root)
+                    .generic_string());
+        }
     }
     std::sort(paths.begin(), paths.end());
     return lintFiles(paths, root);

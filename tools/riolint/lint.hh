@@ -6,11 +6,14 @@
  * way kernel code modifies the file cache or its registry is through
  * the checked store path (MemBus translate -> protection check ->
  * store). The simulator mirrors that argument in code, and riolint
- * is its static counterpart: a tokenizer-level pass over the src
- * tree that flags every construct which could bypass the path, break
+ * is its static counterpart: a tokenizer-level pass over the tree
+ * that flags every construct which could bypass the path, break
  * crash determinism, or drop an error on the floor. It is a
  * tokenizer, not a compiler: deliberately simple, zero dependencies,
- * and tuned to this codebase's idiom.
+ * and tuned to this codebase's idiom. Since the whole-program
+ * rewrite it builds a call graph over the token stream (callgraph.hh)
+ * and propagates lock sets and protocol windows through calls
+ * (lockgraph.hh).
  *
  * Rules:
  *  - R1 checked-store: PhysMem::raw(), memcpy/memmove/memset into
@@ -19,20 +22,32 @@
  *  - R2 determinism: wall-clock and libc randomness (rand, time,
  *    std::random_device, system/steady clocks) are forbidden outside
  *    support/rng and sim/clock — results must be seed-reproducible.
- *  - R3 lock-order: named kernel locks must be acquired in the
- *    canonical order fsLock_ < bufLock_ < ubcLock_.
+ *  - R3 lock-rank lattice: every LockTable::add site declares its
+ *    lock's rank with `// riolint:rank(name, N)`; acquiring a lock
+ *    whose rank is <= the rank of any lock already held — directly
+ *    or through any call chain — is a violation, as is an add site
+ *    whose annotation is missing or drifts from the code.
  *  - R4 error-flow: status-returning functions must be [[nodiscard]]
  *    (Result already is, class-level) and statement-position calls
- *    to local status-returning functions must consume the result.
+ *    to local status-returning functions must consume the result —
+ *    including `this->`-qualified calls, the last call of a `a.b().c()`
+ *    chain, and calls inside statement-level comma expressions.
  *  - R5 registry-mutation: Registry entry writes (writeEntryField*)
  *    are legal only inside the shadow-page protocol entry points in
  *    core/rio.cc.
  *  - R6 shadow-protocol: the protocol is a typestate —
- *    openPage -> writeEntryField* -> closePage -> state flip. Within
- *    a function, a registry field write outside an open window, a
- *    flip to Active while more than one window is open (data page
- *    not yet closed), an unmatched closePage, and a window left open
- *    at function end are all flagged.
+ *    openPage -> writeEntryField* -> closePage -> state flip. Window
+ *    counts propagate through the call graph, so the sanctioned
+ *    beginWrite -> endWrite handoff is tracked through the callers
+ *    that pair them (including RAII ctor/dtor pairs) instead of
+ *    being special-cased by name.
+ *  - R7 deadlock-potential: a cycle in the acquired-while-held
+ *    graph (built over the same interprocedural lock sets as R3)
+ *    means two call paths can wait on each other.
+ *  - R8 crash-under-lock: reaching a crash-capable operation (disk
+ *    I/O, sim-time advance, fault hooks) while a lock is held by a
+ *    bare acquire() — no RAII Guard, so a crash unwind skips the
+ *    release — or a bare acquire with no release on any path.
  *
  * A violation is silenced by annotating the offending line (or the
  * line above it) with `// riolint:allow(R<n>) <reason>`. Suppressed
@@ -56,6 +71,8 @@ enum class Rule
     R4ErrorFlow,
     R5RegistryMutation,
     R6ShadowProtocol,
+    R7DeadlockCycle,
+    R8CrashWhileLocked,
 };
 
 /** Short rule id, e.g. "R1". */
@@ -78,6 +95,13 @@ struct Report
 {
     std::vector<Finding> findings;
 
+    /** Lock graph as Graphviz DOT (nodes = locks with ranks, edges =
+     * acquired-while-held, cycles highlighted). Filled by
+     * lintFiles/lintTree. */
+    std::string lockDot;
+    /** Lock graph as JSON (locks, ranks, edges, cycles). */
+    std::string lockJson;
+
     /** Unsuppressed violations — the CI-gating count. */
     int violations() const;
     /** Findings suppressed by riolint:allow annotations. */
@@ -90,16 +114,18 @@ struct Report
     std::string json() const;
 };
 
-/** Lint one in-memory source (used by the fixture tests). */
+/** Lint one in-memory source as a single-file program (used by the
+ * fixture tests; interprocedural rules see just this file). */
 std::vector<Finding> lintSource(const std::string &path,
                                 const std::string &content);
 
-/** Lint files on disk; paths are interpreted relative to @p root and
- * reported as given. */
+/** Lint files on disk as one program; paths are interpreted relative
+ * to @p root and reported as given. */
 Report lintFiles(const std::vector<std::string> &paths,
                  const std::string &root);
 
-/** Recursively lint every .hh/.cc under <root>/src. */
+/** Recursively lint every .cc/.hh/.cpp under <root>/{src,bench,
+ * examples,tools} as one whole program. */
 Report lintTree(const std::string &root);
 
 } // namespace riolint

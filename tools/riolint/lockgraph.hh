@@ -1,0 +1,125 @@
+/**
+ * @file
+ * riolint lock analysis: rank-lattice R3, deadlock-cycle R7, and
+ * crash-under-lock R8 over the whole-program call graph.
+ *
+ * The paper makes synchronization faults (missed acquires and missed
+ * releases, §2.1) a first-class crash cause; the kernel mirrors them
+ * in os/locks. This analysis is the static side of that mirror:
+ *
+ *  - Ranks are *declared*, not hard-coded: each `LockTable::add`
+ *    site carries a `// riolint:rank(name, N)` annotation, and the
+ *    same literal N must appear in the call's arguments (so the
+ *    static lattice and the runtime lockdep validator cannot drift).
+ *  - Lock sets propagate through calls: `Guard g(locks_, L)` and
+ *    bare `locks_.acquire(L)` sites feed a per-function summary,
+ *    closed transitively over the call graph with union resolution
+ *    for virtual dispatch.
+ *  - R3: acquiring a lock whose declared rank is <= the rank of any
+ *    lock already held — directly or inside any callee — violates
+ *    the lattice. Unranked locks are exempt from R3 (they still
+ *    feed R7/R8).
+ *  - R7: every acquired-while-held pair is an edge; a cycle (two
+ *    paths that nest the same locks in opposite orders, or a direct
+ *    self-nesting) is deadlock potential even when each path looks
+ *    locally consistent.
+ *  - R8: crash-capable operations (machine crash hooks, sim-time
+ *    advance, fault-hook `enter`, disk I/O and its retry wrappers)
+ *    reached while a lock is held by a *bare* acquire — no RAII
+ *    Guard, so a CrashException unwind skips the release and the
+ *    next acquire deadlocks the rebooted kernel.
+ *
+ * The analysis also renders the acquired-while-held graph as DOT and
+ * JSON for the CI artifacts.
+ */
+
+#ifndef RIOLINT_LOCKGRAPH_HH
+#define RIOLINT_LOCKGRAPH_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "callgraph.hh"
+
+namespace riolint
+{
+
+/** A finding not yet bound to a file path / allow annotation; the
+ * caller resolves those against the per-file AllowMap. */
+struct RawFinding
+{
+    Rule rule;
+    std::size_t fileIndex = 0;
+    int line = 0;
+    std::string message;
+};
+
+class LockAnalysis
+{
+  public:
+    explicit LockAnalysis(const CallGraph &graph);
+
+    /** Run R3 (lattice + annotation drift), R7 and R8; append raw
+     * findings. */
+    void run(std::vector<RawFinding> &out);
+
+    /** Graphviz DOT rendering of the acquired-while-held graph. */
+    std::string dot() const;
+    /** JSON rendering: locks, ranks, edges, cycles. */
+    std::string jsonReport() const;
+
+  private:
+    struct LockEvent
+    {
+        enum Kind
+        {
+            Acquire,
+            Release,
+            Call,
+        };
+        Kind kind = Acquire;
+        std::string lock;     ///< Acquire/Release.
+        bool guard = false;   ///< RAII acquire (scope-released).
+        std::size_t callIdx = 0;
+        int line = 0;
+    };
+
+    struct RankDecl
+    {
+        int rank = 0;
+        std::size_t fileIndex = 0;
+        int line = 0;
+    };
+
+    struct EdgeInfo
+    {
+        std::string via; ///< Callee name for interprocedural edges.
+        std::size_t fileIndex = 0;
+        int line = 0;
+    };
+
+    const CallGraph &graph_;
+    std::vector<std::vector<LockEvent>> events_;
+    std::vector<std::set<std::string>> transAcquires_;
+    std::vector<char> transCrash_;
+    std::map<std::string, RankDecl> ranks_;
+    std::map<std::pair<std::string, std::string>, EdgeInfo> edges_;
+    std::vector<std::vector<std::string>> cycles_;
+    std::set<std::string> lockNames_;
+
+    void harvestRankDecls(std::vector<RawFinding> &out);
+    void checkAddSites(std::vector<RawFinding> &out);
+    void extractEvents();
+    void propagateSummaries();
+    void analyzeFunctions(std::vector<RawFinding> &out);
+    void findCycles(std::vector<RawFinding> &out);
+
+    int rankOf(const std::string &lock) const;
+    bool exempt(const Function &fn) const;
+};
+
+} // namespace riolint
+
+#endif // RIOLINT_LOCKGRAPH_HH

@@ -3,12 +3,16 @@
  * riolint CLI.
  *
  * Usage:
- *   riolint [--root DIR] [--json FILE] [file...]
+ *   riolint [--root DIR] [--json FILE] [--lock-dot FILE]
+ *           [--lock-json FILE] [file...]
  *
- * With no file arguments, lints every .cc/.hh under <root>/src.
- * Exits 1 if any unannotated violation is found; the human-readable
- * diagnostics go to stdout, and --json additionally writes the
- * machine-readable report (per-rule and per-directory counts).
+ * With no file arguments, lints every .cc/.hh/.cpp under
+ * <root>/{src,bench,examples,tools} as one whole program. Exits 1 if
+ * any unannotated violation is found; the human-readable diagnostics
+ * go to stdout. --json writes the machine-readable report (per-rule
+ * and per-directory counts); --lock-dot and --lock-json write the
+ * acquired-while-held lock graph (Graphviz / JSON) for the CI
+ * artifacts.
  */
 
 #include <fstream>
@@ -18,11 +22,30 @@
 
 #include "lint.hh"
 
+namespace
+{
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "riolint: cannot write " << path << "\n";
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     std::string root = ".";
     std::string jsonPath;
+    std::string lockDotPath;
+    std::string lockJsonPath;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -31,8 +54,13 @@ main(int argc, char **argv)
             root = argv[++i];
         } else if (arg == "--json" && i + 1 < argc) {
             jsonPath = argv[++i];
+        } else if (arg == "--lock-dot" && i + 1 < argc) {
+            lockDotPath = argv[++i];
+        } else if (arg == "--lock-json" && i + 1 < argc) {
+            lockJsonPath = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: riolint [--root DIR] [--json FILE] "
+                         "[--lock-dot FILE] [--lock-json FILE] "
                          "[file...]\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -48,13 +76,13 @@ main(int argc, char **argv)
                       : riolint::lintFiles(files, root);
 
     std::cout << report.text();
-    if (!jsonPath.empty()) {
-        std::ofstream out(jsonPath);
-        if (!out) {
-            std::cerr << "riolint: cannot write " << jsonPath << "\n";
-            return 2;
-        }
-        out << report.json();
-    }
+    if (!jsonPath.empty() && !writeFile(jsonPath, report.json()))
+        return 2;
+    if (!lockDotPath.empty() &&
+        !writeFile(lockDotPath, report.lockDot))
+        return 2;
+    if (!lockJsonPath.empty() &&
+        !writeFile(lockJsonPath, report.lockJson))
+        return 2;
     return report.violations() == 0 ? 0 : 1;
 }
