@@ -58,6 +58,43 @@ struct RegistryLayout
     static constexpr u64 kShadowPages = 4;
 };
 
+/**
+ * Location authenticator folded into every stored page checksum.
+ *
+ * A plain content checksum covers *what* a page holds, not *where*
+ * it belongs: the registry-fuzz sweep (tests/registry_fuzz_corpus.hh)
+ * found seeds that flip an entry's diskBlock into another valid
+ * block while the content checksum still matches, redirecting a
+ * perfectly good page into the wrong location at restore time. The
+ * fix is to bind the checksum to the claimed location: the stored
+ * value is checksum32(content) XOR a mix of the diskBlock field, so
+ * a corrupted diskBlock fails verification exactly like corrupted
+ * content and the hardened policy quarantines it.
+ */
+constexpr u32
+checksumLocationMix(BlockNo diskBlock)
+{
+    u64 x = static_cast<u64>(diskBlock) + 0x9E3779B97F4A7C15ull;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 29;
+    return static_cast<u32>(x ^ (x >> 32));
+}
+
+/**
+ * Bind a content checksum to the disk block it claims. Preserves the
+ * "0 means no checksum" sentinel on the output (the 2^-32 collision
+ * costs one page an unverified-but-harmless restore, same as a page
+ * whose checksum was never maintained). Verify by re-binding the
+ * candidate content sum and comparing in bound space.
+ */
+constexpr u32
+bindChecksum(u32 contentSum, BlockNo diskBlock)
+{
+    const u32 bound = contentSum ^ checksumLocationMix(diskBlock);
+    return bound == 0 ? 1u : bound;
+}
+
 /** A decoded registry entry (host-side view). */
 struct RegistryEntry
 {

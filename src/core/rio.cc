@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
+#include "core/nvmirror.hh"
 #include "sim/audit.hh"
 #include "support/bytes.hh"
 #include "support/checksum.hh"
@@ -29,6 +31,16 @@ RioSystem::RioSystem(sim::Machine &machine, const RioOptions &options)
     shadowInUse_.assign(L::kShadowPages, false);
     assert((bufPages_ + ubcPages_) * L::kEntrySize <=
            reg.size - L::kShadowPages * sim::kPageSize);
+    if (options_.nvBacked) {
+        nv_ = machine_.nv();
+        if (!nv_)
+            throw std::runtime_error(
+                "rio: nvBacked needs a machine with an NV region "
+                "(MachineConfig::nvBytes)");
+        if (NvMirrorLayout::kHeaderBytes + reg.size > nv_->size())
+            throw std::runtime_error(
+                "rio: NV region too small for the registry mirror");
+    }
 }
 
 RioSystem::~RioSystem()
@@ -141,6 +153,7 @@ RioSystem::writeEntryField32(u64 index, u64 off, u32 value)
     machine_.bus().store32(entryAddr(index) + off, value);
     observeStep(RioProtocolObserver::Step::FieldWrite,
                 entryAddr(index) + off);
+    nvMirror(entryAddr(index) + off, 4);
 }
 
 void
@@ -149,6 +162,67 @@ RioSystem::writeEntryField64(u64 index, u64 off, u64 value)
     machine_.bus().store64(entryAddr(index) + off, value);
     observeStep(RioProtocolObserver::Step::FieldWrite,
                 entryAddr(index) + off);
+    nvMirror(entryAddr(index) + off, 8);
+}
+
+void
+RioSystem::bindNvLock(os::LockTable &locks)
+{
+    if (!nv_)
+        return;
+    // riolint:rank(nvLock_, 40) innermost: mirror stores fire from
+    // protocol steps already inside the bufcache lock (rank 30).
+    nvLock_ = locks.add("nvmirror", os::LockRank{40});
+    nvLocks_ = &locks;
+}
+
+/**
+ * Mirror the just-stored registry bytes at @p pa into the NV region.
+ * Fires *after* the DRAM store (and its FieldWrite observation), so a
+ * modeled crash between the two leaves the mirror one step stale —
+ * exactly the divergence the warm-reboot graft must tolerate.
+ */
+void
+RioSystem::nvMirror(Addr pa, u64 len)
+{
+    if (!nv_)
+        return;
+    withNvLock([&] {
+        ++stats_.nvMirrorWrites;
+        nv_->write(NvMirrorLayout::kHeaderBytes + (pa - regBase_),
+                   machine_.mem().image().subspan(pa, len),
+                   machine_.clock());
+    });
+}
+
+/**
+ * (Re)initialise the NV mirror for a fresh registry: invalidate the
+ * header, zero the body, then commit the header — a crash anywhere
+ * inside leaves a mirror that fails header validation rather than a
+ * half-initialised one the graft might trust.
+ */
+void
+RioSystem::nvInitMirror(const sim::Region &reg)
+{
+    using NvL = NvMirrorLayout;
+    std::vector<u8> header(NvL::kHeaderBytes, 0);
+    std::span<u8> h(header);
+    support::storeLE<u32>(h, NvL::kOffMagic, NvL::kMagic);
+    support::storeLE<u32>(h, NvL::kOffVersion, NvL::kVersion);
+    support::storeLE<u64>(h, NvL::kOffRegBase, reg.base);
+    support::storeLE<u64>(h, NvL::kOffRegSize, reg.size);
+    support::storeLE<u32>(
+        h, NvL::kOffChecksum,
+        support::checksum32(std::span<const u8>(
+            header.data(), NvL::kOffChecksum)));
+    const std::vector<u8> blank(NvL::kHeaderBytes, 0);
+    const std::vector<u8> zeros(reg.size, 0);
+    withNvLock([&] {
+        auto &clock = machine_.clock();
+        nv_->write(0, blank, clock);
+        nv_->write(NvL::kHeaderBytes, zeros, clock);
+        nv_->write(0, header, clock);
+    });
 }
 
 void
@@ -166,6 +240,8 @@ RioSystem::activate()
                                      sim::RegionKind::Registry);
         bus.set(reg.base, 0, reg.size);
     }
+    if (nv_)
+        nvInitMirror(reg);
 
     switch (options_.protection) {
       case os::ProtectionMode::Off:
@@ -319,6 +395,17 @@ RioSystem::setDiskBlock(Addr page, BlockNo block)
     const u64 index = entryIndexFor(page);
     const Addr regPage = registryPageOf(index);
     openPage(regPage);
+    // A location-bound checksum must move with the location. Rebind
+    // before the block flips: a crash between the two stores leaves
+    // the pair inconsistent in the quarantine direction (stale
+    // on-disk copy + fsck), never a wrong-location restore.
+    const u32 checksum = readEntryField32(index, L::kOffChecksum);
+    if (checksum != 0) {
+        const BlockNo old = readEntryField32(index, L::kOffDiskBlock);
+        const u32 content = checksum ^ checksumLocationMix(old);
+        writeEntryField32(index, L::kOffChecksum,
+                          bindChecksum(content, block));
+    }
     writeEntryField32(index, L::kOffDiskBlock, block);
     closePage(regPage);
 }
@@ -345,6 +432,9 @@ RioSystem::beginWrite(Addr page)
         openPage(shadow);
         machine_.bus().copy(shadow, page, sim::kPageSize);
         closePage(shadow);
+        // The NV copy of the shadow is the restore's last candidate
+        // when both in-memory copies are gone (core/nvmirror.hh).
+        nvMirror(shadow, sim::kPageSize);
         observeStep(RioProtocolObserver::Step::ShadowCopy, shadow);
     }
 
@@ -368,8 +458,12 @@ RioSystem::endWrite(Addr page, u32 validBytes)
     u32 checksum = 0;
     if (options_.maintainChecksums) {
         const u64 n = std::min<u64>(validBytes, sim::kPageSize);
-        checksum = support::checksum32(
-            machine_.mem().image().subspan(page, n));
+        // Bind to the claimed location so a corrupted diskBlock field
+        // fails verification like corrupted content (registry.hh).
+        checksum = bindChecksum(
+            support::checksum32(
+                machine_.mem().image().subspan(page, n)),
+            readEntryField32(index, L::kOffDiskBlock));
     }
 
     const Addr shadow = readEntryField64(index, L::kOffShadow);
@@ -435,8 +529,10 @@ RioSystem::verifyChecksums() const
         }
         ++sweep.checked;
         const u64 n = std::min<u64>(entry->size, sim::kPageSize);
-        const u32 actual = support::checksum32(
-            machine_.mem().image().subspan(entry->physAddr, n));
+        const u32 actual = bindChecksum(
+            support::checksum32(
+                machine_.mem().image().subspan(entry->physAddr, n)),
+            entry->diskBlock);
         if (actual != entry->checksum) {
             ++sweep.mismatches;
             sweep.badPages.push_back(entry->physAddr);

@@ -22,6 +22,7 @@
 #include "core/registry.hh"
 #include "os/cacheguard.hh"
 #include "os/kconfig.hh"
+#include "os/locks.hh"
 #include "sim/machine.hh"
 
 namespace rio::core
@@ -91,6 +92,15 @@ struct RioOptions
 
     /** Shadow critical metadata updates (section 2.3 atomicity). */
     bool shadowMetadata = true;
+
+    /**
+     * rio-nv: mirror the registry — entries and shadow pages — into
+     * the machine's NvRegion (battery-backed DRAM, paper section 7)
+     * so the warm reboot has a copy that survives even when the
+     * in-memory registry is smashed. Requires MachineConfig::nvBytes
+     * large enough for the mirror (core/nvmirror.hh layout).
+     */
+    bool nvBacked = false;
 };
 
 struct RioStats
@@ -100,6 +110,7 @@ struct RioStats
     u64 pageOpens = 0;
     u64 shadowCopies = 0;
     u64 protectionSaves = 0;
+    u64 nvMirrorWrites = 0; ///< Mirror stores into the NV region.
 };
 
 class RioSystem : public os::CacheGuard, public sim::ProtectionPolicy
@@ -138,6 +149,16 @@ class RioSystem : public os::CacheGuard, public sim::ProtectionPolicy
     const RioOptions &options() const { return options_; }
     const RioStats &stats() const { return stats_; }
 
+    /**
+     * rio-nv: register the NV mirror lock in the kernel lock table
+     * so mirror writes serialize against "other threads" and the
+     * lockdep/riolint rank machinery covers them. Optional — without
+     * it the mirror is written unlocked (single-threaded tests). Call
+     * after the kernel is constructed, before boot. No-op unless
+     * options().nvBacked.
+     */
+    void bindNvLock(os::LockTable &locks);
+
     /** Attach/detach the protocol observer (harness/crashmc). */
     void setProtocolObserver(RioProtocolObserver *observer)
     {
@@ -171,6 +192,21 @@ class RioSystem : public os::CacheGuard, public sim::ProtectionPolicy
     bool isFileCachePage(Addr pa) const;
     Addr allocShadow();
     void freeShadow(Addr shadow);
+    void nvInitMirror(const sim::Region &reg);
+    void nvMirror(Addr pa, u64 len);
+
+    /** Run @p fn under the NV mirror lock when one is bound. */
+    template <typename Fn>
+    void
+    withNvLock(Fn &&fn)
+    {
+        if (nvLocks_) {
+            os::LockTable::Guard guard(*nvLocks_, nvLock_);
+            fn();
+            return;
+        }
+        fn();
+    }
 
     /** Protocol-step observer dispatch; zero-cost when unset. */
     void
@@ -192,6 +228,10 @@ class RioSystem : public os::CacheGuard, public sim::ProtectionPolicy
     u64 ubcPages_ = 0;
     Addr shadowBase_ = 0;
     std::vector<bool> shadowInUse_;
+    /** rio-nv mirror target; null unless options_.nvBacked. */
+    sim::NvRegion *nv_ = nullptr;
+    os::LockTable *nvLocks_ = nullptr;
+    os::LockId nvLock_ = 0;
     RioProtocolObserver *protoObserver_ = nullptr;
     bool active_ = false;
 

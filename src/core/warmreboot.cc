@@ -136,6 +136,38 @@ WarmReboot::writeCheckpoint(RecoveryReport &recovery)
     // idempotent, so recovery still converges.
 }
 
+/**
+ * rio-nv: if the NV mirror holds a copy of @p entry's shadow page
+ * that passes the entry's location-bound checksum, stage it into the
+ * dump at the shadow address and return that address; 0 otherwise.
+ * Must stay in lockstep with the oracle's nvShadowMatches
+ * (harness/oracle.cc).
+ */
+Addr
+WarmReboot::stageNvShadow(const RegistryEntry &entry, u64 n)
+{
+    if (!nvGraft_.valid || entry.shadowAddr == 0 ||
+        entry.checksum == 0)
+        return 0;
+    const auto &reg =
+        machine_.mem().region(sim::RegionKind::Registry);
+    if (entry.shadowAddr < reg.base ||
+        entry.shadowAddr + sim::kPageSize > reg.base + reg.size)
+        return 0;
+    const u64 off = entry.shadowAddr - reg.base;
+    const auto bytes =
+        std::span<const u8>(nvGraft_.body).subspan(off, n);
+    if (bindChecksum(support::checksum32(bytes), entry.diskBlock) !=
+        entry.checksum)
+        return 0;
+    std::copy_n(nvGraft_.body.begin() +
+                    static_cast<std::ptrdiff_t>(off),
+                sim::kPageSize,
+                dump_.begin() +
+                    static_cast<std::ptrdiff_t>(entry.shadowAddr));
+    return entry.shadowAddr;
+}
+
 WarmRebootReport
 WarmReboot::dumpAndRestoreMetadata()
 {
@@ -284,6 +316,18 @@ WarmReboot::dumpAndRestoreMetadata()
         dump_.assign(image.begin(), image.end());
     }
 
+    // --- Graft the NV registry mirror (rio-nv). -------------------
+    // Battery-backed DRAM survives what killed the kernel; merge its
+    // copy of the registry into the dump before the scan so slots the
+    // crash (or the corruptor) destroyed come back from the mirror.
+    // Under the hardened policy this is a per-slot verified merge;
+    // trusting takes the mirror wholesale (core/nvmirror.hh).
+    nvGraft_ = graftNvMirror(machine_, dump_,
+                             policy_.quarantineBadChecksums, &clock);
+    report.nvMirrorPresent = nvGraft_.present;
+    report.nvMirrorCorrupt = nvGraft_.corrupt;
+    report.nvEntriesGrafted = nvGraft_.entriesGrafted;
+
     // --- Scan the registry out of the dump. -----------------------
     image_ = parseRegistry(dump_, mem);
     report.entriesSeen = image_.entries.size();
@@ -387,11 +431,14 @@ WarmReboot::dumpAndRestoreMetadata()
                 // The entry checksum covers the last consistent
                 // contents — what the shadow holds mid-update, and
                 // what the page holds once endWrite has refreshed
-                // the checksum field.
+                // the checksum field — bound to the disk block the
+                // entry claims (registry.hh), so a redirected
+                // diskBlock fails here like corrupted content.
                 const auto matches = [&](Addr addr) {
-                    return support::checksum32(std::span<const u8>(
-                               dump_.data() + addr, n)) ==
-                           entry.checksum;
+                    return bindChecksum(
+                               support::checksum32(std::span<const u8>(
+                                   dump_.data() + addr, n)),
+                               entry.diskBlock) == entry.checksum;
                 };
                 const bool haveShadow = entry.shadowAddr != 0;
                 const bool shadowUsable =
@@ -422,6 +469,15 @@ WarmReboot::dumpAndRestoreMetadata()
                         ++report.recovery.shadowChecksumBad;
                     source = entry.physAddr;
                     ++report.metadataFromPhysFallback;
+                } else if (const Addr nvSrc = stageNvShadow(entry, n);
+                           nvSrc != 0) {
+                    // Both in-memory candidates are gone, but the
+                    // battery-backed tier still holds the shadow,
+                    // verified like any other candidate.
+                    if (shadowUsable)
+                        ++report.recovery.shadowChecksumBad;
+                    source = nvSrc;
+                    ++report.nvShadowsUsed;
                 } else {
                     // No candidate survives verification: leave the
                     // stale on-disk copy to fsck.
@@ -440,8 +496,10 @@ WarmReboot::dumpAndRestoreMetadata()
                 continue;
             }
             if (entry.checksum != 0) {
-                const u32 actual = support::checksum32(
-                    std::span<const u8>(dump_.data() + source, n));
+                const u32 actual = bindChecksum(
+                    support::checksum32(
+                        std::span<const u8>(dump_.data() + source, n)),
+                    entry.diskBlock);
                 if (actual != entry.checksum) {
                     ++report.metadataChecksumBad;
                     if (policy_.quarantineBadChecksums) {
@@ -560,8 +618,10 @@ WarmReboot::restoreData(os::Vfs &vfs, WarmRebootReport &report)
             ++report.dataChanging;
         } else if (entry->checksum != 0) {
             const u64 n = std::min<u64>(entry->size, sim::kPageSize);
-            const u32 actual = support::checksum32(
-                std::span<const u8>(page.data(), n));
+            const u32 actual = bindChecksum(
+                support::checksum32(
+                    std::span<const u8>(page.data(), n)),
+                entry->diskBlock);
             if (actual != entry->checksum) {
                 ++report.dataChecksumBad;
                 if (policy_.quarantineBadData) {

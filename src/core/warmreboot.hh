@@ -49,6 +49,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/nvmirror.hh"
 #include "core/registry.hh"
 #include "os/kconfig.hh"
 #include "os/vfs.hh"
@@ -182,6 +183,15 @@ struct WarmRebootReport
     u64 dataChanging = 0; ///< Page was mid-write at the crash.
     u64 dataChecksumBad = 0;
     u64 staleInodes = 0; ///< Data pages whose inode did not survive.
+
+    /** @{ rio-nv: the battery-backed registry mirror's contribution
+     *  (all zero/false when the machine has no NV region). */
+    bool nvMirrorPresent = false;  ///< A mirror header was found.
+    bool nvMirrorCorrupt = false;  ///< Header failed validation.
+    u64 nvEntriesGrafted = 0;      ///< Entry slots taken from NV.
+    u64 nvShadowsUsed = 0;         ///< Restores fed by an NV shadow.
+    /** @} */
+
     RecoveryReport recovery;
 };
 
@@ -248,6 +258,7 @@ class WarmReboot
     bool readCheckpoint(Checkpoint &out, RecoveryReport &recovery);
     void writeCheckpoint(RecoveryReport &recovery);
     void probe(RecoveryPhase phase, u64 step, u64 total);
+    Addr stageNvShadow(const RegistryEntry &entry, u64 n);
 
     sim::Machine &machine_;
     RestorePolicy policy_;
@@ -258,6 +269,8 @@ class WarmReboot
     bool ckptActive_ = false;
     std::vector<u8> dump_;
     RegistryImage image_;
+    /** rio-nv: the validated NV mirror, grafted before the scan. */
+    NvMirrorGraft nvGraft_;
 };
 
 } // namespace rio::core

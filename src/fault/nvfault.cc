@@ -1,0 +1,71 @@
+#include "fault/nvfault.hh"
+
+#include <algorithm>
+
+namespace rio::fault
+{
+
+namespace
+{
+
+double
+scaledRate(double rate, double intensity)
+{
+    return std::clamp(rate * intensity, 0.0, 1.0);
+}
+
+} // namespace
+
+NvFaultModel::NvFaultModel(support::Rng rng, NvFaultConfig config)
+    : rng_(rng), config_(config)
+{}
+
+void
+NvFaultModel::install(sim::NvRegion &nv)
+{
+    nv.setFaultSurface(this);
+}
+
+void
+NvFaultModel::onCrash(sim::NvRegion &nv, SimNs when)
+{
+    (void)when;
+    if (!enabled() || nv.size() == 0)
+        return;
+
+    if (rng_.chance(scaledRate(config_.decayChance, config_.intensity))) {
+        ++stats_.crashDecays;
+        const u64 bits =
+            1 + rng_.below(std::max<u64>(config_.maxBitsPerCrash, 1));
+        for (u64 i = 0; i < bits; ++i) {
+            const u64 byteAt = rng_.below(nv.size());
+            const u8 mask = static_cast<u8>(1u << rng_.below(8));
+            // Fault injection flips decayed cells through the host
+            // window — not a kernel store, the protection discipline
+            // does not apply.
+            nv.raw()[byteAt] ^= mask; // riolint:allow(R1) fault injection decays NV cells through the host window
+            ++stats_.bitsFlipped;
+        }
+    }
+
+    const auto &recent = nv.recentLines();
+    if (!recent.empty() &&
+        rng_.chance(scaledRate(config_.tornLineChance,
+                               config_.intensity))) {
+        ++stats_.crashTears;
+        const u64 tears = 1 + rng_.below(std::max<u64>(
+                                  config_.maxTornLines, 1));
+        for (u64 i = 0; i < tears && i < recent.size(); ++i) {
+            // Youngest lines first: the write least likely to have
+            // drained from the controller's queue tears first.
+            const u64 line = recent[recent.size() - 1 - i];
+            std::span<u8> torn =
+                nv.hostLine(line); // riolint:allow(R1) fault injection tears in-flight NV lines through the host window
+            for (u8 &byte : torn)
+                byte = static_cast<u8>(rng_.next());
+            ++stats_.linesTorn;
+        }
+    }
+}
+
+} // namespace rio::fault

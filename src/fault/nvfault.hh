@@ -1,0 +1,75 @@
+/**
+ * @file
+ * NV-region fault model: the concrete NvFaultSurface installed on a
+ * machine's sim::NvRegion. Battery-backed DRAM and early NVMM are
+ * not perfectly trustworthy either — cells decay when the battery
+ * sags, and a power event tears exactly the cache lines whose write
+ * was in flight (NVM's analogue of the disk's torn sector). Both
+ * fault classes fire at crash time from a seeded Rng so a campaign
+ * trial's NV faults replay exactly from its seed:
+ *
+ *  - bit decay: a few random bits anywhere in the region flip;
+ *  - torn lines: recently-written cache lines (the region's
+ *    recent-line set) are scribbled wholesale.
+ *
+ * Intensity scales every rate; 0 disables the model entirely so the
+ * same wiring serves both arms of the ablation (mirrors the PR 4
+ * DiskFaultModel design).
+ */
+
+#ifndef RIO_FAULT_NVFAULT_HH
+#define RIO_FAULT_NVFAULT_HH
+
+#include "sim/nvregion.hh"
+#include "support/rng.hh"
+
+namespace rio::fault
+{
+
+struct NvFaultConfig
+{
+    /** Scales every probability below; 0 disables the model. */
+    double intensity = 1.0;
+
+    /** Probability a crash decays NV bits at all (at intensity 1). */
+    double decayChance = 0.25;
+    /** Max bits flipped in one decay event. */
+    u64 maxBitsPerCrash = 8;
+
+    /** Probability a crash tears in-flight lines (at intensity 1). */
+    double tornLineChance = 0.5;
+    /** Max recently-written lines scribbled in one crash. */
+    u64 maxTornLines = 2;
+};
+
+struct NvFaultStats
+{
+    u64 crashDecays = 0; ///< Crashes that flipped bits.
+    u64 bitsFlipped = 0; ///< Total bits flipped.
+    u64 crashTears = 0;  ///< Crashes that tore in-flight lines.
+    u64 linesTorn = 0;   ///< Total lines scribbled.
+};
+
+class NvFaultModel final : public sim::NvFaultSurface
+{
+  public:
+    explicit NvFaultModel(support::Rng rng, NvFaultConfig config = {});
+
+    /** Attach to @p nv as its fault surface. */
+    void install(sim::NvRegion &nv);
+
+    void onCrash(sim::NvRegion &nv, SimNs when) override;
+
+    const NvFaultConfig &config() const { return config_; }
+    const NvFaultStats &stats() const { return stats_; }
+    bool enabled() const { return config_.intensity > 0.0; }
+
+  private:
+    support::Rng rng_;
+    NvFaultConfig config_;
+    NvFaultStats stats_;
+};
+
+} // namespace rio::fault
+
+#endif // RIO_FAULT_NVFAULT_HH

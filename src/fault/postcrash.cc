@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/nvmirror.hh"
 #include "core/registry.hh"
 
 namespace rio::fault
@@ -189,6 +190,47 @@ PostCrashCorruptor::corrupt()
         std::memset(raw + mem.size() - bytes, 0, bytes);
         stats.tailBytesZeroed += bytes;
         ++stats.ops;
+    }
+
+    // --- rio-nv damage: the battery-backed tier is not immune — the
+    // outage can decay its cells, tear its in-flight lines, and (the
+    // worst case) destroy the mirror header so the graft must reject
+    // the whole mirror. Drawn strictly after the DRAM classes so a
+    // machine without an NV region replays the exact same damage.
+    sim::NvRegion *nv = machine_.nv();
+    if (nv != nullptr && nv->size() > 0) {
+        // riolint:allow(R1) damages the NV store behind the timed
+        // controller; the machine is down.
+        u8 *nvRaw = nv->raw();
+        const u64 nvSize = nv->size();
+
+        if (config_.nvBitDecay) {
+            for (u64 k = rounds(2.0); k > 0; --k) {
+                nvRaw[rng_.below(nvSize)] ^=
+                    static_cast<u8>(1u << rng_.below(8));
+                ++stats.nvBitsFlipped;
+                ++stats.ops;
+            }
+        }
+
+        if (config_.nvTornLines) {
+            for (u64 k = rounds(1.0); k > 0; --k) {
+                const u64 line = rng_.below(nv->numLines());
+                rng_.fill(nv->hostLine(line));
+                ++stats.nvLinesTorn;
+                ++stats.ops;
+            }
+        }
+
+        if (config_.nvSmashMirror &&
+            rng_.chance(std::min(1.0, 0.25 * config_.intensity))) {
+            const u64 bytes =
+                std::min<u64>(core::NvMirrorLayout::kHeaderBytes,
+                              nvSize);
+            rng_.fill(std::span<u8>(nvRaw, bytes));
+            ++stats.nvMirrorsSmashed;
+            ++stats.ops;
+        }
     }
 
     return stats;

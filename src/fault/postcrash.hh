@@ -44,6 +44,14 @@ struct PostCrashConfig
     bool smashPageBytes = true;   ///< Scribble on a registered page.
     bool smashShadows = true;     ///< Scribble on an in-use shadow copy.
     bool zeroTail = true;         ///< Zero trailing pages of memory.
+
+    /** @{ rio-nv damage classes; silent no-ops on machines without
+     *  an NV region, so the draw sequence of the classes above is
+     *  untouched on classic configurations. */
+    bool nvBitDecay = true;    ///< Random bit flips anywhere in NV.
+    bool nvTornLines = true;   ///< Scribble whole NV cache lines.
+    bool nvSmashMirror = true; ///< Scribble the NV mirror header.
+    /** @} */
 };
 
 struct PostCrashStats
@@ -56,6 +64,9 @@ struct PostCrashStats
     u64 pageBytesSmashed = 0;
     u64 shadowsSmashed = 0;
     u64 tailBytesZeroed = 0;
+    u64 nvBitsFlipped = 0;  ///< rio-nv: decayed NV bits.
+    u64 nvLinesTorn = 0;    ///< rio-nv: scribbled NV cache lines.
+    u64 nvMirrorsSmashed = 0; ///< rio-nv: mirror headers destroyed.
 };
 
 class PostCrashCorruptor

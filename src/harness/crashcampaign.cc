@@ -9,6 +9,7 @@
 #include "core/rio.hh"
 #include "core/warmreboot.hh"
 #include "fault/diskfault.hh"
+#include "fault/nvfault.hh"
 #include "harness/pool.hh"
 #include "harness/report.hh"
 #include "support/log.hh"
@@ -24,6 +25,7 @@ systemKindName(SystemKind kind)
       case SystemKind::DiskWriteThrough: return "Disk-based";
       case SystemKind::RioNoProtection: return "Rio w/o protection";
       case SystemKind::RioWithProtection: return "Rio w/ protection";
+      case SystemKind::RioNvProtected: return "Rio w/ NV registry";
     }
     return "?";
 }
@@ -44,6 +46,8 @@ kernelConfigFor(SystemKind kind)
         return os::systemPreset(os::SystemPreset::RioNoProtection);
       case SystemKind::RioWithProtection:
         return os::systemPreset(os::SystemPreset::RioProtected);
+      case SystemKind::RioNvProtected:
+        return os::systemPreset(os::SystemPreset::RioNvProtected);
     }
     return {};
 }
@@ -70,13 +74,34 @@ CrashCampaign::CrashCampaign(const CampaignConfig &config)
     : config_(config)
 {}
 
+namespace
+{
+
+/** Machine for one trial: the NV system gets an NV region sized at
+ *  1/16th of physical memory (the RioSystem constructor checks the
+ *  registry mirror actually fits). */
+sim::MachineConfig
+trialMachineConfig(SystemKind kind, u64 seed)
+{
+    sim::MachineConfig config = crashMachineConfig(seed);
+    if (kind == SystemKind::RioNvProtected)
+        config.nvBytes = config.physMemBytes / 16;
+    return config;
+}
+
+} // namespace
+
 CrashRunResult
 CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
 {
+    if (config_.powerCycleOps > 0 && isRio(kind))
+        return runPowerCycle(kind, type, seed);
+
     CrashRunResult result;
 
-    sim::MachineConfig machineConfig = crashMachineConfig(seed);
+    sim::MachineConfig machineConfig = trialMachineConfig(kind, seed);
     sim::Machine machine(machineConfig);
+    result.nvBacked = machine.nv() != nullptr;
 
     os::KernelConfig kernelConfig = kernelConfigFor(kind);
     if (isRio(kind) && config_.rioIdleFlushNs > 0) {
@@ -91,11 +116,25 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
         core::RioOptions options;
         options.protection = kernelConfig.protection;
         options.maintainChecksums = true;
+        options.nvBacked = kernelConfig.rioNvMirror;
         rio = std::make_unique<core::RioSystem>(machine, options);
     }
 
+    // NV fault model: decays bits / tears in-flight lines when the
+    // machine crashes. Seeded purely from the run seed, same as every
+    // other fault stream.
+    fault::NvFaultConfig nvFaultConfig;
+    nvFaultConfig.intensity = config_.nvFaultIntensity;
+    fault::NvFaultModel nvFaults(
+        support::Rng(mix64(seed ^ 0x4E76466C74ull)), // "NvFlt"
+        nvFaultConfig);
+    if (nvFaults.enabled() && machine.nv() != nullptr)
+        nvFaults.install(*machine.nv());
+
     auto kernel =
         std::make_unique<os::Kernel>(machine, kernelConfig);
+    if (rio)
+        rio->bindNvLock(kernel->locks());
     kernel->boot(rio.get(), true); // Boot applies Rio's protection.
 
     // Faulty-disk model: installed *after* the initial format so both
@@ -173,6 +212,7 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
         const auto sweep = rio->verifyChecksums();
         result.checksumDetected = sweep.mismatches > 0;
         result.protectionSaves = rio->stats().protectionSaves;
+        result.nvMirrorWrites = rio->stats().nvMirrorWrites;
         rio->deactivate();
         rio.reset();
     }
@@ -187,6 +227,14 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
     if (isRio(kind) && config_.postCrashIntensity > 0.0) {
         fault::PostCrashConfig postConfig;
         postConfig.intensity = config_.postCrashIntensity;
+        if (config_.postCrashNvRepairable) {
+            postConfig.flipRegistryBits = false;
+            postConfig.smashPageBytes = false;
+            postConfig.zeroTail = false;
+            postConfig.nvBitDecay = false;
+            postConfig.nvTornLines = false;
+            postConfig.nvSmashMirror = false;
+        }
         fault::PostCrashCorruptor corruptor(
             machine,
             support::Rng(mix64(seed ^ 0x506f737443727Eull)),
@@ -252,11 +300,14 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
                 core::RioOptions options;
                 options.protection = kernelConfig.protection;
                 options.maintainChecksums = true;
+                options.nvBacked = kernelConfig.rioNvMirror;
                 rio2 = std::make_unique<core::RioSystem>(machine,
                                                          options);
             }
             rebooted = std::make_unique<os::Kernel>(machine,
                                                     kernelConfig);
+            if (rio2)
+                rio2->bindNvLock(rebooted->locks());
             rebooted->boot(rio2.get(), false);
             if (isRio(kind))
                 warmReboot.restoreData(rebooted->vfs(), result.warm);
@@ -329,6 +380,274 @@ CrashCampaign::runOne(SystemKind kind, fault::FaultType type, u64 seed)
                           result.verify.extraFiles +
                           result.verify.duplicateMismatches;
     result.corrupt = result.memtestDetected || result.checksumDetected;
+    // rio-nv accounting: the final pass's graft report plus lifetime
+    // fault-model and mirror-store counters.
+    if (result.nvBacked) {
+        result.nvMirrorPresent = result.warm.nvMirrorPresent;
+        result.nvMirrorCorrupt = result.warm.nvMirrorCorrupt;
+        result.nvEntriesGrafted = result.warm.nvEntriesGrafted;
+        result.nvShadowsUsed = result.warm.nvShadowsUsed;
+        if (rio2)
+            result.nvMirrorWrites += rio2->stats().nvMirrorWrites;
+        result.nvBitsFlipped = nvFaults.stats().bitsFlipped;
+        result.nvLinesTorn = nvFaults.stats().linesTorn;
+    }
+    result.workloadOps = memtest.opsCompleted();
+    return result;
+}
+
+CrashRunResult
+CrashCampaign::runPowerCycle(SystemKind kind, fault::FaultType type,
+                             u64 seed)
+{
+    // Power loss replaces fault injection in this mode; the fault
+    // coordinate only differentiates the seed chain.
+    (void)type;
+
+    CrashRunResult result;
+    result.powerCycleMode = true;
+
+    sim::MachineConfig machineConfig = trialMachineConfig(kind, seed);
+    sim::Machine machine(machineConfig);
+    result.nvBacked = machine.nv() != nullptr;
+
+    os::KernelConfig kernelConfig = kernelConfigFor(kind);
+    if (config_.rioIdleFlushNs > 0) {
+        kernelConfig.rioIdleFlush = true;
+        kernelConfig.updateIntervalNs = config_.rioIdleFlushNs;
+    }
+    kernelConfig.ioRetry.enabled = config_.ioRetryEnabled;
+    kernelConfig.lockdep = config_.lockdep;
+
+    core::RioOptions options;
+    options.protection = kernelConfig.protection;
+    options.maintainChecksums = true;
+    options.nvBacked = kernelConfig.rioNvMirror;
+
+    fault::NvFaultConfig nvFaultConfig;
+    nvFaultConfig.intensity = config_.nvFaultIntensity;
+    fault::NvFaultModel nvFaults(
+        support::Rng(mix64(seed ^ 0x4E76466C74ull)), // "NvFlt"
+        nvFaultConfig);
+    if (nvFaults.enabled() && machine.nv() != nullptr)
+        nvFaults.install(*machine.nv());
+
+    auto rio = std::make_unique<core::RioSystem>(machine, options);
+    auto kernel =
+        std::make_unique<os::Kernel>(machine, kernelConfig);
+    rio->bindNvLock(kernel->locks());
+    kernel->boot(rio.get(), true);
+
+    // Same discipline as runOne: disk faults installed after the
+    // initial format so every arm starts from a healthy file system.
+    fault::DiskFaultConfig diskFaultConfig;
+    diskFaultConfig.intensity = config_.diskFaultIntensity;
+    fault::DiskFaultModel diskFaults(
+        support::Rng(mix64(seed ^ 0x4469736b466c74ull)), // "DiskFlt"
+        diskFaultConfig);
+    fault::DiskFaultModel swapFaults(
+        support::Rng(mix64(seed ^ 0x53776170466c74ull)), // "SwapFlt"
+        diskFaultConfig);
+    if (diskFaults.enabled()) {
+        diskFaults.install(machine.disk());
+        swapFaults.install(machine.swap());
+    }
+
+    // Workload: memTest only. MemTest::rebind carries the model and
+    // operation stream across power cycles; the Andrew scripts have
+    // no rebind, so the background load stays out of this mode.
+    wl::MemTestConfig memtestConfig;
+    memtestConfig.seed = seed * 17 + 3;
+    memtestConfig.fsyncEveryWrite = false; // Always a Rio system.
+    wl::MemTest memtest(*kernel, memtestConfig);
+    memtest.setup();
+
+    core::RestorePolicy policy =
+        config_.hardenedRecovery ? core::RestorePolicy::hardened()
+                                 : core::RestorePolicy::trusting();
+    policy.reentrantRecovery = config_.reentrantRecovery;
+
+    const SimNs startNs = machine.clock().now();
+    while (true) {
+        // --- One powered segment: run until the supply dies. -------
+        wl::Scheduler scheduler;
+        scheduler.add(memtest);
+        u64 steps = 0;
+        bool lostPower = false;
+        scheduler.setBetweenSteps([&] {
+            ++steps;
+            if (steps >= config_.powerCycleOps) {
+                if (result.powerCycles < config_.powerCycles)
+                    machine.crash(
+                        sim::CrashCause::KernelPanic,
+                        "power loss: intermittent supply");
+                // Outage budget spent: one last full-length powered
+                // segment, then stop cleanly and verify.
+                return false;
+            }
+            return machine.clock().now() - startNs <
+                   config_.observationNs;
+        });
+        try {
+            scheduler.run();
+        } catch (const sim::CrashException &crash) {
+            machine.noteCrash(crash.when());
+            lostPower = true;
+            result.crashed = true;
+            result.cause = crash.cause();
+            result.message = crash.what();
+            if (result.powerCycles == 0)
+                result.crashAfterNs = crash.when() - startNs;
+            ++result.powerCycles;
+        }
+        if (!lostPower)
+            break; // Cycle budget spent (or workload finished).
+
+        // --- Detection pass 1 on the dead image, then teardown. ----
+        {
+            const auto sweep = rio->verifyChecksums();
+            result.checksumDetected |= sweep.mismatches > 0;
+            result.protectionSaves += rio->stats().protectionSaves;
+            result.nvMirrorWrites += rio->stats().nvMirrorWrites;
+            rio->deactivate();
+            rio.reset();
+        }
+        kernel.reset();
+        machine.reset(sim::ResetKind::Warm);
+
+        // Post-crash corruption stage, re-seeded per cycle so every
+        // outage damages the survivors differently but a record
+        // still replays exactly.
+        if (config_.postCrashIntensity > 0.0) {
+            fault::PostCrashConfig postConfig;
+            postConfig.intensity = config_.postCrashIntensity;
+            if (config_.postCrashNvRepairable) {
+                postConfig.flipRegistryBits = false;
+                postConfig.smashPageBytes = false;
+                postConfig.zeroTail = false;
+                postConfig.nvBitDecay = false;
+                postConfig.nvTornLines = false;
+                postConfig.nvSmashMirror = false;
+            }
+            fault::PostCrashCorruptor corruptor(
+                machine,
+                support::Rng(
+                    mix64(mix64(seed ^ 0x506f737443727Eull) ^
+                          result.powerCycles)),
+                postConfig);
+            const fault::PostCrashStats damage = corruptor.corrupt();
+            result.postCrash.ops += damage.ops;
+            result.postCrash.registryBitsFlipped +=
+                damage.registryBitsFlipped;
+            result.postCrash.magicsSmashed += damage.magicsSmashed;
+            result.postCrash.claimsCrossLinked +=
+                damage.claimsCrossLinked;
+            result.postCrash.pagesCrossLinked +=
+                damage.pagesCrossLinked;
+            result.postCrash.pageBytesSmashed +=
+                damage.pageBytesSmashed;
+            result.postCrash.shadowsSmashed += damage.shadowsSmashed;
+            result.postCrash.tailBytesZeroed +=
+                damage.tailBytesZeroed;
+        }
+
+        // --- Warm reboot, bounded retries; recovery time is the
+        // recovery-throughput number the JSONL sinks report. --------
+        const SimNs recoveryStart = machine.clock().now();
+        bool recovered = false;
+        for (u32 pass = 0;
+             pass < std::max(config_.maxRecoveryPasses, 1u); ++pass) {
+            ++result.recoveryPasses;
+            core::WarmReboot warmReboot(machine, policy);
+            warmReboot.setIoPolicy(kernelConfig.ioRetry);
+            try {
+                result.warm = warmReboot.dumpAndRestoreMetadata();
+                rio = std::make_unique<core::RioSystem>(machine,
+                                                        options);
+                kernel = std::make_unique<os::Kernel>(machine,
+                                                      kernelConfig);
+                rio->bindNvLock(kernel->locks());
+                kernel->boot(rio.get(), false);
+                warmReboot.restoreData(kernel->vfs(), result.warm);
+                recovered = true;
+            } catch (const sim::CrashException &crash) {
+                machine.noteCrash(crash.when());
+                rio.reset();
+                kernel.reset();
+                machine.reset(sim::ResetKind::Warm);
+            }
+            result.retriedSectors +=
+                result.warm.recovery.retriedSectors;
+            result.remappedSectors +=
+                result.warm.recovery.remappedSectors;
+            result.abandonedSectors +=
+                result.warm.recovery.abandonedSectors;
+            result.checkpointWrites +=
+                result.warm.recovery.checkpointWrites;
+            if (recovered)
+                break;
+        }
+        result.recoveryNs += machine.clock().now() - recoveryStart;
+        if (!recovered) {
+            result.verify.readErrors += 1;
+            result.verify.missingFiles +=
+                memtest.model().files().size();
+            result.verify.details.push_back(
+                "recovery never completed: volume lost");
+            break;
+        }
+        result.nvMirrorPresent = result.warm.nvMirrorPresent;
+        result.nvMirrorCorrupt = result.nvMirrorCorrupt ||
+                                 result.warm.nvMirrorCorrupt;
+        result.nvEntriesGrafted += result.warm.nvEntriesGrafted;
+        result.nvShadowsUsed += result.warm.nvShadowsUsed;
+
+        // Power is back: the workload picks up where it left off.
+        memtest.rebind(*kernel);
+    }
+
+    if (!result.crashed) {
+        // The observation window closed before the first outage:
+        // nothing to score, same as a fault run that never crashed.
+        result.discarded = true;
+        return result;
+    }
+
+    // --- Detection pass 2: memTest replay comparison. --------------
+    if (kernel != nullptr) {
+        try {
+            result.verify = memtest.verify(*kernel);
+        } catch (const sim::CrashException &crash) {
+            result.verify.readErrors += 1;
+            result.verify.missingFiles +=
+                memtest.model().files().size();
+            result.verify.details.push_back(
+                std::string("verifier crashed: ") + crash.what());
+        }
+        result.readOnlyDegraded = kernel->ufs().readOnly();
+        result.protectionSaves += rio->stats().protectionSaves;
+        result.nvMirrorWrites += rio->stats().nvMirrorWrites;
+    }
+    result.diskTransientErrors =
+        machine.disk().stats().transientErrors +
+        machine.swap().stats().transientErrors;
+    result.diskBadSectorErrors =
+        machine.disk().stats().badSectorErrors +
+        machine.swap().stats().badSectorErrors;
+    result.diskSectorsRemapped =
+        machine.disk().stats().sectorsRemapped +
+        machine.swap().stats().sectorsRemapped;
+    result.nvBitsFlipped = nvFaults.stats().bitsFlipped;
+    result.nvLinesTorn = nvFaults.stats().linesTorn;
+    result.workloadOps = memtest.opsCompleted();
+    result.memtestDetected = result.verify.corrupt() ||
+                             memtest.liveMismatchSeen();
+    result.corruptFiles = result.verify.missingFiles +
+                          result.verify.contentMismatches +
+                          result.verify.sizeMismatches +
+                          result.verify.extraFiles +
+                          result.verify.duplicateMismatches;
+    result.corrupt = result.memtestDetected || result.checksumDetected;
     return result;
 }
 
@@ -382,6 +701,18 @@ CrashCampaign::runTrial(SystemKind kind, fault::FaultType type,
         record.diskBadSectorErrors = run.diskBadSectorErrors;
         record.diskSectorsRemapped = run.diskSectorsRemapped;
         record.readOnlyDegraded = run.readOnlyDegraded;
+        record.nvBacked = run.nvBacked;
+        record.nvMirrorPresent = run.nvMirrorPresent;
+        record.nvMirrorCorrupt = run.nvMirrorCorrupt;
+        record.nvEntriesGrafted = run.nvEntriesGrafted;
+        record.nvShadowsUsed = run.nvShadowsUsed;
+        record.nvMirrorWrites = run.nvMirrorWrites;
+        record.nvBitsFlipped = run.nvBitsFlipped;
+        record.nvLinesTorn = run.nvLinesTorn;
+        record.powerCycleMode = run.powerCycleMode;
+        record.powerCycles = run.powerCycles;
+        record.workloadOps = run.workloadOps;
+        record.recoveryNs = run.recoveryNs;
         record.message = run.message;
         if (config_.verbose) {
             RIO_LOG_INFO << systemKindName(kind) << " / "
@@ -545,6 +876,8 @@ CrashCampaign::renderTable1(const CampaignResult &result,
             return "Rio w/o Protection";
           case SystemKind::RioWithProtection:
             return "Rio w/ Protection";
+          case SystemKind::RioNvProtected:
+            return "Rio + NV Registry";
         }
         return "?";
     };

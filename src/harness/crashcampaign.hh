@@ -4,7 +4,12 @@
  * (disk-based write-through, Rio without protection, Rio with
  * protection) and each of the 13 fault types, crash the machine
  * under fault injection, reboot (warm reboot for the Rio systems),
- * and measure how often file data was corrupted.
+ * and measure how often file data was corrupted. A fourth system —
+ * rio-nv, Rio with the registry mirrored into battery-backed DRAM
+ * (paper section 7) — and an intermittent-power trial mode
+ * (RIO_T1_POWERCYCLE) extend the grid; both are off by default and
+ * the classic three-system campaign is byte-identical with the NV
+ * knobs at their defaults.
  *
  * Methodology follows section 3: 20 faults per run injected into a
  * running system (memTest plus four looping copies of Andrew);
@@ -38,13 +43,18 @@
 namespace rio::harness
 {
 
-/** The three systems compared in Table 1. */
+/** The three systems compared in Table 1, plus the rio-nv tier
+ *  (NV-mirrored registry; paper section 7's battery-backed DRAM). */
 enum class SystemKind : u8
 {
     DiskWriteThrough, ///< Default kernel; memTest fsyncs every write.
     RioNoProtection,
     RioWithProtection,
+    RioNvProtected, ///< Rio w/ protection + NV registry mirror.
 };
+
+/** Number of SystemKind values (rows in CampaignResult::cells). */
+constexpr std::size_t kNumSystemKinds = 4;
 
 const char *systemKindName(SystemKind kind);
 
@@ -114,6 +124,21 @@ struct CrashRunResult
     u64 diskSectorsRemapped = 0;
     bool readOnlyDegraded = false;
     /** @} */
+
+    /** @{ rio-nv + intermittent-power dimensions. */
+    bool nvBacked = false;     ///< Machine had an NV region fitted.
+    bool nvMirrorPresent = false; ///< Final reboot saw the mirror.
+    bool nvMirrorCorrupt = false; ///< Any reboot saw a bad header.
+    u64 nvEntriesGrafted = 0;  ///< Registry slots taken from NV.
+    u64 nvShadowsUsed = 0;     ///< Shadow pages staged from NV.
+    u64 nvMirrorWrites = 0;    ///< Mirror stores over the whole run.
+    u64 nvBitsFlipped = 0;     ///< Fault model: decayed bits.
+    u64 nvLinesTorn = 0;       ///< Fault model: torn cache lines.
+    bool powerCycleMode = false; ///< Intermittent-power trial.
+    u32 powerCycles = 0;       ///< Power-loss crashes taken.
+    u64 workloadOps = 0;       ///< memTest ops finished, all cycles.
+    SimNs recoveryNs = 0;      ///< Sim time inside warm reboots.
+    /** @} */
 };
 
 struct CampaignCell
@@ -160,6 +185,19 @@ struct CampaignConfig
     /** Warm-reboot RestorePolicy: hardened() when true, trusting()
      *  when false (RIO_T1_HARDENED). */
     bool hardenedRecovery = envBool("RIO_T1_HARDENED", true);
+    /** Restrict the post-crash corruptor to the damage classes the
+     *  NV mirror can provably repair: smashed magics, cross-linked
+     *  claims/pages, smashed shadows. Random bit flips stay off —
+     *  a flip in an identity field (ino, dev, offset) passes every
+     *  content check and is indistinguishable from a legitimately
+     *  newer DRAM value — as do page scribbles and tail truncation
+     *  (no registry mirror resurrects a destroyed data page). The
+     *  corruptor's own NV classes stay off too: decaying, tearing,
+     *  or beheading the mirror damages the repair medium itself,
+     *  which no merge rule can compensate for. The NV ablation sets
+     *  this to show hardened rio-nv grafting back to zero
+     *  corruption; no env knob, programmatic use only. */
+    bool postCrashNvRepairable = false;
     /** When > 0, enable Rio's idle-period write-back with this
      *  period. The short simulated runs never age metadata to disk
      *  the way hours of real uptime would, so recovery-hardening
@@ -197,11 +235,42 @@ struct CampaignConfig
      *  prove it. */
     bool lockdep = envBool("RIO_T1_LOCKDEP", true);
 
+    /** @{ rio-nv + intermittent-power dimensions. All default off;
+     *  with every knob at its default the legacy three systems run
+     *  byte-identically to a build without the NV tier. */
+    /** fault/nvfault.hh intensity applied to the NV region at each
+     *  crash; 0 = pristine NV (RIO_NV_FAULT). Only meaningful for
+     *  SystemKind::RioNvProtected — other systems have no NV
+     *  region. */
+    double nvFaultIntensity = envF64("RIO_NV_FAULT", 0.0);
+    /** Intermittent power: when > 0, Rio trials skip fault injection
+     *  and instead lose power every this many scheduler steps,
+     *  taking a bounded series of warm reboots in one trial
+     *  (RIO_T1_POWERCYCLE). 0 = classic Table 1 semantics. */
+    u64 powerCycleOps = envU64("RIO_T1_POWERCYCLE", 0);
+    /** Bound on power-loss crashes per intermittent-power trial
+     *  (RIO_T1_POWERCYCLES). */
+    u32 powerCycles =
+        static_cast<u32>(envU64("RIO_T1_POWERCYCLES", 3));
+    /** @} */
+
     /** Campaign slice; defaults cover the paper's full 3 x 13 grid.
-     *  Reduced slices keep the determinism tests fast. */
-    std::vector<SystemKind> systems{SystemKind::DiskWriteThrough,
-                                    SystemKind::RioNoProtection,
-                                    SystemKind::RioWithProtection};
+     *  RIO_T1_NV=1 appends the rio-nv tier as a fourth Table 1
+     *  column (an extra column, never a reordering, so the legacy
+     *  three systems' trials keep their seeds and bytes). Reduced
+     *  slices keep the determinism tests fast. */
+    std::vector<SystemKind> systems = defaultSystems();
+
+    static std::vector<SystemKind> defaultSystems()
+    {
+        std::vector<SystemKind> systems{
+            SystemKind::DiskWriteThrough,
+            SystemKind::RioNoProtection,
+            SystemKind::RioWithProtection};
+        if (envBool("RIO_T1_NV", false))
+            systems.push_back(SystemKind::RioNvProtected);
+        return systems;
+    }
     std::vector<fault::FaultType> faults = allFaultTypes();
 
     static std::vector<fault::FaultType> allFaultTypes();
@@ -209,7 +278,8 @@ struct CampaignConfig
 
 struct CampaignResult
 {
-    std::array<std::array<CampaignCell, fault::kNumFaultTypes>, 3>
+    std::array<std::array<CampaignCell, fault::kNumFaultTypes>,
+               kNumSystemKinds>
         cells{};
     std::set<std::string> uniqueErrorMessages;
     std::array<u64, 6> crashCauseCounts{}; ///< By sim::CrashCause.
@@ -260,6 +330,17 @@ class CrashCampaign
   private:
     void mergeTrial(CampaignResult &result,
                     const TrialRecord &record) const;
+
+    /**
+     * Intermittent-power variant of runOne, taken when
+     * config_.powerCycleOps > 0 and @p kind is a Rio system: no
+     * fault injection — power dies every powerCycleOps scheduler
+     * steps instead — and the trial rides through up to
+     * config_.powerCycles warm reboots (workload carried across via
+     * MemTest::rebind) before the survivor set is verified.
+     */
+    CrashRunResult runPowerCycle(SystemKind kind,
+                                 fault::FaultType type, u64 seed);
 
     CampaignConfig config_;
 };

@@ -38,6 +38,7 @@ mcEventClassName(McEventClass cls)
       case McEventClass::ProtoFieldWrite: return "proto-field-write";
       case McEventClass::ProtoCommit: return "proto-commit";
       case McEventClass::DiskFlush: return "disk-flush";
+      case McEventClass::NvMirrorWrite: return "nv-mirror-write";
     }
     return "?";
 }
@@ -105,6 +106,7 @@ mcMachineConfig(u64 seed)
  */
 class McObserver final : public sim::StoreObserver,
                          public sim::DiskWriteObserver,
+                         public sim::NvWriteObserver,
                          public core::RioProtocolObserver
 {
   public:
@@ -145,6 +147,13 @@ class McObserver final : public sim::StoreObserver,
     {
         (void)count;
         note(McEventClass::DiskFlush, start);
+    }
+
+    void
+    onNvWrite(u64 offset, u64 len) override
+    {
+        (void)len;
+        note(McEventClass::NvMirrorWrite, offset);
     }
 
     void
@@ -275,7 +284,10 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
     rec.seed = config.seed;
     rec.pointSeed = mix64(seed ^ crashAt);
 
-    sim::Machine machine(mcMachineConfig(seed));
+    sim::MachineConfig machineConfig = mcMachineConfig(seed);
+    if (isRio && config.nvBacked)
+        machineConfig.nvBytes = machineConfig.physMemBytes / 16;
+    sim::Machine machine(machineConfig);
     os::KernelConfig kernelConfig = os::systemPreset(
         isRio ? os::SystemPreset::RioNoProtection
               : os::SystemPreset::AdvFsJournal);
@@ -286,9 +298,12 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
         options.protection = kernelConfig.protection;
         options.maintainChecksums = true;
         options.shadowMetadata = config.shadowMetadata;
+        options.nvBacked = isRio && config.nvBacked;
         rio = std::make_unique<core::RioSystem>(machine, options);
     }
     auto kernel = std::make_unique<os::Kernel>(machine, kernelConfig);
+    if (rio)
+        rio->bindNvLock(kernel->locks());
     kernel->boot(rio.get(), true);
 
     wl::MemTestConfig mtConfig;
@@ -313,6 +328,8 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
                         trace);
     machine.bus().setStoreObserver(&observer);
     machine.disk().setWriteObserver(&observer);
+    if (machine.nv() != nullptr)
+        machine.nv()->setWriteObserver(&observer);
     if (rio)
         rio->setProtocolObserver(&observer);
     observer.arm();
@@ -331,6 +348,8 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
     observer.disarm();
     machine.bus().setStoreObserver(nullptr);
     machine.disk().setWriteObserver(nullptr);
+    if (machine.nv() != nullptr)
+        machine.nv()->setWriteObserver(nullptr);
     if (rio)
         rio->setProtocolObserver(nullptr);
 
@@ -379,6 +398,8 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
 
     auto rebooted =
         std::make_unique<os::Kernel>(machine, kernelConfig);
+    if (rio2)
+        rio2->bindNvLock(rebooted->locks());
     try {
         rebooted->boot(rio2 ? rio2.get() : nullptr, false);
     } catch (const sim::CrashException &crash) {

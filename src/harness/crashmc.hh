@@ -35,8 +35,8 @@
  * ctest case.
  *
  * Environment knobs (see CrashMcConfig): RIO_SEED, RIO_MC_OPS,
- * RIO_MC_JOBS, RIO_MC_HARDENED, RIO_MC_SHADOW, RIO_MC_WORKLOAD,
- * RIO_MC_JSON, RIO_MC_PROGRESS.
+ * RIO_MC_JOBS, RIO_MC_HARDENED, RIO_MC_SHADOW, RIO_MC_NV,
+ * RIO_MC_WORKLOAD, RIO_MC_JSON, RIO_MC_PROGRESS.
  */
 
 #ifndef RIO_HARNESS_CRASHMC_HH
@@ -70,9 +70,10 @@ enum class McEventClass : u8
     ProtoFieldWrite, ///< One registry field stored.
     ProtoCommit,     ///< endWrite about to flip state (pre-flip).
     DiskFlush,       ///< A write reached the platter.
+    NvMirrorWrite,   ///< Bytes landed in the NV registry mirror.
 };
 
-constexpr u32 kMcNumEventClasses = 7;
+constexpr u32 kMcNumEventClasses = 8;
 
 const char *mcEventClassName(McEventClass cls);
 
@@ -103,6 +104,10 @@ struct CrashMcConfig
     /** RioOptions::shadowMetadata for the ShadowFlip workload;
      *  disabling it is the second deliberately-weakened arm. */
     bool shadowMetadata = envBool("RIO_MC_SHADOW", true);
+    /** rio-nv: fit an NV region and mirror the registry into it for
+     *  the ShadowFlip workload; every mirror store becomes an
+     *  enumerable crash point (RIO_MC_NV). */
+    bool nvBacked = envBool("RIO_MC_NV", false);
     /** Live progress line on stderr (RIO_MC_PROGRESS). */
     bool progress = envBool("RIO_MC_PROGRESS", false);
 };

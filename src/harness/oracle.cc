@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/nvmirror.hh"
 #include "core/registry.hh"
 #include "support/checksum.hh"
 
@@ -35,8 +36,33 @@ sourceMatches(sim::Machine &machine,
 {
     const auto image = machine.mem().image();
     const u64 n = std::min<u64>(entry.size, sim::kPageSize);
-    return support::checksum32(image.subspan(addr, n)) ==
-           entry.checksum;
+    return core::bindChecksum(
+               support::checksum32(image.subspan(addr, n)),
+               entry.diskBlock) == entry.checksum;
+}
+
+/**
+ * rio-nv: would WarmReboot::stageNvShadow accept the NV mirror's
+ * copy of @p entry's shadow page? Mirrors its conditions exactly.
+ */
+bool
+nvShadowMatches(sim::Machine &machine,
+                const core::RegistryEntry &entry,
+                const core::NvMirrorGraft &graft)
+{
+    if (!graft.valid || entry.shadowAddr == 0 || entry.checksum == 0)
+        return false;
+    const auto &reg =
+        machine.mem().region(sim::RegionKind::Registry);
+    if (entry.shadowAddr < reg.base ||
+        entry.shadowAddr + sim::kPageSize > reg.base + reg.size)
+        return false;
+    const u64 off = entry.shadowAddr - reg.base;
+    const u64 n = std::min<u64>(entry.size, sim::kPageSize);
+    return core::bindChecksum(
+               support::checksum32(
+                   std::span<const u8>(graft.body).subspan(off, n)),
+               entry.diskBlock) == entry.checksum;
 }
 
 /**
@@ -48,7 +74,8 @@ sourceMatches(sim::Machine &machine,
  */
 bool
 knownBad(sim::Machine &machine, const core::RegistryEntry &entry,
-         const core::RestorePolicy &policy, bool contested)
+         const core::RestorePolicy &policy, bool contested,
+         const core::NvMirrorGraft &graft)
 {
     if (policy.rejectDuplicateClaims && contested)
         return true;
@@ -72,6 +99,8 @@ knownBad(sim::Machine &machine, const core::RegistryEntry &entry,
             if (sourceMatches(machine, entry, entry.physAddr))
                 return false;
         }
+        if (nvShadowMatches(machine, entry, graft))
+            return false; // The NV mirror's shadow copy rescues it.
         return checked;
     }
     if (!policy.quarantineBadChecksums)
@@ -88,7 +117,24 @@ captureRecoveryOracle(sim::Machine &machine,
 {
     OracleCapture capture;
     auto &mem = machine.mem();
-    const auto parsed = core::parseRegistry(mem.image(), mem);
+    // rio-nv: the warm reboot grafts the NV mirror into its dump
+    // before scanning; predict its decisions by grafting the same
+    // way into a scratch copy (untimed — this capture must not
+    // perturb the clock). Without an NV region this is the plain
+    // in-place parse.
+    core::NvMirrorGraft graft;
+    core::RegistryImage parsed;
+    std::vector<u8> scratch;
+    if (machine.nv()) {
+        const auto image = mem.image();
+        scratch.assign(image.begin(), image.end());
+        graft = core::graftNvMirror(machine, scratch,
+                                    policy.quarantineBadChecksums,
+                                    nullptr);
+        parsed = core::parseRegistry(scratch, mem);
+    } else {
+        parsed = core::parseRegistry(mem.image(), mem);
+    }
     const u64 diskBlocks =
         machine.disk().numSectors() / sim::kSectorsPerBlock;
 
@@ -104,7 +150,7 @@ captureRecoveryOracle(sim::Machine &machine,
             entry.diskBlock >= diskBlocks)
             continue;
         if (knownBad(machine, entry, policy,
-                     claims[entry.diskBlock] > 1)) {
+                     claims[entry.diskBlock] > 1, graft)) {
             capture.frozen.push_back(
                 {entry.diskBlock,
                  diskBlockBytes(machine, entry.diskBlock)});

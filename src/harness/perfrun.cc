@@ -39,17 +39,22 @@ bootPreset(os::SystemPreset preset, u64 seed, u64 cprmBytes)
     machineConfig.diskBytes =
         std::max<u64>(96ull << 20, cprmBytes * 4);
     machineConfig.swapBytes = machineConfig.physMemBytes;
-    bench.machine = std::make_unique<sim::Machine>(machineConfig);
     const os::KernelConfig config = os::systemPreset(preset);
+    if (config.rioNvMirror)
+        machineConfig.nvBytes = machineConfig.physMemBytes / 16;
+    bench.machine = std::make_unique<sim::Machine>(machineConfig);
     if (config.rio) {
         core::RioOptions options;
         options.protection = config.protection;
         options.maintainChecksums = false; // As in the paper's runs.
+        options.nvBacked = config.rioNvMirror;
         bench.rio = std::make_unique<core::RioSystem>(*bench.machine,
                                                       options);
     }
     bench.kernel =
         std::make_unique<os::Kernel>(*bench.machine, config);
+    if (bench.rio)
+        bench.rio->bindNvLock(bench.kernel->locks());
     bench.kernel->boot(bench.rio.get(), true);
     return bench;
 }
@@ -121,6 +126,7 @@ PerfRun::runAll()
         os::SystemPreset::UfsWriteThroughWrite,
         os::SystemPreset::RioNoProtection,
         os::SystemPreset::RioProtected,
+        os::SystemPreset::RioNvProtected,
     };
     constexpr std::size_t kCount =
         sizeof(kOrder) / sizeof(kOrder[0]);

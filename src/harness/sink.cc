@@ -120,6 +120,28 @@ trialToJson(const TrialRecord &record)
            num(record.diskSectorsRemapped);
     out += ",\"readOnlyDegraded\":" +
            boolean(record.readOnlyDegraded);
+    // rio-nv and intermittent-power blocks are conditional, like
+    // doubleCrashPhase above: a campaign with the NV knobs at their
+    // defaults emits byte-identical lines to a build without them.
+    if (record.nvBacked) {
+        out += ",\"nvBacked\":true";
+        out += ",\"nvMirrorPresent\":" +
+               boolean(record.nvMirrorPresent);
+        out += ",\"nvMirrorCorrupt\":" +
+               boolean(record.nvMirrorCorrupt);
+        out += ",\"nvEntriesGrafted\":" +
+               num(record.nvEntriesGrafted);
+        out += ",\"nvShadowsUsed\":" + num(record.nvShadowsUsed);
+        out += ",\"nvMirrorWrites\":" + num(record.nvMirrorWrites);
+        out += ",\"nvBitsFlipped\":" + num(record.nvBitsFlipped);
+        out += ",\"nvLinesTorn\":" + num(record.nvLinesTorn);
+    }
+    if (record.powerCycleMode) {
+        out += ",\"powerCycleMode\":true";
+        out += ",\"powerCycles\":" + num(record.powerCycles);
+        out += ",\"workloadOps\":" + num(record.workloadOps);
+        out += ",\"recoveryNs\":" + num(record.recoveryNs);
+    }
     out += ",\"message\":\"" + jsonEscape(record.message) + "\"";
     out += "}";
     return out;

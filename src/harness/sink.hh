@@ -76,6 +76,26 @@ struct TrialRecord
     bool readOnlyDegraded = false; ///< Fs ended read-only remounted.
     /** @} */
 
+    /** @{ rio-nv dimension: emitted only when the trial's machine had
+     *  an NV region, so legacy JSONL stays byte-identical. */
+    bool nvBacked = false;
+    bool nvMirrorPresent = false; ///< Final warm reboot saw a mirror.
+    bool nvMirrorCorrupt = false; ///< Some reboot saw a bad header.
+    u64 nvEntriesGrafted = 0; ///< Registry slots taken from NV.
+    u64 nvShadowsUsed = 0;    ///< Shadow pages staged from NV.
+    u64 nvMirrorWrites = 0;   ///< Mirror stores over the whole run.
+    u64 nvBitsFlipped = 0;    ///< NV fault model: decayed bits.
+    u64 nvLinesTorn = 0;      ///< NV fault model: torn cache lines.
+    /** @} */
+
+    /** @{ Intermittent-power dimension: emitted only for power-cycle
+     *  trials (RIO_T1_POWERCYCLE > 0). */
+    bool powerCycleMode = false;
+    u32 powerCycles = 0; ///< Power-loss crashes survived.
+    u64 workloadOps = 0; ///< memTest ops finished across cycles.
+    SimNs recoveryNs = 0; ///< Sim time spent inside warm reboots.
+    /** @} */
+
     std::string message;
 
     bool operator==(const TrialRecord &) const = default;

@@ -48,6 +48,13 @@ systemPreset(SystemPreset preset)
         config.data = DataPolicy::Never;
         config.protection = ProtectionMode::VmTlb;
         break;
+      case SystemPreset::RioNvProtected:
+        config.rio = true;
+        config.metadata = MetadataPolicy::Never;
+        config.data = DataPolicy::Never;
+        config.protection = ProtectionMode::VmTlb;
+        config.rioNvMirror = true;
+        break;
     }
     return config;
 }
@@ -72,6 +79,8 @@ systemPresetName(SystemPreset preset)
         return "Rio without protection";
       case SystemPreset::RioProtected:
         return "Rio with protection";
+      case SystemPreset::RioNvProtected:
+        return "Rio with protection + NV registry";
     }
     return "?";
 }
@@ -95,6 +104,8 @@ systemPresetPermanence(SystemPreset preset)
       case SystemPreset::RioNoProtection:
         return "after write, synchronous";
       case SystemPreset::RioProtected:
+        return "after write, synchronous";
+      case SystemPreset::RioNvProtected:
         return "after write, synchronous";
     }
     return "?";

@@ -123,9 +123,18 @@ struct KernelConfig
      * prove exactly that in the campaign determinism tests.
      */
     bool lockdep = true;
+
+    /**
+     * rio-nv: mirror the Rio registry and shadow pages into the
+     * machine's NV region (battery-backed DRAM, paper section 7).
+     * The harness maps this onto RioOptions::nvBacked; requires
+     * MachineConfig::nvBytes to be fitted.
+     */
+    bool rioNvMirror = false;
 };
 
-/** The eight system configurations evaluated in Table 2. */
+/** The eight system configurations evaluated in Table 2, plus the
+ *  NV-backed Rio tier (paper section 7's battery-backed DRAM). */
 enum class SystemPreset : u8
 {
     MemoryFs,            ///< Memory File System: data permanent never.
@@ -136,6 +145,7 @@ enum class SystemPreset : u8
     UfsWriteThroughWrite,///< sync mount + fsync on close.
     RioNoProtection,     ///< Rio, warm reboot only.
     RioProtected,        ///< Rio with VM/TLB protection.
+    RioNvProtected,      ///< Rio, protected, NV-mirrored registry.
 };
 
 /** Build a KernelConfig for one Table 2 row. */

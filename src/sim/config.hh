@@ -78,6 +78,16 @@ struct CostModel
 
     /** Media transfer rate in bytes per nanosecond (5 MB/s). */
     double diskBytesPerNs = 0.005;
+
+    /**
+     * Fixed controller overhead per NV-region access. Battery-backed
+     * DRAM / early NVMM sits behind a bus hop: slower than a cached
+     * load, orders of magnitude faster than the disk.
+     */
+    SimNs nvAccessNs = 100;
+
+    /** NV streaming cost per byte (~2 GB/s). */
+    double nvNsPerByte = 0.5;
 };
 
 /** Geometry and feature flags of the simulated machine. */
@@ -109,6 +119,13 @@ struct MachineConfig
 
     /** Swap partition capacity (must hold a full memory dump). */
     u64 swapBytes = 64ull << 20;
+
+    /**
+     * Byte-addressable non-volatile region size (0 = not fitted).
+     * Must be a multiple of kNvLineSize. Survives crashes and both
+     * reset kinds, like the disk; see sim/nvregion.hh.
+     */
+    u64 nvBytes = 0;
 
     /**
      * Refuse configurations whose swap partition cannot hold a full

@@ -29,6 +29,14 @@ Machine::Machine(const MachineConfig &config)
         throw std::runtime_error(
             "Machine: swap partition cannot hold a memory dump");
     }
+    if (config.nvBytes > 0) {
+        if (config.nvBytes % kNvLineSize != 0) {
+            throw std::runtime_error(
+                "Machine: nvBytes must be a multiple of the NV line "
+                "size");
+        }
+        nv_ = std::make_unique<NvRegion>(config.nvBytes, config_.costs);
+    }
 #ifdef RIO_AUDIT
     enableStoreAudit();
 #endif
@@ -60,6 +68,8 @@ Machine::noteCrash(SimNs when)
     ++crashCount_;
     lostQueuedWrites_ += disk_.crashDropQueue(when);
     lostQueuedWrites_ += swap_.crashDropQueue(when);
+    if (nv_)
+        nv_->onCrash(when); // NV persists; faults get their crash shot.
 }
 
 void

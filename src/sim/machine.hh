@@ -24,6 +24,7 @@
 #include "sim/crash.hh"
 #include "sim/disk.hh"
 #include "sim/membus.hh"
+#include "sim/nvregion.hh"
 #include "sim/pagetable.hh"
 #include "sim/physmem.hh"
 #include "sim/tlb.hh"
@@ -57,6 +58,13 @@ class Machine
     Disk &disk() { return disk_; }
     Disk &swap() { return swap_; }
     support::Rng &rng() { return rng_; }
+
+    /**
+     * The non-volatile memory region, or nullptr when the machine is
+     * not fitted with one (MachineConfig::nvBytes == 0). Contents
+     * persist across crash and both reset kinds.
+     */
+    NvRegion *nv() { return nv_.get(); }
 
     /**
      * The dynamic store audit, or nullptr when not enabled. Enabled
@@ -97,6 +105,7 @@ class Machine
     MemBus bus_;
     Disk disk_;
     Disk swap_;
+    std::unique_ptr<NvRegion> nv_;
     std::unique_ptr<StoreAudit> audit_;
     bool crashed_ = false;
     u64 crashCount_ = 0;

@@ -22,14 +22,24 @@
  *   97   3 / 2 / 0 / 5 / 0      (quarantine + contest, no tail loss)
  *   175  2 / 3 / 0 / 5 / 16384  (three-way block contest)
  *
- * The same sweep measured the residual risk the policy cannot close:
- * 3 of 184 seeds (56, 68, 130) flip a diskBlock field into another
+ * The same sweep originally measured a residual risk the policy
+ * could not close: seeds that flip a diskBlock field into another
  * *valid* block while the page checksum still matches, so the
- * restore lands content in the wrong place. fsck repairs most such
- * redirects; those three hit unrepairable spots (root inode /
- * superblock neighbourhood). A checksum covers content, not
- * location — closing this would need a block-location authenticator,
- * noted in EXPERIMENTS.md as future work.
+ * restore landed content in the wrong place — a checksum covered
+ * content, not location. That hole is now closed: stored checksums
+ * are bound to the claimed disk block (core::bindChecksum,
+ * registry.hh), so a redirected diskBlock fails verification and is
+ * quarantined like any other corruption. The formerly-slipping
+ * seeds are promoted below as the regression witnesses for the
+ * location binding (verified fail-without / pass-with at tier-1
+ * scale):
+ *
+ *   56   redirect left the volume with an unopenable file
+ *   68   redirect scribbled an inode ("impossible type" panic)
+ *
+ * (Sweep seed 130, once also in the redirect bucket, fails at this
+ * scale through tail truncation alone — identical decision profile
+ * with the binding on or off — so it pins nothing and stays out.)
  */
 
 #ifndef RIO_TESTS_REGISTRY_FUZZ_CORPUS_HH
@@ -41,7 +51,7 @@ namespace rio::tests
 {
 
 inline constexpr u64 kRegistryFuzzCorpus[] = {
-    28, 34, 70, 97, 175,
+    28, 34, 56, 68, 70, 97, 175,
 };
 
 } // namespace rio::tests

@@ -98,6 +98,18 @@ TEST_F(PerfShape, RioIsNearMemorySpeedOnComputeWorkloads)
               row(SystemPreset::MemoryFs).sdetSeconds * 1.25);
 }
 
+TEST_F(PerfShape, NvMirrorCostsLittleOverPlainRio)
+{
+    // The synchronous registry mirror charges NV controller time on
+    // every registry field write; it must stay a modest tax, not a
+    // write-through regression.
+    const auto &nv = row(SystemPreset::RioNvProtected);
+    const auto &rio = row(SystemPreset::RioProtected);
+    EXPECT_LT(nv.cprmTotal(), rio.cprmTotal() * 1.5);
+    EXPECT_LT(nv.sdetSeconds, rio.sdetSeconds * 1.5);
+    EXPECT_LT(nv.andrewSeconds, rio.andrewSeconds * 1.5);
+}
+
 TEST_F(PerfShape, SdetOrderingMatchesPaper)
 {
     EXPECT_LE(row(SystemPreset::UfsDelayAll).sdetSeconds,

@@ -84,6 +84,7 @@ pathStartsWith(const std::string &path,
  */
 constexpr std::initializer_list<const char *> kR1Whitelist = {
     "src/sim/membus", "src/sim/physmem", "src/sim/disk",
+    "src/sim/nvregion",
     "src/core/warmreboot", "src/support/",
 };
 
