@@ -1,11 +1,16 @@
 #include "fault/postcrash.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
 
 #include "core/nvmirror.hh"
 #include "core/registry.hh"
+#include "os/journal.hh"
+#include "os/ufs.hh"
+#include "support/bytes.hh"
+#include "support/checksum.hh"
 
 namespace rio::fault
 {
@@ -45,11 +50,17 @@ PostCrashStats
 PostCrashCorruptor::corrupt()
 {
     PostCrashStats stats;
-    if (config_.intensity <= 0.0 ||
-        !machine_.config().memorySurvivesReset) {
+    if (config_.intensity <= 0.0)
         return stats;
-    }
+    if (machine_.config().memorySurvivesReset)
+        corruptMemory(stats);
+    corruptJournal(stats);
+    return stats;
+}
 
+void
+PostCrashCorruptor::corruptMemory(PostCrashStats &stats)
+{
     auto &mem = machine_.mem();
     // riolint:allow(R1) the post-crash corruptor damages the surviving
     // image before recovery looks at it; it deliberately bypasses the
@@ -232,8 +243,155 @@ PostCrashCorruptor::corrupt()
             ++stats.ops;
         }
     }
+}
 
-    return stats;
+void
+PostCrashCorruptor::corruptJournal(PostCrashStats &stats)
+{
+    // Host-side attack on the on-disk log area: models the torn and
+    // reordered writes a real (non-FIFO) disk can leave behind,
+    // which the simulated queue alone cannot produce. Everything is
+    // gated on actually finding an ext3-grade journal with committed
+    // transactions, so no Rng draws happen on legacy / Rio images.
+    using J = os::Journal;
+    auto rounds = [&](double base) {
+        return static_cast<u64>(
+            std::llround(config_.intensity * base));
+    };
+    sim::Disk &disk = machine_.disk();
+    const u64 blockSectors = sim::kSectorsPerBlock;
+    const u64 totalBlocks = disk.numSectors() / blockSectors;
+    if (totalBlocks == 0)
+        return;
+
+    std::vector<u8> block(os::Ufs::kBlockSize, 0);
+    auto readBlock = [&](u64 blockNo) {
+        for (u64 s = 0; s < blockSectors; ++s) {
+            const auto sector =
+                disk.peekSector(blockNo * blockSectors + s);
+            std::copy(sector.begin(), sector.end(),
+                      block.begin() +
+                          static_cast<size_t>(s * sim::kSectorSize));
+        }
+    };
+
+    readBlock(0);
+    if (support::loadLE<u32>(block, os::Ufs::kSbMagic) !=
+        os::Ufs::kSuperMagic)
+        return;
+    const u32 logStart =
+        support::loadLE<u32>(block, os::Ufs::kSbLogStart);
+    const u32 logBlocks =
+        support::loadLE<u32>(block, os::Ufs::kSbLogBlocks);
+    if (logBlocks < 2 ||
+        static_cast<u64>(logStart) + logBlocks > totalBlocks)
+        return;
+
+    readBlock(logStart);
+    if (support::loadLE<u32>(block, 0) != J::kJsbMagic)
+        return;
+    if (support::checksum32(std::span<const u8>(block).first(
+            J::kJsbChecksum)) !=
+        support::loadLE<u32>(block, J::kJsbChecksum))
+        return;
+    const u64 headSeq = support::loadLE<u64>(block, J::kJsbHeadSeq);
+    const u32 headSlot = support::loadLE<u32>(block, J::kJsbHeadSlot);
+    const u32 dataSlots =
+        support::loadLE<u32>(block, J::kJsbDataSlots);
+    if (dataSlots != logBlocks - 1 || headSlot >= dataSlots ||
+        headSeq == 0)
+        return;
+
+    // Walk the committed chain the way replay does (host-side, no
+    // simulated time), collecting the transactions we can attack.
+    struct TxRef
+    {
+        u32 slot = 0; ///< Descriptor slot.
+        u32 count = 0;
+        u64 seq = 0;
+    };
+    std::vector<TxRef> txs;
+    u32 slot = headSlot;
+    u64 expect = headSeq;
+    u32 walked = 0;
+    const u32 maxEntries = static_cast<u32>(
+        (os::Ufs::kBlockSize - J::kDescEntries) / 8);
+    while (walked + 2 <= dataSlots) {
+        readBlock(static_cast<u64>(logStart) + 1 + slot);
+        if (support::loadLE<u32>(block, 0) != J::kDescMagic ||
+            support::loadLE<u64>(block, J::kDescSeq) != expect)
+            break;
+        const u32 count = support::loadLE<u32>(block, J::kDescCount);
+        if (count == 0 || count > maxEntries ||
+            walked + count + 2 > dataSlots)
+            break;
+        readBlock(static_cast<u64>(logStart) + 1 +
+                  (slot + 1 + count) % dataSlots);
+        if (support::loadLE<u32>(block, 0) != J::kCommitMagic ||
+            support::loadLE<u64>(block, J::kCmtSeq) != expect)
+            break;
+        txs.push_back({slot, count, expect});
+        slot = (slot + count + 2) % dataSlots;
+        ++expect;
+        walked += count + 2;
+    }
+    if (txs.empty())
+        return;
+
+    const auto slotSector = [&](u32 s, u64 sectorInBlock) {
+        // riolint:allow(R1) fault injection scribbles the log area
+        // through the host window, like diskfault's media decay.
+        return disk.hostSector(
+            (static_cast<u64>(logStart) + 1 + s) * blockSectors +
+            sectorInBlock);
+    };
+
+    if (config_.jrnTearCommit) {
+        // The torn-commit window: the payload is garbage but the
+        // commit record survives intact. A real disk gets here by
+        // reordering the commit ahead of the data; only the commit
+        // checksum can catch it at replay.
+        for (u64 k = rounds(1.0); k > 0; --k) {
+            const TxRef &tx = txs[rng_.below(txs.size())];
+            const u32 victim =
+                (tx.slot + 1 +
+                 static_cast<u32>(rng_.below(tx.count))) %
+                dataSlots;
+            const auto sector =
+                slotSector(victim, rng_.below(blockSectors));
+            constexpr u64 kTearBytes = 64;
+            const u64 off =
+                rng_.below(sim::kSectorSize - kTearBytes + 1);
+            rng_.fill(sector.subspan(off, kTearBytes));
+            ++stats.jrnCommitsTorn;
+            ++stats.ops;
+        }
+    }
+
+    if (config_.jrnStaleSeq) {
+        // A wrapped-log echo: the descriptor claims a sequence
+        // number from another generation of the circular log. The
+        // exact-sequence check at replay must refuse to cross it.
+        for (u64 k = rounds(1.0); k > 0; --k) {
+            const TxRef &tx = txs[rng_.below(txs.size())];
+            const auto sector = slotSector(tx.slot, 0);
+            support::storeLE<u64>(sector, J::kDescSeq,
+                                  tx.seq + dataSlots);
+            ++stats.jrnStaleSeqs;
+            ++stats.ops;
+        }
+    }
+
+    if (config_.jrnSmashDescriptor) {
+        for (u64 k = rounds(1.0); k > 0; --k) {
+            const TxRef &tx = txs[rng_.below(txs.size())];
+            const auto sector = slotSector(tx.slot, 0);
+            constexpr u64 kSmashBytes = 64;
+            rng_.fill(sector.first(kSmashBytes));
+            ++stats.jrnDescriptorsSmashed;
+            ++stats.ops;
+        }
+    }
 }
 
 } // namespace rio::fault

@@ -52,6 +52,20 @@ struct PostCrashConfig
     bool nvTornLines = true;   ///< Scribble whole NV cache lines.
     bool nvSmashMirror = true; ///< Scribble the NV mirror header.
     /** @} */
+
+    /** @{ Journal log-area damage classes (ext3-grade journal): the
+     *  outage attacks the on-disk log the way the classes above
+     *  attack the registry. Drawn strictly after the NV classes, and
+     *  silent no-ops when the disk holds no valid journal superblock
+     *  or no committed transactions — so the draw sequence is
+     *  untouched on every other configuration. Disk damage: applies
+     *  even when memory does not survive the reset. */
+    bool jrnTearCommit = true; ///< Scramble a committed tx's payload
+                               ///< while its commit record survives.
+    bool jrnStaleSeq = true;   ///< Descriptor sequence number from a
+                               ///< wrapped (previous) log generation.
+    bool jrnSmashDescriptor = true; ///< Scribble a descriptor block.
+    /** @} */
 };
 
 struct PostCrashStats
@@ -67,6 +81,9 @@ struct PostCrashStats
     u64 nvBitsFlipped = 0;  ///< rio-nv: decayed NV bits.
     u64 nvLinesTorn = 0;    ///< rio-nv: scribbled NV cache lines.
     u64 nvMirrorsSmashed = 0; ///< rio-nv: mirror headers destroyed.
+    u64 jrnCommitsTorn = 0; ///< Journal payload blocks scrambled.
+    u64 jrnStaleSeqs = 0;   ///< Descriptor seqs rewritten stale.
+    u64 jrnDescriptorsSmashed = 0; ///< Descriptor blocks scribbled.
 };
 
 class PostCrashCorruptor
@@ -78,14 +95,19 @@ class PostCrashCorruptor
     /**
      * Apply one round of corruption to the surviving image. Call
      * between Machine::reset(ResetKind::Warm) and constructing the
-     * WarmReboot. A no-op when intensity is 0 or memory did not
-     * survive the reset.
+     * WarmReboot (or rebooting a journal kernel). A no-op when
+     * intensity is 0; the memory classes are additionally no-ops
+     * when memory did not survive the reset (the journal classes
+     * damage the disk and always apply).
      */
     PostCrashStats corrupt();
 
     const PostCrashConfig &config() const { return config_; }
 
   private:
+    void corruptMemory(PostCrashStats &stats);
+    void corruptJournal(PostCrashStats &stats);
+
     sim::Machine &machine_;
     support::Rng rng_;
     PostCrashConfig config_;

@@ -6,9 +6,11 @@
 
 #include "core/rio.hh"
 #include "core/warmreboot.hh"
+#include "fault/postcrash.hh"
 #include "harness/crashcampaign.hh"
 #include "harness/oracle.hh"
 #include "harness/pool.hh"
+#include "os/journal.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
 #include "workload/memtest.hh"
@@ -23,6 +25,10 @@ mcWorkloadName(McWorkloadKind kind)
     switch (kind) {
       case McWorkloadKind::ShadowFlip: return "shadow-flip";
       case McWorkloadKind::Journal: return "journal";
+      case McWorkloadKind::JournalWriteback:
+        return "journal-writeback";
+      case McWorkloadKind::JournalOrdered: return "journal-ordered";
+      case McWorkloadKind::JournalData: return "journal-data";
     }
     return "?";
 }
@@ -39,6 +45,9 @@ mcEventClassName(McEventClass cls)
       case McEventClass::ProtoCommit: return "proto-commit";
       case McEventClass::DiskFlush: return "disk-flush";
       case McEventClass::NvMirrorWrite: return "nv-mirror-write";
+      case McEventClass::JournalCommit: return "journal-commit";
+      case McEventClass::JournalCheckpoint:
+        return "journal-checkpoint";
     }
     return "?";
 }
@@ -53,6 +62,15 @@ mcWorkloadClassMask(McWorkloadKind kind)
         // Memory does not survive a non-Rio reboot; the only crash
         // boundaries that matter are writes reaching the platter.
         return mcClassBit(McEventClass::DiskFlush);
+      case McWorkloadKind::JournalWriteback:
+      case McWorkloadKind::JournalOrdered:
+      case McWorkloadKind::JournalData:
+        // ext3: every platter write, plus the protocol instants just
+        // before a commit stages its log writes and before/after a
+        // checkpoint rewrites home copies and advances the head.
+        return mcClassBit(McEventClass::DiskFlush) |
+               mcClassBit(McEventClass::JournalCommit) |
+               mcClassBit(McEventClass::JournalCheckpoint);
     }
     return 0;
 }
@@ -71,6 +89,33 @@ namespace
 
 /** Sentinel crash index for the record pass: never fires. */
 constexpr u64 kRecordPass = ~0ull;
+
+/** The three ext3-grade journal workloads. */
+constexpr bool
+mcIsExt3(McWorkloadKind kind)
+{
+    return kind == McWorkloadKind::JournalWriteback ||
+           kind == McWorkloadKind::JournalOrdered ||
+           kind == McWorkloadKind::JournalData;
+}
+
+os::SystemPreset
+mcKernelPreset(McWorkloadKind kind)
+{
+    switch (kind) {
+      case McWorkloadKind::ShadowFlip:
+        return os::SystemPreset::RioNoProtection;
+      case McWorkloadKind::Journal:
+        return os::SystemPreset::AdvFsJournal;
+      case McWorkloadKind::JournalWriteback:
+        return os::SystemPreset::JournalWriteback;
+      case McWorkloadKind::JournalOrdered:
+        return os::SystemPreset::JournalOrdered;
+      case McWorkloadKind::JournalData:
+        return os::SystemPreset::JournalData;
+    }
+    return os::SystemPreset::AdvFsJournal;
+}
 
 /** Pure per-workload seed (splitmix64 chain; see crashcampaign.hh). */
 constexpr u64
@@ -107,7 +152,8 @@ mcMachineConfig(u64 seed)
 class McObserver final : public sim::StoreObserver,
                          public sim::DiskWriteObserver,
                          public sim::NvWriteObserver,
-                         public core::RioProtocolObserver
+                         public core::RioProtocolObserver,
+                         public os::JournalObserver
 {
   public:
     McObserver(sim::Machine &machine, u32 classMask, u64 crashAt,
@@ -157,22 +203,38 @@ class McObserver final : public sim::StoreObserver,
     }
 
     void
-    onProtocolStep(Step step, Addr addr) override
+    onJournalStep(os::JournalObserver::Step step, u64 seq) override
     {
         switch (step) {
-          case Step::OpenPage:
+          case os::JournalObserver::Step::TxCommit:
+            note(McEventClass::JournalCommit, seq);
+            return;
+          case os::JournalObserver::Step::CheckpointWrite:
+          case os::JournalObserver::Step::CheckpointAdvance:
+            note(McEventClass::JournalCheckpoint, seq);
+            return;
+        }
+    }
+
+    void
+    onProtocolStep(core::RioProtocolObserver::Step step,
+                   Addr addr) override
+    {
+        using PStep = core::RioProtocolObserver::Step;
+        switch (step) {
+          case PStep::OpenPage:
             note(McEventClass::ProtoOpen, addr);
             return;
-          case Step::ClosePage:
+          case PStep::ClosePage:
             note(McEventClass::ProtoClose, addr);
             return;
-          case Step::ShadowCopy:
+          case PStep::ShadowCopy:
             note(McEventClass::ProtoShadowCopy, addr);
             return;
-          case Step::FieldWrite:
+          case PStep::FieldWrite:
             note(McEventClass::ProtoFieldWrite, addr);
             return;
-          case Step::Commit:
+          case PStep::Commit:
             note(McEventClass::ProtoCommit, addr);
             return;
         }
@@ -276,6 +338,7 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
           u64 crashAt, std::vector<McEvent> *trace)
 {
     const bool isRio = kind == McWorkloadKind::ShadowFlip;
+    const bool isExt3 = mcIsExt3(kind);
     const u64 seed = mcWorkloadSeed(config, kind);
 
     McPointRecord rec;
@@ -288,9 +351,15 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
     if (isRio && config.nvBacked)
         machineConfig.nvBytes = machineConfig.physMemBytes / 16;
     sim::Machine machine(machineConfig);
-    os::KernelConfig kernelConfig = os::systemPreset(
-        isRio ? os::SystemPreset::RioNoProtection
-              : os::SystemPreset::AdvFsJournal);
+    os::KernelConfig kernelConfig =
+        os::systemPreset(mcKernelPreset(kind));
+    if (isExt3) {
+        kernelConfig.journal.checksumCommit = config.journalChecksum;
+        // Force checkpoints inside the bounded op window so their
+        // boundaries are enumerable (the default is log-pressure
+        // driven and a small workload never fills the log).
+        kernelConfig.journal.checkpointEveryCommits = 2;
+    }
 
     core::RioOptions options;
     std::unique_ptr<core::RioSystem> rio;
@@ -332,6 +401,8 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
         machine.nv()->setWriteObserver(&observer);
     if (rio)
         rio->setProtocolObserver(&observer);
+    if (isExt3)
+        kernel->journal().setObserver(&observer);
     observer.arm();
 
     wl::Scheduler scheduler;
@@ -352,6 +423,8 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
         machine.nv()->setWriteObserver(nullptr);
     if (rio)
         rio->setProtocolObserver(nullptr);
+    if (isExt3)
+        kernel->journal().setObserver(nullptr);
 
     rec.opsCompleted = memtest.opsCompleted();
 
@@ -370,6 +443,31 @@ runReplay(const CrashMcConfig &config, McWorkloadKind kind,
     }
     kernel.reset();
     machine.reset(sim::ResetKind::Warm);
+
+    if (isExt3 && config.tornCommit) {
+        // Model the torn-commit window the strict-FIFO sim disk
+        // cannot reorder into existence: scramble one committed
+        // transaction's payload on the platter while its commit
+        // record survives. Only the commit checksum stands between
+        // this and replaying garbage into home blocks.
+        fault::PostCrashConfig tear;
+        tear.flipRegistryBits = false;
+        tear.smashMagics = false;
+        tear.crossLinkClaims = false;
+        tear.crossLinkPages = false;
+        tear.smashPageBytes = false;
+        tear.smashShadows = false;
+        tear.zeroTail = false;
+        tear.nvBitDecay = false;
+        tear.nvTornLines = false;
+        tear.nvSmashMirror = false;
+        tear.jrnTearCommit = true;
+        tear.jrnStaleSeq = false;
+        tear.jrnSmashDescriptor = false;
+        fault::PostCrashCorruptor corruptor(
+            machine, support::Rng(rec.pointSeed), tear);
+        corruptor.corrupt();
+    }
 
     const core::RestorePolicy policy =
         config.hardened ? core::RestorePolicy::hardened()

@@ -24,19 +24,26 @@
  * instruction in every run — "every crash point in workload W
  * recovers" becomes a checked statement, not a sampled estimate.
  *
- * Two bounded workloads are built in: ShadowFlip (a Rio kernel
+ * Five bounded workloads are built in: ShadowFlip (a Rio kernel
  * driven by memTest — exercises the registry shadow-flip protocol
- * end to end) and Journal (an AdvFS-journal kernel with
- * write-through memTest — enumerates the group-commit boundaries,
- * DiskFlush events only). Points are independent, so runAll fans
- * them out over a WorkerPool and merges by event index; any failing
- * point serializes to a minimal repro record (workload, event index,
- * seed) that tests/test_crashmc_corpus.cc replays as an ordinary
- * ctest case.
+ * end to end), Journal (an AdvFS-journal kernel with write-through
+ * memTest — enumerates the group-commit boundaries, DiskFlush events
+ * only), and the three ext3-grade journal modes JournalWriteback /
+ * JournalOrdered / JournalData, which additionally enumerate every
+ * transaction-commit and checkpoint boundary (JournalCommit /
+ * JournalCheckpoint events, fired by the journal's observer hook
+ * just *before* the staged log writes go out — the most exposed
+ * instant of each protocol step). Points are independent, so runAll
+ * fans them out over a WorkerPool and merges by event index; any
+ * failing point serializes to a minimal repro record (workload,
+ * event index, seed) that tests/test_crashmc_corpus.cc replays as an
+ * ordinary ctest case.
  *
  * Environment knobs (see CrashMcConfig): RIO_SEED, RIO_MC_OPS,
  * RIO_MC_JOBS, RIO_MC_HARDENED, RIO_MC_SHADOW, RIO_MC_NV,
- * RIO_MC_WORKLOAD, RIO_MC_JSON, RIO_MC_PROGRESS.
+ * RIO_MC_JCHECKSUM, RIO_MC_TORN, RIO_MC_WORKLOAD (see
+ * bench/crashmc_main.cc for RIO_MC_JMODE), RIO_MC_JSON,
+ * RIO_MC_PROGRESS.
  */
 
 #ifndef RIO_HARNESS_CRASHMC_HH
@@ -56,6 +63,9 @@ enum class McWorkloadKind : u8
 {
     ShadowFlip, ///< Rio kernel + memTest: shadow-flip protocol.
     Journal,    ///< AdvFS journal + write-through memTest.
+    JournalWriteback, ///< ext3 journal, data=writeback.
+    JournalOrdered,   ///< ext3 journal, data=ordered.
+    JournalData,      ///< ext3 journal, data=journal.
 };
 
 const char *mcWorkloadName(McWorkloadKind kind);
@@ -71,9 +81,11 @@ enum class McEventClass : u8
     ProtoCommit,     ///< endWrite about to flip state (pre-flip).
     DiskFlush,       ///< A write reached the platter.
     NvMirrorWrite,   ///< Bytes landed in the NV registry mirror.
+    JournalCommit,   ///< ext3 tx about to stage its log writes.
+    JournalCheckpoint, ///< ext3 checkpoint write / head advance.
 };
 
-constexpr u32 kMcNumEventClasses = 8;
+constexpr u32 kMcNumEventClasses = 10;
 
 const char *mcEventClassName(McEventClass cls);
 
@@ -108,6 +120,15 @@ struct CrashMcConfig
      *  the ShadowFlip workload; every mirror store becomes an
      *  enumerable crash point (RIO_MC_NV). */
     bool nvBacked = envBool("RIO_MC_NV", false);
+    /** ext3 workloads: commit-record checksums on. Turning this off
+     *  is the journal's deliberately-weakened arm — combined with
+     *  tornCommit it must demonstrably fail (RIO_MC_JCHECKSUM). */
+    bool journalChecksum = envBool("RIO_MC_JCHECKSUM", true);
+    /** ext3 workloads: between the modeled crash and the reboot,
+     *  scramble one committed transaction's payload while its commit
+     *  record survives — the torn-commit window a strict-FIFO sim
+     *  disk cannot produce on its own (RIO_MC_TORN). */
+    bool tornCommit = envBool("RIO_MC_TORN", false);
     /** Live progress line on stderr (RIO_MC_PROGRESS). */
     bool progress = envBool("RIO_MC_PROGRESS", false);
 };

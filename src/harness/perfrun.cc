@@ -121,6 +121,9 @@ PerfRun::runAll()
         os::SystemPreset::MemoryFs,
         os::SystemPreset::UfsDelayAll,
         os::SystemPreset::AdvFsJournal,
+        os::SystemPreset::JournalWriteback,
+        os::SystemPreset::JournalOrdered,
+        os::SystemPreset::JournalData,
         os::SystemPreset::UfsDefault,
         os::SystemPreset::UfsWriteThroughClose,
         os::SystemPreset::UfsWriteThroughWrite,

@@ -280,6 +280,9 @@ mcSummaryToJson(const McResult &result, const CrashMcConfig &config)
     out += "  \"hardened\": " + boolean(config.hardened) + ",\n";
     out += "  \"shadowMetadata\": " + boolean(config.shadowMetadata) +
            ",\n";
+    out += "  \"journalChecksum\": " +
+           boolean(config.journalChecksum) + ",\n";
+    out += "  \"tornCommit\": " + boolean(config.tornCommit) + ",\n";
     out += "  \"workloads\": [\n";
     bool firstWorkload = true;
     for (const McWorkloadResult &workload : result.workloads) {
@@ -347,7 +350,11 @@ mcRenderSummary(const McResult &result, const CrashMcConfig &config)
            num(config.ops) + ", restore " +
            std::string(config.hardened ? "hardened" : "trusting") +
            ", shadowMetadata " +
-           std::string(config.shadowMetadata ? "on" : "off") + "\n";
+           std::string(config.shadowMetadata ? "on" : "off") +
+           ", journalChecksum " +
+           std::string(config.journalChecksum ? "on" : "off") +
+           ", tornCommit " +
+           std::string(config.tornCommit ? "on" : "off") + "\n";
     char line[160];
     std::snprintf(line, sizeof(line), "%-12s %8s %10s %12s %6s\n",
                   "workload", "events", "recovered", "unrecovered",

@@ -179,7 +179,6 @@ BufferCache::getblk(DevNo dev, BlockNo block)
 void
 BufferCache::diskFill(Ref ref)
 {
-    ++stats_.diskReads;
     auto &bus = machine_.bus();
     const Addr h = headerAddr(ref);
     const u32 block = bus.load32(h + kOffBlkno);
@@ -189,20 +188,31 @@ BufferCache::diskFill(Ref ref)
                        "bread: block number beyond device");
     }
     procs_.enter(ProcId::DiskStrategy);
-    const IoOutcome outcome = retryRead(
-        *disk_, static_cast<SectorNo>(block) * sim::kSectorsPerBlock,
-        sim::kSectorsPerBlock, staging_, machine_.clock(),
-        config_.ioRetry);
-    stats_.ioRetries += outcome.retries;
-    stats_.ioRemaps += outcome.remaps;
-    if (!outcome.ok() && config_.ioRetry.enabled) {
-        ++stats_.ioAbandoned;
-        machine_.crash(sim::CrashCause::KernelPanic,
-                       "bread: unrecoverable disk read");
+    if (journal_ != nullptr &&
+        journal_->fetchBlock(bus.load32(h + kOffDev), block,
+                             staging_)) {
+        // Committed-but-not-checkpointed (or in the open
+        // transaction): the journal's image is newer than the home
+        // copy, and costs no disk time to serve.
+    } else {
+        ++stats_.diskReads;
+        const IoOutcome outcome = retryRead(
+            *disk_,
+            static_cast<SectorNo>(block) * sim::kSectorsPerBlock,
+            sim::kSectorsPerBlock, staging_, machine_.clock(),
+            config_.ioRetry);
+        stats_.ioRetries += outcome.retries;
+        stats_.ioRemaps += outcome.remaps;
+        if (!outcome.ok() && config_.ioRetry.enabled) {
+            ++stats_.ioAbandoned;
+            machine_.crash(sim::CrashCause::KernelPanic,
+                           "bread: unrecoverable disk read");
+        }
+        // With the retry discipline off, a failed read is silently
+        // ignored and the stale staging bytes leak into the cache —
+        // the legacy assume-success hole the ablation's baseline arm
+        // keeps.
     }
-    // With the retry discipline off, a failed read is silently
-    // ignored and the stale staging bytes leak into the cache — the
-    // legacy assume-success hole the ablation's baseline arm keeps.
     const Addr page = pageAddr(ref);
     guard_->install(page, tagOf(ref));
     guard_->beginWrite(page);
@@ -314,6 +324,16 @@ BufferCache::releaseWrite(Ref ref)
             journal_->appendMetadata(bus.load32(h + kOffDev),
                                      bus.load32(h + kOffBlkno),
                                      pageAddr(ref));
+            if (journal_->ownsWriteback()) {
+                // ext3 write-ahead rule: the home copy is written
+                // only at checkpoint, from the journal's committed
+                // image — never from here. The buffer stays valid
+                // and clean.
+                setFlags(ref,
+                         flags(ref) & ~(kDirty | kDelwri | kBusy));
+                guard_->setDirty(pageAddr(ref), false);
+                return;
+            }
         }
         bdwrite(ref);
         return;

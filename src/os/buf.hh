@@ -39,13 +39,36 @@
 namespace rio::os
 {
 
-/** Receives metadata block images for the AdvFS-style journal. */
+/** Receives block images for the journal (legacy AdvFS-style WAL or
+ *  the ext3-grade compound-transaction engine). */
 class JournalSink
 {
   public:
     virtual ~JournalSink() = default;
     virtual void appendMetadata(DevNo dev, BlockNo block,
                                 Addr pageAddr) = 0;
+    /** File-data block image (ext3 data=journal mode only). */
+    virtual void appendData(DevNo dev, BlockNo block,
+                            Addr pageAddr) = 0;
+    /**
+     * ext3 engine: the journal owns metadata write-back. Home-location
+     * copies are written only at checkpoint (write-ahead rule), so a
+     * journaled block leaves releaseWrite() clean, not delwri.
+     */
+    virtual bool ownsWriteback() const = 0;
+    /** ext3 data=journal: route UBC spills through the log. */
+    virtual bool wantsDataJournal() const = 0;
+    /**
+     * Serve a read from the committed-but-not-checkpointed image (or
+     * the open transaction) instead of the possibly-stale home copy.
+     * @return true if @p out was filled.
+     */
+    virtual bool fetchBlock(DevNo dev, BlockNo block,
+                            std::span<u8> out) = 0;
+    /** Commit the open compound transaction now (fsync/sync path). */
+    virtual void commitTransaction() = 0;
+    /** Commit, then checkpoint the whole log (sync/unmount path). */
+    virtual void checkpointNow() = 0;
 };
 
 struct BufStats

@@ -55,8 +55,38 @@ systemPreset(SystemPreset preset)
         config.protection = ProtectionMode::VmTlb;
         config.rioNvMirror = true;
         break;
+      case SystemPreset::JournalWriteback:
+        config.fs = FsKind::Journal;
+        config.metadata = MetadataPolicy::Logged;
+        config.data = DataPolicy::Async64K;
+        config.journal.mode = JournalMode::Writeback;
+        break;
+      case SystemPreset::JournalOrdered:
+        config.fs = FsKind::Journal;
+        config.metadata = MetadataPolicy::Logged;
+        config.data = DataPolicy::Async64K;
+        config.journal.mode = JournalMode::Ordered;
+        break;
+      case SystemPreset::JournalData:
+        config.fs = FsKind::Journal;
+        config.metadata = MetadataPolicy::Logged;
+        config.data = DataPolicy::Async64K;
+        config.journal.mode = JournalMode::Journal;
+        break;
     }
     return config;
+}
+
+const char *
+journalModeName(JournalMode mode)
+{
+    switch (mode) {
+      case JournalMode::Legacy: return "legacy";
+      case JournalMode::Writeback: return "writeback";
+      case JournalMode::Ordered: return "ordered";
+      case JournalMode::Journal: return "data-journal";
+    }
+    return "?";
 }
 
 const char *
@@ -81,6 +111,12 @@ systemPresetName(SystemPreset preset)
         return "Rio with protection";
       case SystemPreset::RioNvProtected:
         return "Rio with protection + NV registry";
+      case SystemPreset::JournalWriteback:
+        return "ext3 journal, data=writeback";
+      case SystemPreset::JournalOrdered:
+        return "ext3 journal, data=ordered";
+      case SystemPreset::JournalData:
+        return "ext3 journal, data=journal";
     }
     return "?";
 }
@@ -107,6 +143,12 @@ systemPresetPermanence(SystemPreset preset)
         return "after write, synchronous";
       case SystemPreset::RioNvProtected:
         return "after write, synchronous";
+      case SystemPreset::JournalWriteback:
+        return "metadata after commit (<= 5 s); data async";
+      case SystemPreset::JournalOrdered:
+        return "after commit (<= 5 s); data before metadata";
+      case SystemPreset::JournalData:
+        return "after commit (<= 5 s), through the log";
     }
     return "?";
 }

@@ -48,7 +48,58 @@ enum class FsKind : u8
 {
     Ufs,     ///< UFS on the simulated disk.
     Mfs,     ///< Memory file system (zero-latency RAM disk).
-    Journal, ///< UFS with an AdvFS-style metadata journal.
+    Journal, ///< UFS with a journal (JournalMode picks the engine).
+};
+
+/**
+ * Which journaling engine — and, for the ext3-grade engine, which
+ * data mode — a FsKind::Journal mount runs.
+ *
+ * Legacy is the original AdvFS-style toy WAL (one record per
+ * metadata block, delayed in-place copies); it stays the default so
+ * every historical Table 1/Table 2 row is byte-identical with the
+ * new knobs untouched. The other three select the ext3-grade
+ * compound-transaction engine and differ only in how file *data*
+ * relates to the log (metadata is always journaled):
+ */
+enum class JournalMode : u8
+{
+    Legacy,    ///< AdvFS-style per-block WAL (pre-ext3 engine).
+    Writeback, ///< ext3 data=writeback: data goes its own way.
+    Ordered,   ///< ext3 data=ordered: data flushed before commit.
+    Journal,   ///< ext3 data=journal: data blocks through the log.
+};
+
+const char *journalModeName(JournalMode mode);
+
+/** Knobs for the ext3-grade engine (ignored under Legacy). */
+struct JournalConfig
+{
+    JournalMode mode = JournalMode::Legacy;
+
+    /** Group-commit timer: an open compound transaction older than
+     *  this commits at the next syscall tick (ext3 default 5 s). */
+    SimNs commitIntervalNs = 5ull * sim::kNsPerSec;
+
+    /** Blocks one compound transaction may hold before it must
+     *  commit (clamped at attach to fit the log area). */
+    u32 maxTxBlocks = 24;
+
+    /**
+     * Checksum the commit record over the descriptor + data payload
+     * (JBD2-style). Replay rejects a transaction whose payload does
+     * not match its commit checksum — closing the torn/reordered
+     * commit window. Off reproduces the unguarded design the
+     * weakened crashmc arm measures.
+     */
+    bool checksumCommit = true;
+
+    /**
+     * Checkpoint after every N commits (0 = only under log-space
+     * pressure and at sync/unmount). The model checker sets a small
+     * N so bounded workloads exercise checkpoint boundaries.
+     */
+    u32 checkpointEveryCommits = 0;
 };
 
 /**
@@ -116,6 +167,9 @@ struct KernelConfig
     /** Disk I/O retry/remap discipline (see IoRetryPolicy). */
     IoRetryPolicy ioRetry;
 
+    /** Journaling engine knobs (FsKind::Journal only). */
+    JournalConfig journal;
+
     /**
      * Lockdep-style rank validator on the kernel lock table (see
      * os/locks.hh). Pure bookkeeping — results are byte-identical
@@ -134,18 +188,22 @@ struct KernelConfig
 };
 
 /** The eight system configurations evaluated in Table 2, plus the
- *  NV-backed Rio tier (paper section 7's battery-backed DRAM). */
+ *  NV-backed Rio tier (paper section 7's battery-backed DRAM) and
+ *  the three ext3-grade journal-mode rows. */
 enum class SystemPreset : u8
 {
     MemoryFs,            ///< Memory File System: data permanent never.
     UfsDelayAll,         ///< Delayed data + metadata (no-order UFS).
-    AdvFsJournal,        ///< Log metadata updates.
+    AdvFsJournal,        ///< Log metadata updates (legacy toy WAL).
     UfsDefault,          ///< Async data, synchronous metadata.
     UfsWriteThroughClose,///< fsync on every close.
     UfsWriteThroughWrite,///< sync mount + fsync on close.
     RioNoProtection,     ///< Rio, warm reboot only.
     RioProtected,        ///< Rio with VM/TLB protection.
     RioNvProtected,      ///< Rio, protected, NV-mirrored registry.
+    JournalWriteback,    ///< ext3-grade journal, data=writeback.
+    JournalOrdered,      ///< ext3-grade journal, data=ordered.
+    JournalData,         ///< ext3-grade journal, data=journal.
 };
 
 /** Build a KernelConfig for one Table 2 row. */

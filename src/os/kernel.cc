@@ -33,7 +33,7 @@ Kernel::Kernel(sim::Machine &machine, const KernelConfig &config)
       buf_(machine, procs_, heap_, kcopy_, locks_, config_),
       ubc_(machine, procs_, heap_, kcopy_, locks_, config_),
       ufs_(machine, procs_, kcopy_, locks_, config_, buf_, ubc_),
-      journal_(machine, procs_, buf_),
+      journal_(machine, procs_, buf_, config_),
       vfs_(machine, procs_, heap_, config_, ufs_, ubc_, buf_)
 {
     kcopy_.setHeapHint(&heap_);
@@ -103,6 +103,10 @@ Kernel::boot(CacheGuard *guard, bool format)
                         ufs_.geometry().logBlocks, disk,
                         config_.ioRetry);
         buf_.setJournalSink(&journal_);
+        ufs_.setJournal(&journal_);
+        journal_.setDegradeHandler(
+            [this] { ufs_.degradeReadOnly(); });
+        journal_.setOrderedFlush([this] { ubc_.flushAll(false); });
     }
     // Persistent metadata write-back failure ends in a read-only
     // remount, not silent loss.
@@ -122,6 +126,11 @@ void
 Kernel::tick()
 {
     fsDisk().poll(machine_.clock().now());
+
+    // Group-commit timer (ext3 modes; a no-op under Legacy, so the
+    // historical presets are untouched).
+    if (config_.fs == FsKind::Journal)
+        journal_.tick();
 
     if (machine_.clock().now() < nextUpdate_)
         return;

@@ -198,6 +198,14 @@ class Ufs : public BackingStore
     Result<void> truncate(InodeNo ino, u64 newSize);
     /** @} */
 
+    /**
+     * Bind the journal sink (FsKind::Journal mounts). Under the ext3
+     * engine the fsync/sync paths commit (and checkpoint) through
+     * it, file reads consult its uncheckpointed images, and
+     * data=journal routes spills into the log.
+     */
+    void setJournal(JournalSink *journal) { journal_ = journal; }
+
     /** Make one file durable (data + metadata). */
     void fsyncFile(InodeNo ino, bool waitMetadata);
 
@@ -247,6 +255,7 @@ class Ufs : public BackingStore
     bool readOnly_ = false;
     DevNo dev_ = 0;
     sim::Disk *disk_ = nullptr;
+    JournalSink *journal_ = nullptr;
 
     /** Sequential-read tracking for the readahead overlap model. */
     InodeNo lastFillIno_ = 0;

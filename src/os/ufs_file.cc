@@ -156,6 +156,14 @@ Ufs::fillPage(DevNo dev, InodeNo ino, u64 pageIdx, Addr pagePhys)
         kcopy_.zero(sim::physToKseg(pagePhys), kBlockSize);
         return valid;
     }
+    if (journal_ != nullptr &&
+        journal_->fetchBlock(dev_, block.value(), scratch_)) {
+        // data=journal: the logged image is newer than the home copy
+        // until checkpoint, and costs no disk time to serve.
+        std::fill(scratch_.begin() + valid, scratch_.end(), 0);
+        dmaWrite(machine_.mem(), pagePhys, scratch_);
+        return valid;
+    }
     procs_.enter(ProcId::DiskStrategy);
     // Readahead overlap: when this fill continues a sequential
     // stream, the kernel's read-ahead had the CPU time since the
@@ -205,6 +213,13 @@ Ufs::spillPage(DevNo dev, InodeNo ino, u64 pageIdx, Addr pagePhys,
         machine_.crash(sim::CrashCause::KernelPanic,
                        "panic: file system full during pageout");
     }
+    if (journal_ != nullptr && journal_->wantsDataJournal()) {
+        // ext3 data=journal: the data block goes through the log as
+        // part of the compound transaction; the home copy is written
+        // at checkpoint.
+        journal_->appendData(dev_, block.value(), pagePhys);
+        return;
+    }
     procs_.enter(ProcId::DiskStrategy);
     dmaRead(machine_.mem(), pagePhys, scratch_);
     const SectorNo sector =
@@ -225,6 +240,10 @@ Ufs::fsyncFile(InodeNo ino, bool waitMetadata)
 {
     pushSuperCounters();
     ubc_.flushFile(dev_, ino, true);
+    if (journal_ != nullptr && journal_->ownsWriteback()) {
+        // ext3: fsync durability = the commit record is durable.
+        journal_->commitTransaction();
+    }
     buf_.flushDelwri(waitMetadata);
     if (waitMetadata)
         disk_->drain(machine_.clock());
@@ -235,6 +254,14 @@ Ufs::syncAll(bool wait)
 {
     pushSuperCounters();
     ubc_.flushAll(wait);
+    if (journal_ != nullptr && journal_->ownsWriteback()) {
+        journal_->commitTransaction();
+        if (wait) {
+            // Unmount path: home copies must be current before the
+            // superblock goes clean (replay is skipped on clean).
+            journal_->checkpointNow();
+        }
+    }
     buf_.flushDelwri(wait);
     if (wait)
         disk_->drain(machine_.clock());

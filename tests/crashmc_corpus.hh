@@ -12,8 +12,9 @@
  * hardened physAddr-fallback restore recovers the very same point.
  *
  * To harvest new entries: run bench/crashmc_main with a weakened
- * configuration (RIO_MC_HARDENED=0 or RIO_MC_SHADOW=0) and copy the
- * coordinates from the "counterexamples" array of crashmc.json.
+ * configuration (RIO_MC_HARDENED=0, RIO_MC_SHADOW=0, or for the
+ * ext3 journal workloads RIO_MC_JCHECKSUM=0 RIO_MC_TORN=1) and copy
+ * the coordinates from the "counterexamples" array of crashmc.json.
  * Event indices are only meaningful for the exact (seed, ops,
  * shadowMetadata) they were recorded under — the trace is
  * deterministic in those, and test_crashmc_corpus.cc re-records it
@@ -38,6 +39,10 @@ struct CrashMcCase
     bool shadowMetadata;
     bool expectRecovered;
     const char *note;
+    /** ext3 journal arms; at these defaults the fields are inert and
+     *  every pre-existing record keeps its exact meaning. */
+    bool journalChecksum = true;
+    bool tornCommit = false;
 };
 
 inline constexpr CrashMcCase kCrashMcCorpus[] = {
@@ -75,6 +80,45 @@ inline constexpr CrashMcCase kCrashMcCorpus[] = {
     {rio::harness::McWorkloadKind::Journal, 11, 1, 4,
      /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
      "last flush boundary of the bounded run"},
+
+    // ext3 journal modes: one commit boundary and one checkpoint
+    // boundary per data mode (seed-1 ops-8 traces). Crashing at the
+    // instant a commit stages its log writes — or mid-checkpoint,
+    // between home-copy rewrites — must replay back to consistency.
+    {rio::harness::McWorkloadKind::JournalWriteback, 9, 1, 8,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "writeback: crash as a compound tx stages its log writes"},
+    {rio::harness::McWorkloadKind::JournalWriteback, 10, 1, 8,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "writeback: crash at the first checkpoint home-copy write"},
+    {rio::harness::McWorkloadKind::JournalOrdered, 8, 1, 8,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "ordered: crash at a commit boundary after the data flush"},
+    {rio::harness::McWorkloadKind::JournalOrdered, 33, 1, 8,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "ordered: crash between checkpoint write and head advance"},
+    {rio::harness::McWorkloadKind::JournalData, 0, 1, 8,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "data-journal: crash at the very first commit boundary"},
+    {rio::harness::McWorkloadKind::JournalData, 12, 1, 8,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "data-journal: crash mid-checkpoint with data in the log"},
+
+    // The torn-commit window, replayed as a failing-then-guarded
+    // pair: the corruptor scrambles a committed tx's payload between
+    // crash and reboot while the commit record survives. Without the
+    // commit checksum the replay applies garbage into an inode-table
+    // block ("iget: inode has impossible type"); with it, the torn
+    // tx is rejected and the very same point recovers.
+    {rio::harness::McWorkloadKind::JournalOrdered, 34, 1, 8,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/false,
+     "no commit checksum: torn committed tx replays garbage into "
+     "the inode table",
+     /*journalChecksum=*/false, /*tornCommit=*/true},
+    {rio::harness::McWorkloadKind::JournalOrdered, 34, 1, 8,
+     /*hardened=*/true, /*shadow=*/true, /*recovers=*/true,
+     "commit checksum rejects the same torn tx at replay",
+     /*journalChecksum=*/true, /*tornCommit=*/true},
 };
 
 } // namespace tests

@@ -1,0 +1,44 @@
+// riolint fixture: R9 journal-transaction typestate violations. The
+// compound-transaction order is txBegin -> txAppend* -> txCommit,
+// with checkpoint legal only while no transaction is open (the
+// write-ahead rule); each function below breaks one ordering.
+namespace rio::os
+{
+
+// Append with no transaction open: the image has no transaction to
+// ride and would never reach a commit record.
+void
+Journal::appendWithoutBegin(DevNo dev, BlockNo home)
+{
+    txAppend(dev, home, false);
+}
+
+// Commit with nothing open: seals an empty window and advances the
+// sequence number past images that were never staged.
+void
+Journal::commitsNothing()
+{
+    txCommit();
+}
+
+// Checkpoint while a transaction is still open: home copies would
+// be rewritten ahead of the commit record (write-ahead rule).
+void
+Journal::checkpointInsideTx(DevNo dev, BlockNo home)
+{
+    txBegin();
+    txAppend(dev, home, false);
+    checkpoint();
+    txCommit();
+}
+
+// Transaction left open at function end: nothing seals it behind a
+// commit record, so a crash silently discards every staged image.
+void
+Journal::forgetsToCommit(DevNo dev, BlockNo home)
+{
+    txBegin();
+    txAppend(dev, home, false);
+}
+
+} // namespace rio::os

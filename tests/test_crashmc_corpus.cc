@@ -31,14 +31,32 @@ std::string
 caseName(const ::testing::TestParamInfo<tests::CrashMcCase> &info)
 {
     const tests::CrashMcCase &c = info.param;
-    std::string name =
-        c.workload == harness::McWorkloadKind::ShadowFlip
-            ? "ShadowFlip"
-            : "Journal";
+    std::string name;
+    switch (c.workload) {
+      case harness::McWorkloadKind::ShadowFlip:
+        name = "ShadowFlip";
+        break;
+      case harness::McWorkloadKind::Journal:
+        name = "Journal";
+        break;
+      case harness::McWorkloadKind::JournalWriteback:
+        name = "JournalWriteback";
+        break;
+      case harness::McWorkloadKind::JournalOrdered:
+        name = "JournalOrdered";
+        break;
+      case harness::McWorkloadKind::JournalData:
+        name = "JournalData";
+        break;
+    }
     name += "K" + std::to_string(c.eventIndex);
     name += c.hardened ? "Hardened" : "Trusting";
     if (!c.shadowMetadata)
         name += "NoShadow";
+    if (!c.journalChecksum)
+        name += "NoChecksum";
+    if (c.tornCommit)
+        name += "Torn";
     return name;
 }
 
@@ -53,6 +71,8 @@ TEST_P(CrashMcCorpus, ReplaysWithTheRecordedOutcome)
     config.ops = c.ops;
     config.hardened = c.hardened;
     config.shadowMetadata = c.shadowMetadata;
+    config.journalChecksum = c.journalChecksum;
+    config.tornCommit = c.tornCommit;
     harness::CrashMc checker(config);
 
     const auto trace = checker.record(c.workload);

@@ -298,6 +298,38 @@ TEST(Riolint, R8FiresOnCrashCapableCallsUnderBareLocks)
     EXPECT_EQ(countRule(findings, Rule::R8CrashWhileLocked), 3);
 }
 
+TEST(Riolint, R9FiresOnJournalTypestateViolations)
+{
+    const auto findings = lintFixture("bad_r9.cc");
+    // Append with no begin, commit with nothing open, checkpoint
+    // inside an open transaction, and a transaction left open at
+    // function end: four distinct findings.
+    EXPECT_EQ(countRule(findings, Rule::R9JournalTx), 4);
+}
+
+TEST(Riolint, R9AcceptsTheRealTransactionOrder)
+{
+    // The journal's own idiom: append opens on demand and commits
+    // when the transaction fills; checkpointNow seals first, then
+    // checkpoints with nothing open. Declarations and qualified
+    // definition names are not protocol steps.
+    const auto findings = riolint::lintSource("src/os/journal.cc", R"(
+void Journal::append(DevNo dev, BlockNo home, bool data) {
+    if (!txOpen_)
+        txBegin();
+    txAppend(dev, home, data);
+    if (tx_.size() >= maxTxBlocks_)
+        txCommit();
+}
+void Journal::checkpointNow() {
+    txBegin();
+    txCommit();
+    checkpoint();
+}
+)");
+    EXPECT_EQ(countRule(findings, Rule::R9JournalTx), 0);
+}
+
 TEST(Riolint, R8AcceptsGuardedCrashCapableCalls)
 {
     // A Guard releases via releaseQuiet on the unwind path, so a

@@ -21,6 +21,7 @@ parseRuleId(const std::string &id, Rule &out)
         {"R6", Rule::R6ShadowProtocol},
         {"R7", Rule::R7DeadlockCycle},
         {"R8", Rule::R8CrashWhileLocked},
+        {"R9", Rule::R9JournalTx},
     };
     for (const auto &[name, rule] : kIds) {
         if (id == name) {

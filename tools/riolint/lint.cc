@@ -798,6 +798,103 @@ class ProtocolAnalysis
     }
 };
 
+/**
+ * R9: journal-transaction typestate. The ext3-grade journal's
+ * correctness argument is an ordering: txBegin opens a compound
+ * transaction, txAppend stages block images into it, txCommit seals
+ * it behind a commit record, and checkpoint rewrites home copies
+ * only for sealed transactions (the write-ahead rule). Modeled on R6
+ * but function-local: each function's body is a linear automaton
+ * over the four call tokens, flagging
+ *  - txAppend with no transaction open — the image has no
+ *    transaction to ride and would never reach a commit record;
+ *  - txCommit with no transaction open — commits an empty window
+ *    (the sanctioned cross-syscall close in commitTransaction
+ *    carries the one allow annotation);
+ *  - txBegin while a transaction is already open — compound
+ *    transactions never nest;
+ *  - checkpoint while a transaction is open — home copies would be
+ *    rewritten ahead of the commit record, breaking write-ahead;
+ *  - a transaction still open at function end — nothing seals it,
+ *    so a crash discards every staged image silently.
+ */
+class JournalAnalysis
+{
+  public:
+    explicit JournalAnalysis(const CallGraph &graph) : graph_(graph)
+    {
+    }
+
+    void
+    run(std::vector<RawFinding> &out)
+    {
+        const auto &fns = graph_.functions();
+        for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+            const Function &fn = fns[fi];
+            const auto &toks = graph_.file(fn.fileIndex).scan.toks;
+            bool open = false;
+            int openLine = fn.line;
+            for (std::size_t k = fn.bodyBegin;
+                 k <= fn.bodyEnd && k < toks.size(); ++k) {
+                const Tok &t = toks[k];
+                if (t.kind != 'i')
+                    continue;
+                const bool isCall =
+                    k + 1 < toks.size() && toks[k + 1].text == "(";
+                const bool declLike =
+                    k > 0 && (toks[k - 1].kind == 'i' ||
+                              toks[k - 1].text == "::");
+                if (!isCall || declLike)
+                    continue;
+                if (t.text == "txBegin") {
+                    if (open) {
+                        out.push_back(
+                            {Rule::R9JournalTx, fn.fileIndex, t.line,
+                             "txBegin while a transaction is already "
+                             "open; compound transactions never "
+                             "nest"});
+                    }
+                    open = true;
+                    openLine = t.line;
+                } else if (t.text == "txAppend") {
+                    if (!open) {
+                        out.push_back(
+                            {Rule::R9JournalTx, fn.fileIndex, t.line,
+                             "txAppend outside an open transaction; "
+                             "call txBegin first"});
+                    }
+                } else if (t.text == "txCommit") {
+                    if (!open) {
+                        out.push_back(
+                            {Rule::R9JournalTx, fn.fileIndex, t.line,
+                             "txCommit with no transaction open "
+                             "here"});
+                    }
+                    open = false;
+                } else if (t.text == "checkpoint") {
+                    if (open) {
+                        out.push_back(
+                            {Rule::R9JournalTx, fn.fileIndex, t.line,
+                             "checkpoint while a transaction is "
+                             "open; home copies must not be "
+                             "rewritten ahead of the commit record "
+                             "(write-ahead rule)"});
+                    }
+                }
+            }
+            if (open) {
+                out.push_back(
+                    {Rule::R9JournalTx, fn.fileIndex, openLine,
+                     "transaction still open at function end; "
+                     "nothing seals it behind a commit record"});
+            }
+        }
+    }
+
+  private:
+    const CallGraph &graph_;
+};
+
 // ---------------------------------------------------------------------
 // Report formatting
 // ---------------------------------------------------------------------
@@ -862,6 +959,8 @@ lintProgram(const std::vector<SourceFile> &files)
     std::vector<RawFinding> raw;
     ProtocolAnalysis protocol(graph);
     protocol.run(raw);
+    JournalAnalysis journal(graph);
+    journal.run(raw);
     LockAnalysis locks(graph);
     locks.run(raw);
     report.lockDot = locks.dot();
@@ -903,6 +1002,7 @@ ruleId(Rule rule)
       case Rule::R6ShadowProtocol: return "R6";
       case Rule::R7DeadlockCycle: return "R7";
       case Rule::R8CrashWhileLocked: return "R8";
+      case Rule::R9JournalTx: return "R9";
     }
     return "?";
 }
@@ -927,6 +1027,8 @@ ruleTitle(Rule rule)
         return "deadlock-potential lock cycle";
       case Rule::R8CrashWhileLocked:
         return "crash-capable operation under bare lock";
+      case Rule::R9JournalTx:
+        return "journal-transaction typestate";
     }
     return "?";
 }

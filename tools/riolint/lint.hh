@@ -48,6 +48,11 @@
  *    I/O, sim-time advance, fault hooks) while a lock is held by a
  *    bare acquire() — no RAII Guard, so a crash unwind skips the
  *    release — or a bare acquire with no release on any path.
+ *  - R9 journal-transaction typestate: the ext3-grade journal's
+ *    compound-transaction order — txBegin -> txAppend* -> txCommit,
+ *    checkpoint only with no transaction open (write-ahead rule),
+ *    no nesting, nothing left open at function end. Function-local,
+ *    modeled on R6's token automaton.
  *
  * A violation is silenced by annotating the offending line (or the
  * line above it) with `// riolint:allow(R<n>) <reason>`. Suppressed
@@ -73,6 +78,7 @@ enum class Rule
     R6ShadowProtocol,
     R7DeadlockCycle,
     R8CrashWhileLocked,
+    R9JournalTx,
 };
 
 /** Short rule id, e.g. "R1". */
